@@ -1,0 +1,57 @@
+/// \file bench_scaling.cpp
+/// Runtime scaling: the paper attributes the 5.4x speedup to the
+/// baseline's mask-expanded graph ("splits each vertice into 12 vertices")
+/// — a constant-factor blowup of the search frontier that compounds with
+/// instance size. This bench sweeps die edge length at fixed density and
+/// prints runtime and relaxation counts for both routers, plus the
+/// baseline/Mr.TPL ratio per size. The ratio should be large and roughly
+/// flat-to-growing (both are near-linear in routed area; the expanded
+/// graph pays ~3x nodes x 4 arrival arcs per relaxation).
+
+#include <cstdio>
+
+#include "eval/report.hpp"
+#include "flow.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace mrtpl;
+  std::printf("== Scaling sweep: runtime vs die size (fixed density) ==\n\n");
+
+  eval::Table table({"die", "nets", "time[5](s)", "time(s)", "speedup",
+                     "relax[5](M)", "relax(M)", "ratio"});
+
+  for (const int edge : {48, 64, 80, 96, 112}) {
+    benchgen::CaseSpec spec;
+    spec.name = "scale" + std::to_string(edge);
+    spec.width = spec.height = edge;
+    // Fixed density: nets scale with area (~1 net per 38 tracks^2).
+    spec.num_nets = edge * edge / 38;
+    spec.num_macros = edge / 24;
+    spec.seed = 9000u + static_cast<std::uint64_t>(edge);
+
+    std::fprintf(stderr, "[scaling] die %dx%d ...\n", edge, edge);
+    const bench::CaseContext ctx = bench::prepare_case(spec);
+    const bench::FlowResult base = bench::run_dac12(ctx);
+    const bench::FlowResult ours = bench::run_mrtpl(ctx);
+
+    table.add_row(
+        {std::to_string(edge) + "x" + std::to_string(edge),
+         std::to_string(spec.num_nets), util::fixed(base.runtime_s, 2),
+         util::fixed(ours.runtime_s, 2),
+         ours.runtime_s > 0
+             ? util::fixed(base.runtime_s / ours.runtime_s, 2) + "x"
+             : "-",
+         util::fixed(static_cast<double>(base.relaxations) / 1e6, 2),
+         util::fixed(static_cast<double>(ours.relaxations) / 1e6, 2),
+         ours.relaxations > 0
+             ? util::fixed(static_cast<double>(base.relaxations) /
+                               static_cast<double>(ours.relaxations),
+                           2) + "x"
+             : "-"});
+  }
+  table.print();
+  std::printf("\nexpected shape: speedup > 1 at every size, driven by the "
+              "relaxation ratio of the expanded graph.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// \file bench_search_micro.cpp
+/// Micro-benchmark **M1** (google-benchmark): search-kernel throughput of
+/// Mr.TPL's single-label color-state search vs the DAC-2012 12-node
+/// expanded graph on identical single-net instances. This isolates the
+/// mechanical source of Table II's runtime column: label-space size.
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/dac12_router.hpp"
+#include "core/mrtpl_router.hpp"
+#include "db/design.hpp"
+
+namespace {
+
+using namespace mrtpl;
+
+db::Design span_design(int span) {
+  db::Design d("micro", db::Tech::make_default(4, 2), {0, 0, 127, 127});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{4, 64, 4, 64}};
+  d.add_pin(n, p);
+  p.shapes = {{4 + span, 64, 4 + span, 64}};
+  d.add_pin(n, p);
+  p.shapes = {{4 + span / 2, 64 - span / 3, 4 + span / 2, 64 - span / 3}};
+  d.add_pin(n, p);
+  d.validate();
+  return d;
+}
+
+void BM_MrTplSearch(benchmark::State& state) {
+  const db::Design d = span_design(static_cast<int>(state.range(0)));
+  core::RouterConfig cfg;
+  for (auto _ : state) {
+    grid::RoutingGrid g(d);
+    core::MrTplRouter router(d, nullptr, cfg);
+    core::ColorSearch search(g, cfg);
+    benchmark::DoNotOptimize(router.route_net(g, search, 0));
+  }
+  state.SetLabel("3-pin net, single-label color-state search");
+}
+BENCHMARK(BM_MrTplSearch)->Arg(16)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+void BM_Dac12Search(benchmark::State& state) {
+  const db::Design d = span_design(static_cast<int>(state.range(0)));
+  core::RouterConfig cfg;
+  for (auto _ : state) {
+    grid::RoutingGrid g(d);
+    baseline::Dac12Router router(d, nullptr, cfg);
+    benchmark::DoNotOptimize(router.route_net(g, 0));
+  }
+  state.SetLabel("3-pin net, 12-node expanded graph");
+}
+BENCHMARK(BM_Dac12Search)->Arg(16)->Arg(48)->Arg(96)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/// \file analysis_pipeline.cpp
+/// Example: the full post-routing analysis pipeline on one case.
+///
+/// Routes a mid-size synthetic design with Mr.TPL, then demonstrates every
+/// analysis facility a downstream user gets beyond the headline metrics:
+///
+///   1. independent DRC / connectivity verification (drc::verify),
+///   2. per-layer and per-net-degree breakdowns (eval::per_layer/...),
+///   3. conflict-cluster statistics (eval::conflict_stats),
+///   4. post-hoc recolor repair headroom (layout::recolor_refine),
+///   5. machine-readable JSON export (io::write_report_array).
+///
+/// Build and run:  ./build/examples/analysis_pipeline
+
+#include <cstdio>
+#include <iostream>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "drc/checker.hpp"
+#include "eval/breakdown.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+#include "io/json_report.hpp"
+#include "layout/recolor.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace mrtpl;
+
+  // -- route ------------------------------------------------------------
+  benchgen::CaseSpec spec = benchgen::ablation_case();
+  spec.name = "analysis_demo";
+  const db::Design design = benchgen::generate(spec);
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+
+  grid::RoutingGrid grid(design);
+  util::Timer timer;
+  core::MrTplRouter router(design, &guides, core::RouterConfig{});
+  const grid::Solution solution = router.run(grid);
+  const double seconds = timer.elapsed_s();
+
+  const eval::Metrics metrics = eval::evaluate(grid, solution, &guides);
+  std::printf("routed %s: %d nets in %.2fs — conflicts=%d stitches=%d "
+              "cost=%.4E\n\n",
+              design.name().c_str(), design.num_nets(), seconds,
+              metrics.conflicts, metrics.stitches, metrics.cost);
+
+  // -- 1. independent verification ---------------------------------------
+  const drc::DrcReport drc_report = drc::verify(grid, design, solution);
+  std::printf("DRC: %s\n",
+              drc_report.clean() ? "clean" : drc_report.summary().c_str());
+
+  // -- 2. breakdowns ------------------------------------------------------
+  std::printf("\nper-layer:\n  %-6s %-4s %-10s %-8s %s\n", "layer", "tpl",
+              "wirelength", "stitches", "violations");
+  for (const auto& l : eval::per_layer(grid, solution))
+    std::printf("  %-6d %-4s %-10ld %-8d %d\n", l.layer, l.tpl ? "yes" : "no",
+                l.wirelength, l.stitches, l.violating_vertices);
+
+  std::printf("\nper-degree:\n  %-6s %-6s %-8s %s\n", "pins", "nets",
+              "stitches", "conflicts");
+  for (const auto& d : eval::per_degree(grid, design, solution))
+    std::printf("  %-6d %-6d %-8d %d\n", d.degree, d.nets, d.stitches,
+                d.conflicts);
+
+  // -- 3. conflict shape ----------------------------------------------------
+  const eval::ConflictStats cs = eval::conflict_stats(grid);
+  std::printf("\nconflict clusters: %d (pairs=%d, largest=%d, mean=%.1f, "
+              "nets involved=%d)\n",
+              cs.clusters, cs.violating_pairs, cs.largest_cluster,
+              cs.mean_cluster_size, cs.nets_involved);
+
+  // -- 4. repair headroom ---------------------------------------------------
+  const layout::RecolorStats refine = layout::recolor_refine(grid, solution);
+  std::printf("\nrecolor repair pass: %d move(s) in %d pass(es) — "
+              "violations %d -> %d, stitch edges %d -> %d\n",
+              refine.moves, refine.passes, refine.violations_before,
+              refine.violations_after, refine.stitches_before,
+              refine.stitches_after);
+  std::printf("(near-zero moves is the expected result: Mr.TPL colors "
+              "during routing, leaving a repair pass no headroom)\n");
+
+  // -- 5. JSON export ---------------------------------------------------------
+  io::CaseReport report;
+  report.case_name = design.name();
+  report.flow = "mrtpl";
+  report.runtime_s = seconds;
+  report.metrics = metrics;
+  report.layers = eval::per_layer(grid, solution);
+  report.degrees = eval::per_degree(grid, design, solution);
+  std::printf("\nJSON report:\n");
+  io::write_report_array(std::cout, {report});
+  return drc_report.clean() ? 0 : 1;
+}

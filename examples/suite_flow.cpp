@@ -1,0 +1,90 @@
+/// \file suite_flow.cpp
+/// Full-flow example on a generated benchmark case: pick any case of
+/// either suite by name, run global routing, Mr.TPL detailed routing,
+/// and print the solution metrics — the workload of the paper's
+/// evaluation section in one executable.
+///
+///   ./build/examples/suite_flow                 # default: ispd18_test1
+///   ./build/examples/suite_flow ispd19_test3
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+#include "util/timer.hpp"
+
+using namespace mrtpl;
+
+int main(int argc, char** argv) {
+  const std::string wanted = argc > 1 ? argv[1] : "ispd18_test1";
+
+  benchgen::CaseSpec spec;
+  bool found = false;
+  for (const auto& s : benchgen::ispd2018_suite())
+    if (s.name == wanted) {
+      spec = s;
+      found = true;
+    }
+  for (const auto& s : benchgen::ispd2019_suite())
+    if (s.name == wanted) {
+      spec = s;
+      found = true;
+    }
+  if (!found) {
+    std::fprintf(stderr, "unknown case '%s' (use ispd18_test1..10 or ispd19_test1..10)\n",
+                 wanted.c_str());
+    return 2;
+  }
+
+  util::Timer total;
+  const db::Design design = benchgen::generate(spec);
+  std::printf("case %s: die %dx%d, %d nets, %d pins, %zu obstacles\n",
+              spec.name.c_str(), design.die().width(), design.die().height(),
+              design.num_nets(), design.total_pins(), design.obstacles().size());
+
+  util::Timer t_gr;
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+  std::printf("global routing: %.2fs (%dx%d gcells)\n", t_gr.elapsed_s(),
+              gr.gcells_x(), gr.gcells_y());
+
+  grid::RoutingGrid grid(design);
+  util::Timer t_dr;
+  core::MrTplRouter router(design, &guides, core::RouterConfig{});
+  const grid::Solution sol = router.run(grid);
+  const double dr_s = t_dr.elapsed_s();
+
+  const eval::Metrics m = eval::evaluate(grid, sol, &guides);
+  std::printf("detailed routing: %.2fs, %d RRR iteration(s), %llu relaxations\n",
+              dr_s, router.stats().rrr_iterations,
+              static_cast<unsigned long long>(router.stats().relaxations));
+  std::printf("conflict trajectory:");
+  for (const int c : router.stats().conflicts_per_iter) std::printf(" %d", c);
+  std::printf("\n");
+  if (argc > 2 && std::string(argv[2]) == "--stitches") {
+    for (const auto& r : sol.routes) {
+      for (const auto& [a, b] : r.edges()) {
+        if (grid.loc(a).layer != grid.loc(b).layer) continue;
+        if (grid.mask(a) == grid.mask(b) || grid.mask(a) == grid::kNoMask ||
+            grid.mask(b) == grid::kNoMask)
+          continue;
+        const auto la = grid.loc(a);
+        const auto lb = grid.loc(b);
+        std::printf("stitch net=%s M%d (%d,%d)m%d-(%d,%d)m%d pin_a=%d pin_b=%d\n",
+                    design.net(r.net).name.c_str(), la.layer + 1, la.x, la.y,
+                    grid.mask(a), lb.x, lb.y, grid.mask(b),
+                    grid.is_pin_vertex(a) ? 1 : 0, grid.is_pin_vertex(b) ? 1 : 0);
+      }
+    }
+  }
+  std::printf("result: conflicts=%d stitches=%d wirelength=%ld vias=%ld "
+              "wrong_way=%ld out_of_guide=%ld failed=%d cost=%.4E\n",
+              m.conflicts, m.stitches, m.wirelength, m.vias, m.wrong_way,
+              m.out_of_guide, m.failed_nets, m.cost);
+  std::printf("total: %.2fs\n", total.elapsed_s());
+  return m.failed_nets == 0 ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+#pragma once
+/// \file dac12_router.hpp
+/// Replication of the Ma et al. DAC-2012 TPL-aware router [5], the
+/// comparison baseline of Table II. Two defining properties, both from
+/// the paper's description:
+///
+/// 1. **Mask-expanded routing graph.** Every grid vertex is split into
+///    12 search nodes — 3 masks × 4 planar arrival directions — so mask
+///    choice and bend costs are explicit in the graph. This multiplies
+///    the label space and the queue traffic, which is where the method's
+///    3–10× slowdown comes from.
+/// 2. **2-pin decomposition.** Multi-pin nets are broken into 2-pin
+///    connections (nearest-pin-first tree growth); each connection's
+///    colors are committed as soon as its path is found. Later
+///    connections meet already-colored tree metal and must stitch or
+///    conflict — the paper's Fig. 1(c) failure mode.
+///
+/// The router runs inside the same substrate (grid, guides, RRR loop) as
+/// Mr.TPL, mirroring how the paper embedded the replica into Dr.CU 2.0.
+
+#include <vector>
+
+#include "core/conflict.hpp"
+#include "core/router_config.hpp"
+#include "global/guide.hpp"
+#include "grid/route_result.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::baseline {
+
+struct Dac12Stats {
+  int rrr_iterations = 0;
+  std::vector<int> conflicts_per_iter;
+  int failed_nets = 0;
+  std::uint64_t relaxations = 0;
+  double runtime_s = 0.0;
+};
+
+class Dac12Router {
+ public:
+  Dac12Router(const db::Design& design, const global::GuideSet* guides,
+              core::RouterConfig config = {});
+
+  grid::Solution run(grid::RoutingGrid& grid);
+
+  [[nodiscard]] const Dac12Stats& stats() const { return stats_; }
+
+  /// Route a single net (exposed for tests/micro-bench). Commits vertices
+  /// and masks.
+  grid::NetRoute route_net(grid::RoutingGrid& grid, db::NetId net_id);
+
+ private:
+  static constexpr int kMasks = grid::kNumMasks;  // 3
+  static constexpr int kArr = 4;                  // arrival directions
+  static constexpr int kExp = kMasks * kArr;      // 12 nodes per vertex
+
+  using Node = std::uint64_t;
+  [[nodiscard]] Node node(grid::VertexId v, int mask, int arr) const {
+    return static_cast<Node>(v) * kExp + static_cast<Node>(mask) * kArr +
+           static_cast<Node>(arr);
+  }
+  [[nodiscard]] grid::VertexId vertex_of(Node n) const {
+    return static_cast<grid::VertexId>(n / kExp);
+  }
+  [[nodiscard]] int mask_of(Node n) const {
+    return static_cast<int>((n % kExp) / kArr);
+  }
+
+  void touch(Node n);
+
+  const db::Design& design_;
+  const global::GuideSet* guides_;
+  core::RouterConfig config_;
+  Dac12Stats stats_;
+
+  // Expanded-graph search state (12 labels per vertex).
+  std::vector<double> cost_;
+  std::vector<Node> prev_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint8_t> closed_;
+  std::uint32_t epoch_ = 0;
+  std::uint64_t relax_count_ = 0;
+
+  // Epoch-stamped target marking (per 2-pin connection).
+  std::vector<std::uint32_t> target_stamp_;
+  std::uint32_t target_epoch_ = 0;
+};
+
+}  // namespace mrtpl::baseline

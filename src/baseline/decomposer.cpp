@@ -1,0 +1,332 @@
+#include "baseline/decomposer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <unordered_map>
+
+#include "util/logger.hpp"
+#include "util/timer.hpp"
+
+namespace mrtpl::baseline {
+
+namespace {
+
+constexpr double kConflictPenalty = 1e6;
+constexpr double kStitchPenalty = 1.0;
+
+struct Adjacency {
+  // Per segment: conflicting segments (different nets, must differ) and
+  // touching segments (same net; same-layer difference = stitch).
+  std::vector<std::vector<SegmentId>> conflict;
+  std::vector<std::vector<std::pair<SegmentId, bool>>> touch;  // (seg, via)
+};
+
+Adjacency build_adjacency(const grid::RoutingGrid& grid, const SegmentGraph& graph) {
+  Adjacency adj;
+  const size_t n = graph.segments.size();
+  adj.conflict.resize(n);
+  adj.touch.resize(n);
+
+  const int window = grid.dcolor();
+  for (const Segment& seg : graph.segments) {
+    if (!grid.tech().is_tpl_layer(seg.layer)) continue;
+    for (const grid::VertexId v : seg.vertices) {
+      const grid::VertexLoc l = grid.loc(v);
+      const int x0 = std::max(0, l.x - window);
+      const int x1 = std::min(grid.size_x() - 1, l.x + window);
+      const int y0 = std::max(0, l.y - window);
+      const int y1 = std::min(grid.size_y() - 1, l.y + window);
+      for (int y = y0; y <= y1; ++y) {
+        for (int x = x0; x <= x1; ++x) {
+          if (x == l.x && y == l.y) continue;
+          const grid::VertexId u = grid.vertex(l.layer, x, y);
+          const db::NetId other = grid.owner(u);
+          if (other == db::kNoNet || other == seg.net) continue;
+          const auto it = graph.segment_of.find(u);
+          if (it == graph.segment_of.end()) continue;  // unrouted pin metal
+          if (it->second != seg.id) adj.conflict[static_cast<size_t>(seg.id)].push_back(it->second);
+        }
+      }
+    }
+  }
+  for (auto& list : adj.conflict) {
+    std::sort(list.begin(), list.end());
+    list.erase(std::unique(list.begin(), list.end()), list.end());
+  }
+  for (const TouchEdge& t : graph.touches) {
+    adj.touch[static_cast<size_t>(t.a)].push_back({t.b, t.via});
+    adj.touch[static_cast<size_t>(t.b)].push_back({t.a, t.via});
+  }
+  return adj;
+}
+
+/// Penalty of assigning `color` to `seg` given the current (partial)
+/// assignment. kNoMask neighbors contribute nothing.
+double local_penalty(const Adjacency& adj, const std::vector<grid::Mask>& color,
+                     const std::vector<int>& layer_of, SegmentId seg,
+                     grid::Mask candidate) {
+  double p = 0.0;
+  for (const SegmentId o : adj.conflict[static_cast<size_t>(seg)])
+    if (color[static_cast<size_t>(o)] == candidate) p += kConflictPenalty;
+  for (const auto& [o, via] : adj.touch[static_cast<size_t>(seg)]) {
+    if (via) continue;
+    const grid::Mask oc = color[static_cast<size_t>(o)];
+    if (oc != grid::kNoMask && oc != candidate &&
+        layer_of[static_cast<size_t>(o)] == layer_of[static_cast<size_t>(seg)])
+      p += kStitchPenalty;
+  }
+  return p;
+}
+
+/// Exact branch & bound over one component (node list in `nodes`).
+void color_exact(const Adjacency& adj, const std::vector<int>& layer_of,
+                 std::vector<grid::Mask>& color, const std::vector<SegmentId>& nodes,
+                 int num_masks) {
+  // Order by conflict degree descending to fail fast.
+  std::vector<SegmentId> order = nodes;
+  std::sort(order.begin(), order.end(), [&](SegmentId a, SegmentId b) {
+    return adj.conflict[static_cast<size_t>(a)].size() >
+           adj.conflict[static_cast<size_t>(b)].size();
+  });
+
+  std::vector<grid::Mask> best_assign(order.size(), 0);
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<grid::Mask> cur(order.size(), grid::kNoMask);
+
+  // Temporarily clear the component's colors so local_penalty only sees
+  // already-fixed outside context plus the DFS prefix.
+  for (const SegmentId s : nodes) color[static_cast<size_t>(s)] = grid::kNoMask;
+
+  struct Frame {
+    size_t idx;
+    grid::Mask next_color;
+    double cost_so_far;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({0, 0, 0.0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.idx == order.size()) {
+      if (f.cost_so_far < best_cost) {
+        best_cost = f.cost_so_far;
+        for (size_t i = 0; i < order.size(); ++i)
+          best_assign[i] = color[static_cast<size_t>(order[i])];
+      }
+      stack.pop_back();
+      if (!stack.empty()) color[static_cast<size_t>(order[stack.back().idx])] = grid::kNoMask;
+      continue;
+    }
+    if (f.next_color >= num_masks) {
+      stack.pop_back();
+      if (!stack.empty()) color[static_cast<size_t>(order[stack.back().idx])] = grid::kNoMask;
+      continue;
+    }
+    const grid::Mask c = f.next_color++;
+    const SegmentId seg = order[f.idx];
+    const double p = local_penalty(adj, color, layer_of, seg, c);
+    const double total = f.cost_so_far + p;
+    if (total >= best_cost) continue;  // prune
+    color[static_cast<size_t>(seg)] = c;
+    stack.push_back({f.idx + 1, 0, total});
+  }
+  for (size_t i = 0; i < order.size(); ++i)
+    color[static_cast<size_t>(order[i])] = best_assign[i];
+}
+
+/// Greedy + local-search coloring for large components.
+void color_greedy(const Adjacency& adj, const std::vector<int>& layer_of,
+                  std::vector<grid::Mask>& color, const std::vector<SegmentId>& nodes,
+                  int passes, int num_masks) {
+  std::vector<SegmentId> order = nodes;
+  std::sort(order.begin(), order.end(), [&](SegmentId a, SegmentId b) {
+    return adj.conflict[static_cast<size_t>(a)].size() >
+           adj.conflict[static_cast<size_t>(b)].size();
+  });
+  for (const SegmentId s : order) color[static_cast<size_t>(s)] = grid::kNoMask;
+  for (const SegmentId s : order) {
+    double best = std::numeric_limits<double>::infinity();
+    grid::Mask best_c = 0;
+    for (grid::Mask c = 0; c < static_cast<grid::Mask>(num_masks); ++c) {
+      const double p = local_penalty(adj, color, layer_of, s, c);
+      if (p < best) {
+        best = p;
+        best_c = c;
+      }
+    }
+    color[static_cast<size_t>(s)] = best_c;
+  }
+  for (int pass = 0; pass < passes; ++pass) {
+    bool changed = false;
+    for (const SegmentId s : order) {
+      const grid::Mask old = color[static_cast<size_t>(s)];
+      color[static_cast<size_t>(s)] = grid::kNoMask;
+      double best = std::numeric_limits<double>::infinity();
+      grid::Mask best_c = old;
+      for (grid::Mask c = 0; c < static_cast<grid::Mask>(num_masks); ++c) {
+        const double p = local_penalty(adj, color, layer_of, s, c);
+        if (p < best) {
+          best = p;
+          best_c = c;
+        }
+      }
+      color[static_cast<size_t>(s)] = best_c;
+      if (best_c != old) changed = true;
+    }
+    if (!changed) break;
+  }
+}
+
+/// Union-find over segments for component extraction.
+std::vector<std::vector<SegmentId>> components(const SegmentGraph& graph,
+                                               const Adjacency& adj) {
+  const size_t n = graph.segments.size();
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  auto unite = [&](int a, int b) { parent[static_cast<size_t>(find(a))] = find(b); };
+  for (size_t s = 0; s < n; ++s)
+    for (const SegmentId o : adj.conflict[s]) unite(static_cast<int>(s), o);
+  for (const TouchEdge& t : graph.touches) unite(t.a, t.b);
+
+  std::unordered_map<int, std::vector<SegmentId>> by_root;
+  for (size_t s = 0; s < n; ++s)
+    by_root[find(static_cast<int>(s))].push_back(static_cast<SegmentId>(s));
+  std::vector<std::vector<SegmentId>> out;
+  out.reserve(by_root.size());
+  // Deterministic order: by smallest member id.
+  std::vector<int> roots;
+  for (auto& [r, _] : by_root) roots.push_back(r);
+  std::sort(roots.begin(), roots.end(), [&](int a, int b) {
+    return by_root[a].front() < by_root[b].front();
+  });
+  for (const int r : roots) out.push_back(std::move(by_root[r]));
+  return out;
+}
+
+void color_all(const SegmentGraph& graph, const Adjacency& adj,
+               const DecomposerConfig& config, std::vector<grid::Mask>& color,
+               const std::vector<int>& layer_of, DecomposeStats& stats,
+               const util::Timer& timer, int num_masks) {
+  const auto comps = components(graph, adj);
+  stats.components = static_cast<int>(comps.size());
+  for (const auto& comp : comps) {
+    const bool over_budget = timer.elapsed_s() > config.runtime_guard_s;
+    if (!over_budget &&
+        static_cast<int>(comp.size()) <= config.exact_component_limit) {
+      color_exact(adj, layer_of, color, comp, num_masks);
+      ++stats.exact_components;
+    } else {
+      color_greedy(adj, layer_of, color, comp, config.local_search_passes, num_masks);
+    }
+  }
+}
+
+}  // namespace
+
+DecomposeStats decompose(grid::RoutingGrid& grid, const grid::Solution& solution,
+                         DecomposerConfig config) {
+  util::Timer timer;
+  DecomposeStats stats;
+
+  SegmentGraph graph = extract_segments(grid, solution);
+  Adjacency adj = build_adjacency(grid, graph);
+
+  std::vector<grid::Mask> color(graph.segments.size(), grid::kNoMask);
+  std::vector<int> layer_of(graph.segments.size());
+  for (const Segment& s : graph.segments) layer_of[static_cast<size_t>(s.id)] = s.layer;
+
+  const int num_masks = grid.tech().rules().num_masks;
+  color_all(graph, adj, config, color, layer_of, stats, timer, num_masks);
+
+  // ---- stitch insertion ------------------------------------------------
+  // For every residual same-color conflict edge, try to split the segment
+  // whose conflicting span is a proper sub-range, then recolor globally.
+  if (config.enable_stitch_insertion) {
+    std::vector<int> splits_done(graph.segments.size(), 0);
+    std::vector<std::pair<SegmentId, SegmentId>> residual;
+    for (const Segment& s : graph.segments)
+      for (const SegmentId o : adj.conflict[static_cast<size_t>(s.id)])
+        if (o > s.id && color[static_cast<size_t>(s.id)] == color[static_cast<size_t>(o)])
+          residual.emplace_back(s.id, o);
+
+    const int window = grid.dcolor();
+    bool any_split = false;
+    for (const auto& [a, b] : residual) {
+      // Split the longer of the two segments around the span that
+      // conflicts with the other.
+      SegmentId tgt = graph.segments[static_cast<size_t>(a)].vertices.size() >=
+                              graph.segments[static_cast<size_t>(b)].vertices.size()
+                          ? a
+                          : b;
+      const SegmentId other = tgt == a ? b : a;
+      if (splits_done[static_cast<size_t>(tgt)] >= config.max_splits_per_segment)
+        continue;
+      const Segment& st = graph.segments[static_cast<size_t>(tgt)];
+      const Segment& so = graph.segments[static_cast<size_t>(other)];
+      if (st.vertices.size() < 3) continue;
+
+      // Conflicting index range of tgt w.r.t. other.
+      size_t first = st.vertices.size(), last = 0;
+      for (size_t i = 0; i < st.vertices.size(); ++i) {
+        const grid::VertexLoc li = grid.loc(st.vertices[i]);
+        for (const grid::VertexId u : so.vertices) {
+          const grid::VertexLoc lu = grid.loc(u);
+          if (lu.layer != li.layer) continue;
+          if (geom::chebyshev({li.x, li.y}, {lu.x, lu.y}) <= window) {
+            first = std::min(first, i);
+            last = std::max(last, i);
+            break;
+          }
+        }
+      }
+      if (first > last) continue;  // stale (already split away)
+      size_t split_at = 0;
+      if (first > 0)
+        split_at = first;  // conflicting span starts mid-segment
+      else if (last + 1 < st.vertices.size())
+        split_at = last + 1;  // span ends mid-segment
+      else
+        continue;  // whole segment conflicts: a split cannot help
+      split_segment(graph, tgt, split_at);
+      ++splits_done[static_cast<size_t>(tgt)];
+      splits_done.push_back(0);
+      ++stats.splits;
+      any_split = true;
+    }
+
+    if (any_split) {
+      adj = build_adjacency(grid, graph);
+      color.assign(graph.segments.size(), grid::kNoMask);
+      layer_of.assign(graph.segments.size(), 0);
+      for (const Segment& s : graph.segments)
+        layer_of[static_cast<size_t>(s.id)] = s.layer;
+      DecomposeStats second;
+      color_all(graph, adj, config, color, layer_of, second, timer, num_masks);
+      stats.components = second.components;
+      stats.exact_components = second.exact_components;
+    }
+  }
+
+  // ---- commit ------------------------------------------------------------
+  for (const Segment& s : graph.segments) {
+    const grid::Mask c = color[static_cast<size_t>(s.id)];
+    for (const grid::VertexId v : s.vertices)
+      grid.set_mask(v, grid.tech().is_tpl_layer(s.layer) ? c : grid::kNoMask);
+  }
+
+  stats.segments = static_cast<int>(graph.segments.size());
+  stats.runtime_s = timer.elapsed_s();
+  return stats;
+}
+
+}  // namespace mrtpl::baseline

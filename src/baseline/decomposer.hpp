@@ -1,0 +1,59 @@
+#pragma once
+/// \file decomposer.hpp
+/// OpenMPL-style post-routing layout decomposition [2], the baseline of
+/// Table III. The layout (a colorless routed Solution) is *fixed*; the
+/// decomposer assigns one of three masks to every wire segment:
+///
+///   1. extract the segment partition (segment_extract.hpp);
+///   2. build the conflict graph: segments of different nets within the
+///      Dcolor window must take different masks;
+///   3. color each connected component — exact branch-and-bound for small
+///      components, greedy + local search for large ones — minimizing
+///      conflicts first, stitches second;
+///   4. stitch insertion: split segments whose conflict neighborhoods are
+///      separable and recolor (OpenMPL's stitch-candidate mechanism),
+///      trading stitches for conflicts.
+///
+/// Because the geometry cannot change, locally over-constrained regions
+/// (four mutually close features — the paper's Fig. 1(a)) keep
+/// unresolvable conflicts. That is exactly the effect Table III measures.
+
+#include "layout/segment_extract.hpp"
+#include "grid/route_result.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::baseline {
+
+// Segment extraction moved to the shared layout library; these aliases
+// keep the decomposer API unchanged.
+using layout::kNoSegment;
+using layout::Segment;
+using layout::SegmentGraph;
+using layout::SegmentId;
+using layout::TouchEdge;
+using layout::extract_segments;
+using layout::split_segment;
+
+struct DecomposerConfig {
+  int exact_component_limit = 14;  ///< B&B up to this many segments
+  int local_search_passes = 3;
+  bool enable_stitch_insertion = true;
+  int max_splits_per_segment = 2;
+  double runtime_guard_s = 60.0;   ///< soft cap per design
+};
+
+struct DecomposeStats {
+  int components = 0;
+  int exact_components = 0;
+  int segments = 0;
+  int splits = 0;
+  double runtime_s = 0.0;
+};
+
+/// Assign masks to every routed vertex of `solution` in the grid. The
+/// grid must already hold the committed (uncolored) routes. Returns stats;
+/// conflict/stitch counts come from eval::evaluate afterwards.
+DecomposeStats decompose(grid::RoutingGrid& grid, const grid::Solution& solution,
+                         DecomposerConfig config = {});
+
+}  // namespace mrtpl::baseline

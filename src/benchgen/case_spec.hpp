@@ -1,0 +1,59 @@
+#pragma once
+/// \file case_spec.hpp
+/// Parameterisation of a synthetic routing case. Two named suites mirror
+/// the structural progression of the ISPD 2018 and ISPD 2019 contest
+/// benchmarks (small/sparse "test1" up to large/congested "test10"); see
+/// DESIGN.md §2 for the substitution rationale.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mrtpl::benchgen {
+
+struct CaseSpec {
+  std::string name;
+
+  // Die and layer stack.
+  int width = 64;          ///< tracks in x
+  int height = 64;         ///< tracks in y
+  int num_layers = 4;
+  int tpl_layers = 2;      ///< lowest N layers carry TPL rules
+  int dcolor = 2;          ///< same-mask spacing threshold (tracks)
+
+  // Netlist shape.
+  int num_nets = 100;
+  int min_pins = 2;
+  int max_pins = 6;        ///< multi-pin tail; mean degree ≈ 3
+  double local_net_fraction = 0.7;  ///< nets whose pins cluster locally
+  int local_span = 16;     ///< cluster box edge for local nets (tracks)
+
+  /// Minimum clearance between pins of different nets, in tracks. Two
+  /// pins must sit `pin_keepout + 1` apart; at least dcolor keeps pin
+  /// metal of different nets colorable without forced conflicts.
+  int pin_keepout = 2;
+
+  // Obstacles.
+  int num_macros = 4;
+  int macro_min = 4;       ///< macro edge range (tracks)
+  int macro_max = 10;
+
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool valid() const;
+};
+
+/// The ten ISPD-2018-like cases used by Table II.
+std::vector<CaseSpec> ispd2018_suite();
+
+/// The ten ISPD-2019-like cases used by Table III (denser pins, tighter
+/// color rules — the regime where post-routing decomposition struggles).
+std::vector<CaseSpec> ispd2019_suite();
+
+/// Single mid-size case used by ablation benches.
+CaseSpec ablation_case();
+
+/// Tiny case for unit tests (fast, still multi-layer/multi-net).
+CaseSpec tiny_case();
+
+}  // namespace mrtpl::benchgen

@@ -1,0 +1,130 @@
+#include "benchgen/generator.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "geom/spatial_grid.hpp"
+#include "util/logger.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mrtpl::benchgen {
+
+namespace {
+
+/// Pin degree distribution: heavy on 2–3-pin nets with a multi-pin tail,
+/// approximating contest netlists (most nets are short, a minority fan
+/// out widely).
+int sample_degree(util::Rng& rng, int min_pins, int max_pins) {
+  if (min_pins == max_pins) return min_pins;
+  const double u = rng.next_double();
+  // ~45% at min, ~30% at min+1, remainder spread to the tail.
+  if (u < 0.45) return min_pins;
+  if (u < 0.75) return std::min(min_pins + 1, max_pins);
+  return rng.next_int(std::min(min_pins + 2, max_pins), max_pins);
+}
+
+}  // namespace
+
+db::Design generate(const CaseSpec& spec) {
+  if (!spec.valid()) throw std::invalid_argument("benchgen: invalid CaseSpec");
+
+  db::TechRules rules;
+  rules.dcolor = spec.dcolor;
+  db::Tech tech = db::Tech::make_default(spec.num_layers, spec.tpl_layers, rules);
+  const geom::Rect die{0, 0, spec.width - 1, spec.height - 1};
+  db::Design design(spec.name, std::move(tech), die);
+
+  util::Rng rng(spec.seed);
+
+  // ---- Macros: blocked rectangles spanning the TPL layers. -------------
+  // The inflate(2) keep-out ensures pins remain accessible next to macros.
+  geom::SpatialGrid occupied(die, 8);
+  int placed_macros = 0;
+  for (int attempt = 0; attempt < spec.num_macros * 20 && placed_macros < spec.num_macros;
+       ++attempt) {
+    const int w = rng.next_int(spec.macro_min, spec.macro_max);
+    const int h = rng.next_int(spec.macro_min, spec.macro_max);
+    if (w + 4 >= spec.width || h + 4 >= spec.height) continue;
+    const int x = rng.next_int(2, spec.width - w - 2);
+    const int y = rng.next_int(2, spec.height - h - 2);
+    const geom::Rect shape{x, y, x + w - 1, y + h - 1};
+    if (occupied.any_overlap(shape.inflated(2))) continue;
+    occupied.insert(static_cast<std::uint32_t>(placed_macros), shape);
+    for (int layer = 0; layer < spec.tpl_layers; ++layer)
+      design.add_obstacle({layer, shape});
+    ++placed_macros;
+  }
+  if (placed_macros < spec.num_macros)
+    util::warn("benchgen", util::format("%s: placed %d/%d macros", spec.name.c_str(),
+                                        placed_macros, spec.num_macros));
+
+  // ---- Pins. ------------------------------------------------------------
+  // Pins are 1x1..1x2 shapes on the lowest TPL layer, kept 2 tracks apart
+  // from each other and macros so every pin has at least one escape path.
+  geom::SpatialGrid pin_index(die, 8);
+  std::uint32_t next_pin_id = 1u << 16;  // disjoint from macro ids
+
+  auto try_place_pin = [&](const geom::Rect& region) -> std::optional<geom::Rect> {
+    for (int attempt = 0; attempt < 40; ++attempt) {
+      const bool wide = rng.next_bool(0.3);
+      const int pw = wide ? 2 : 1;
+      const geom::Rect r = region.intersected(die.inflated(-1));
+      if (!r.valid() || r.width() < pw) continue;
+      const int x = rng.next_int(r.lo.x, r.hi.x - (pw - 1));
+      const int y = rng.next_int(r.lo.y, r.hi.y);
+      const geom::Rect shape{x, y, x + pw - 1, y};
+      // Keep-outs: `pin_keepout` tracks to other pins (escape room + no
+      // trivially forced pin-pin conflicts), 1 track to macros.
+      if (occupied.any_overlap(shape.inflated(1))) continue;
+      if (pin_index.any_overlap(shape.inflated(spec.pin_keepout))) continue;
+      pin_index.insert(next_pin_id++, shape);
+      return shape;
+    }
+    return std::nullopt;
+  };
+
+  // ---- Nets. -------------------------------------------------------------
+  int created = 0;
+  for (int n = 0; n < spec.num_nets; ++n) {
+    const int degree = sample_degree(rng, spec.min_pins, spec.max_pins);
+    const bool local = rng.next_bool(spec.local_net_fraction);
+
+    geom::Rect region = die;
+    if (local) {
+      const int span = std::min(spec.local_span, std::min(spec.width, spec.height) - 2);
+      const int cx = rng.next_int(1, spec.width - span - 1);
+      const int cy = rng.next_int(1, spec.height - span - 1);
+      region = {cx, cy, cx + span - 1, cy + span - 1};
+    }
+
+    std::vector<geom::Rect> shapes;
+    shapes.reserve(static_cast<size_t>(degree));
+    for (int p = 0; p < degree; ++p) {
+      auto shape = try_place_pin(region);
+      if (!shape && local) shape = try_place_pin(die);  // cluster full: spill
+      if (!shape) break;
+      shapes.push_back(*shape);
+    }
+    if (static_cast<int>(shapes.size()) < 2) continue;  // degenerate; drop
+
+    const db::NetId id = design.add_net(util::format("net%04d", created));
+    for (size_t p = 0; p < shapes.size(); ++p) {
+      db::Pin pin;
+      pin.name = util::format("net%04d_p%zu", created, p);
+      pin.layer = 0;
+      pin.shapes.push_back(shapes[p]);
+      design.add_pin(id, std::move(pin));
+    }
+    ++created;
+  }
+  if (created < spec.num_nets * 9 / 10)
+    util::warn("benchgen", util::format("%s: only %d/%d nets placed (die too dense)",
+                                        spec.name.c_str(), created, spec.num_nets));
+
+  design.validate();
+  return design;
+}
+
+}  // namespace mrtpl::benchgen

@@ -1,0 +1,19 @@
+#pragma once
+/// \file generator.hpp
+/// Deterministic synthetic-design generator. Given a CaseSpec (and only
+/// the spec — the seed lives inside it), produces a db::Design whose
+/// structure exercises the same routing/coloring regimes as the ISPD
+/// contest benchmarks: macro obstacles, clustered local nets, long global
+/// nets, and multi-pin degrees up to 8.
+
+#include "benchgen/case_spec.hpp"
+#include "db/design.hpp"
+
+namespace mrtpl::benchgen {
+
+/// Generate the design. Throws std::invalid_argument on an invalid spec.
+/// The result passes db::Design::validate() and is identical across runs
+/// and platforms for a given spec.
+db::Design generate(const CaseSpec& spec);
+
+}  // namespace mrtpl::benchgen

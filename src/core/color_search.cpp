@@ -1,0 +1,216 @@
+#include "core/color_search.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace mrtpl::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-9;
+}  // namespace
+
+ColorSearch::ColorSearch(const grid::RoutingGrid& grid, RouterConfig config)
+    : grid_(grid), config_(config) {
+  const auto& rules = grid.tech().rules();
+  beta_ = config_.beta_override >= 0 ? config_.beta_override : rules.beta;
+  gamma_ = config_.gamma_override >= 0 ? config_.gamma_override : rules.gamma;
+  // Cheapest possible per-step cost: a preferred-direction wire move with
+  // zero color cost. Multiplying it by the Manhattan distance to the
+  // nearest target never overestimates, so A* stays admissible.
+  min_step_cost_ = rules.alpha * rules.wire_cost;
+  universe_ = ColorState::universe(rules.num_masks);
+  const auto n = grid.num_vertices();
+  cost_.assign(n, kInf);
+  prev_.assign(n, grid::kInvalidVertex);
+  state_.assign(n, 0);
+  closed_.assign(n, 0);
+  stamp_.assign(n, 0);
+}
+
+void ColorSearch::begin_net(db::NetId net, const global::NetGuide* guide,
+                            geom::Rect window) {
+  net_ = net;
+  guide_ = guide;
+  window_ = window;
+  ++epoch_;
+  targets_.clear();
+  queue_ = {};
+  relaxations_ = 0;
+}
+
+void ColorSearch::touch(grid::VertexId v) {
+  if (stamp_[v] != epoch_) {
+    stamp_[v] = epoch_;
+    cost_[v] = kInf;
+    prev_[v] = grid::kInvalidVertex;
+    state_[v] = 0;
+    closed_[v] = 0;
+  }
+}
+
+void ColorSearch::add_source(grid::VertexId v, ColorState state) {
+  touch(v);
+  cost_[v] = 0.0;
+  prev_[v] = grid::kInvalidVertex;
+  state_[v] = state.bits();
+  closed_[v] = 0;
+  push(v, 0.0);
+}
+
+void ColorSearch::add_target(grid::VertexId v, int pin) {
+  targets_[v] = pin;
+  ++round_;
+}
+
+void ColorSearch::clear_targets_of_pin(int pin) {
+  for (auto it = targets_.begin(); it != targets_.end();) {
+    if (it->second == pin)
+      it = targets_.erase(it);
+    else
+      ++it;
+  }
+  ++round_;
+}
+
+double ColorSearch::heuristic(grid::VertexId v) const {
+  if (!config_.use_astar || targets_.empty()) return 0.0;
+  const grid::VertexLoc l = grid_.loc(v);
+  int best = std::numeric_limits<int>::max();
+  for (const auto& [t, pin] : targets_) {
+    const grid::VertexLoc lt = grid_.loc(t);
+    const int d = geom::manhattan({l.x, l.y}, {lt.x, lt.y});
+    if (d < best) best = d;
+  }
+  return min_step_cost_ * best;
+}
+
+void ColorSearch::push(grid::VertexId v, double g) {
+  queue_.push({g + heuristic(v), g, v, round_});
+}
+
+int ColorSearch::target_pin(grid::VertexId v) const {
+  const auto it = targets_.find(v);
+  return it == targets_.end() ? -1 : it->second;
+}
+
+bool ColorSearch::expandable(grid::VertexId v) const {
+  if (grid_.blocked(v)) return false;
+  const db::NetId owner = grid_.owner(v);
+  if (owner != db::kNoNet && owner != net_) return false;  // hard overlap rule
+  const grid::VertexLoc l = grid_.loc(v);
+  return window_.contains({l.x, l.y});
+}
+
+grid::VertexId ColorSearch::search() {
+  const auto& rules = grid_.tech().rules();
+  while (!queue_.empty()) {
+    const Item item = queue_.top();
+    queue_.pop();
+    const grid::VertexId v = item.v;
+    if (stamp_[v] != epoch_ || closed_[v] || item.g > cost_[v] + kEps) continue;
+    if (config_.use_astar && item.round != round_) {
+      // The target set changed since this entry was pushed (a pin was
+      // reached), so its f is stale. Re-key against the current targets.
+      push(v, cost_[v]);
+      continue;
+    }
+    // Algorithm 2 lines 4–7: reaching a vertex covered by an unreached pin
+    // terminates this round.
+    if (targets_.contains(v)) return v;
+    closed_[v] = 1;
+
+    const grid::VertexLoc from_loc = grid_.loc(v);
+    const ColorState from_state(state_[v]);
+    const bool tpl_aware = config_.enable_coloring;
+
+    for (int d = 0; d < grid::kNumDirs; ++d) {
+      const auto dir = static_cast<grid::Dir>(d);
+      const grid::VertexId u = grid_.neighbor(v, dir);
+      if (u == grid::kInvalidVertex || !expandable(u)) continue;
+      touch(u);
+      // Closed vertices may be *reopened* on a strict improvement: after
+      // the routed tree is re-seeded at cost 0 (Algorithm 3 lines 17–18),
+      // labels computed from the previous, farther sources are stale
+      // upper bounds, so the search is label-correcting across pin
+      // rounds, plain Dijkstra within one.
+
+      // ---- traditional cost (Eq. 1, alpha term) ----------------------
+      double trad;
+      if (grid::is_via(dir)) {
+        trad = rules.via_cost;
+      } else {
+        trad = rules.wire_cost;
+        if (!grid_.is_preferred(from_loc.layer, dir)) trad += rules.wrong_way_cost;
+      }
+      const grid::VertexLoc to_loc = grid_.loc(u);
+      if (guide_ != nullptr && !guide_->boxes.empty() &&
+          !guide_->covers({to_loc.x, to_loc.y}))
+        trad += rules.out_of_guide_cost;
+      trad += grid_.history(u);
+      trad *= rules.alpha;
+
+      double move_cost;
+      std::uint8_t new_state;
+      if (!tpl_aware || !grid_.tech().is_tpl_layer(to_loc.layer)) {
+        // Plain-router mode / non-critical layer: no color bookkeeping.
+        move_cost = trad;
+        new_state = universe_.bits();
+      } else {
+        // ---- per-mask color cost (Algorithm 2 lines 9–16) -------------
+        int counts[grid::kNumMasks] = {0, 0, 0};
+        grid_.for_each_colored_neighbor(
+            u, net_, [&counts](grid::VertexId, db::NetId, grid::Mask m) {
+              ++counts[m];
+            });
+        double best = kInf;
+        std::uint8_t argmin_bits = 0;
+        for (grid::Mask c = 0; c < grid::kNumMasks; ++c) {
+          if (!universe_.contains(c)) continue;  // DPL: mask 2 unavailable
+          double cc = gamma_ * counts[c];
+          // Lines 13–15: planar move with a mask outside the current
+          // state needs a stitch.
+          if (!grid::is_via(dir) && !from_state.contains(c)) cc += beta_;
+          if (cc < best - kEps) {
+            best = cc;
+            argmin_bits = static_cast<std::uint8_t>(1u << c);
+          } else if (cc < best + kEps) {
+            argmin_bits |= static_cast<std::uint8_t>(1u << c);
+          }
+        }
+        if (!config_.set_based_states) {
+          // Ablation A1: commit to one color immediately.
+          argmin_bits = ColorState::only(ColorState(argmin_bits).lowest_mask()).bits();
+        }
+        move_cost = trad + best;
+        new_state = argmin_bits;
+      }
+
+      const double new_cost = cost_[v] + move_cost;
+      ++relaxations_;
+      if (new_cost < cost_[u] - kEps) {
+        cost_[u] = new_cost;
+        prev_[u] = v;
+        state_[u] = new_state;
+        closed_[u] = 0;
+        push(u, new_cost);
+      } else if (new_cost < cost_[u] + kEps && prev_[u] == v) {
+        // Equal-cost relaxation from the same predecessor: merge the
+        // argmin sets (set-based color-state merging).
+        state_[u] |= new_state;
+      }
+    }
+  }
+  return grid::kInvalidVertex;
+}
+
+void ColorSearch::make_source(grid::VertexId v, ColorState state) {
+  touch(v);
+  cost_[v] = 0.0;
+  prev_[v] = grid::kInvalidVertex;
+  state_[v] = state.bits();
+  closed_[v] = 0;
+  push(v, 0.0);
+}
+
+}  // namespace mrtpl::core

@@ -1,0 +1,107 @@
+#pragma once
+/// \file color_search.hpp
+/// Algorithm 2 of the paper: Dijkstra-style color-state searching.
+///
+/// Each label holds a cost *and* a color state. Relaxing an edge evaluates
+/// all three masks (Eq. 1's per-color cost: traditional + gamma ·
+/// conflict-count, plus beta when a planar move leaves the predecessor's
+/// state — a stitch) and keeps the **set of argmin masks** as the new
+/// vertex's state. The scratch arrays are epoch-stamped so successive
+/// nets reuse them without clearing.
+
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "core/color_state.hpp"
+#include "core/router_config.hpp"
+#include "geom/rect.hpp"
+#include "global/guide.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::core {
+
+class ColorSearch {
+ public:
+  ColorSearch(const grid::RoutingGrid& grid, RouterConfig config);
+
+  /// Start a search session for `net`. `window` hard-clamps expansion;
+  /// `guide` (may be null) adds out-of-guide penalties.
+  void begin_net(db::NetId net, const global::NetGuide* guide, geom::Rect window);
+
+  /// Seed a source vertex with cost 0 and the given state (Algorithm 1
+  /// lines 4–8 use ColorState::all()).
+  void add_source(grid::VertexId v, ColorState state);
+
+  /// Register vertex `v` as belonging to (unreached) pin `pin`.
+  void add_target(grid::VertexId v, int pin);
+  /// Remove all target vertices of a pin once it is reached.
+  void clear_targets_of_pin(int pin);
+
+  /// Run the search loop until a target pops. Returns the destination
+  /// vertex, or kInvalidVertex when the queue drains (unroutable pin).
+  [[nodiscard]] grid::VertexId search();
+
+  /// Pin id that vertex `v` targets, or -1.
+  [[nodiscard]] int target_pin(grid::VertexId v) const;
+
+  // ---- label accessors (used by backtrace) ---------------------------
+  [[nodiscard]] double cost(grid::VertexId v) const { return cost_[v]; }
+  [[nodiscard]] grid::VertexId prev(grid::VertexId v) const { return prev_[v]; }
+  [[nodiscard]] ColorState state(grid::VertexId v) const { return ColorState(state_[v]); }
+  [[nodiscard]] bool visited(grid::VertexId v) const { return stamp_[v] == epoch_; }
+
+  /// Algorithm 3 lines 17–18: zero the vertex's cost, keep/replace its
+  /// state, and re-queue it so the routed tree seeds the next pin search.
+  void make_source(grid::VertexId v, ColorState state);
+
+  /// Number of label relaxations performed since begin_net (perf metric
+  /// for the micro-bench).
+  [[nodiscard]] std::uint64_t relaxations() const { return relaxations_; }
+
+ private:
+  void touch(grid::VertexId v);
+  [[nodiscard]] bool expandable(grid::VertexId v) const;
+
+  const grid::RoutingGrid& grid_;
+  RouterConfig config_;
+  double beta_, gamma_;
+  ColorState universe_ = ColorState::all();  ///< masks of the K-patterning process
+
+  db::NetId net_ = db::kNoNet;
+  const global::NetGuide* guide_ = nullptr;
+  geom::Rect window_;
+
+  std::vector<double> cost_;
+  std::vector<grid::VertexId> prev_;
+  std::vector<std::uint8_t> state_;
+  std::vector<std::uint8_t> closed_;
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t epoch_ = 0;
+
+  std::unordered_map<grid::VertexId, int> targets_;
+
+  /// Queue items carry f (priority), g (the label value at push time) and
+  /// the target-set generation the heuristic was computed against. With
+  /// A* off, f == g and the round tag is irrelevant.
+  struct Item {
+    double f;
+    double g;
+    grid::VertexId v;
+    std::uint32_t round;
+    bool operator>(const Item& o) const { return f > o.f; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
+
+  /// Admissible lower bound from `v` to the current target set (0 when A*
+  /// is off or no targets remain).
+  [[nodiscard]] double heuristic(grid::VertexId v) const;
+  void push(grid::VertexId v, double g);
+
+  std::uint32_t round_ = 0;  ///< bumped whenever the target set changes
+  double min_step_cost_ = 1.0;
+
+  std::uint64_t relaxations_ = 0;
+};
+
+}  // namespace mrtpl::core

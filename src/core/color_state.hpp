@@ -1,0 +1,88 @@
+#pragma once
+/// \file color_state.hpp
+/// The paper's Definition 1: a *color state* is the preparatory assignment
+/// of masks to a routing segment, encoded as a 3-bit set over {red, green,
+/// blue} (Table I). During search a vertex may hold several candidate
+/// masks simultaneously; backtrace intersects states until each segment
+/// converges to a single mask.
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::core {
+
+class ColorState {
+ public:
+  constexpr ColorState() = default;
+  constexpr explicit ColorState(std::uint8_t bits) : bits_(bits & 0b111u) {}
+
+  /// State 111 — all masks allowed (Table I last row).
+  static constexpr ColorState all() { return ColorState(0b111u); }
+  /// All masks allowed under a K-patterning process: 0b111 for TPL,
+  /// 0b011 (masks 0 and 1) for DPL.
+  static constexpr ColorState universe(int num_masks) {
+    return ColorState(static_cast<std::uint8_t>((1u << num_masks) - 1u));
+  }
+  /// State 000 — no mask allowed (over-constrained; signals a conflict).
+  static constexpr ColorState none() { return ColorState(0); }
+  /// Single-mask state for mask m in [0,3).
+  static constexpr ColorState only(grid::Mask m) {
+    return ColorState(static_cast<std::uint8_t>(1u << m));
+  }
+
+  friend constexpr bool operator==(ColorState, ColorState) = default;
+
+  [[nodiscard]] constexpr std::uint8_t bits() const { return bits_; }
+  [[nodiscard]] constexpr bool empty() const { return bits_ == 0; }
+  [[nodiscard]] constexpr bool contains(grid::Mask m) const {
+    return m >= 0 && (bits_ & (1u << m)) != 0;
+  }
+  [[nodiscard]] constexpr int count() const {
+    return ((bits_ >> 0) & 1) + ((bits_ >> 1) & 1) + ((bits_ >> 2) & 1);
+  }
+  [[nodiscard]] constexpr bool is_single() const { return count() == 1; }
+
+  /// The unique mask of a single-color state; any lowest set mask
+  /// otherwise (callers should check is_single() when it matters).
+  [[nodiscard]] constexpr grid::Mask lowest_mask() const {
+    for (grid::Mask m = 0; m < grid::kNumMasks; ++m)
+      if (bits_ & (1u << m)) return m;
+    return grid::kNoMask;
+  }
+
+  [[nodiscard]] constexpr ColorState intersected(ColorState o) const {
+    return ColorState(bits_ & o.bits_);
+  }
+  [[nodiscard]] constexpr ColorState united(ColorState o) const {
+    return ColorState(static_cast<std::uint8_t>(bits_ | o.bits_));
+  }
+  /// Masks in this state but not in o.
+  [[nodiscard]] constexpr ColorState minus(ColorState o) const {
+    return ColorState(static_cast<std::uint8_t>(bits_ & ~o.bits_));
+  }
+  [[nodiscard]] constexpr bool has_common(ColorState o) const {
+    return (bits_ & o.bits_) != 0;
+  }
+
+  void add(grid::Mask m) {
+    assert(m >= 0 && m < grid::kNumMasks);
+    bits_ = static_cast<std::uint8_t>(bits_ | (1u << m));
+  }
+
+  /// "111"/"101"-style string matching Table I / Fig. 3 annotations
+  /// (bit order: red, green, blue).
+  [[nodiscard]] std::string to_string() const {
+    std::string s(3, '0');
+    for (int m = 0; m < grid::kNumMasks; ++m)
+      if (bits_ & (1u << m)) s[static_cast<size_t>(m)] = '1';
+    return s;
+  }
+
+ private:
+  std::uint8_t bits_ = 0;
+};
+
+}  // namespace mrtpl::core

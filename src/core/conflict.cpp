@@ -1,0 +1,137 @@
+#include "core/conflict.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace mrtpl::core {
+
+std::vector<std::pair<grid::VertexId, grid::VertexId>> violation_pairs(
+    const grid::RoutingGrid& grid) {
+  std::vector<std::pair<grid::VertexId, grid::VertexId>> pairs;
+  const auto n = grid.num_vertices();
+  for (grid::VertexId v = 0; v < n; ++v) {
+    const db::NetId a = grid.owner(v);
+    if (a == db::kNoNet) continue;
+    const grid::Mask m = grid.mask(v);
+    if (m == grid::kNoMask) continue;
+    grid.for_each_colored_neighbor(
+        v, a, [&](grid::VertexId u, db::NetId, grid::Mask other) {
+          // Visit each unordered pair once.
+          if (u > v && other == m) pairs.emplace_back(v, u);
+        });
+  }
+  return pairs;
+}
+
+namespace {
+
+/// Plain union-find over a compacted vertex-id domain.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[static_cast<size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+std::vector<Conflict> detect_conflicts(const grid::RoutingGrid& grid) {
+  const auto pairs = violation_pairs(grid);
+
+  // Group violating pairs by unordered net pair.
+  std::map<std::pair<db::NetId, db::NetId>,
+           std::vector<std::pair<grid::VertexId, grid::VertexId>>>
+      by_nets;
+  for (const auto& [v, u] : pairs) {
+    db::NetId a = grid.owner(v), b = grid.owner(u);
+    auto pv = v, pu = u;
+    if (a > b) {
+      std::swap(a, b);
+      std::swap(pv, pu);
+    }
+    by_nets[{a, b}].emplace_back(pv, pu);
+  }
+
+  std::vector<Conflict> conflicts;
+  for (auto& [nets, plist] : by_nets) {
+    // Compact the vertices touched by this net pair.
+    std::unordered_map<grid::VertexId, int> index;
+    auto id_of = [&](grid::VertexId v) {
+      const auto [it, inserted] = index.emplace(v, static_cast<int>(index.size()));
+      (void)inserted;
+      return it->second;
+    };
+    for (const auto& [v, u] : plist) {
+      id_of(v);
+      id_of(u);
+    }
+    UnionFind uf(index.size());
+    // A violating pair links its two sides; additionally, violating
+    // vertices that are mutually within the window belong to the same
+    // physical region, so long parallel runs collapse to one conflict.
+    std::vector<grid::VertexId> verts;
+    verts.reserve(index.size());
+    for (const auto& [v, _] : index) verts.push_back(v);
+    std::sort(verts.begin(), verts.end());
+    for (const auto& [v, u] : plist) uf.unite(id_of(v), id_of(u));
+    const int window = grid.dcolor();
+    for (size_t i = 0; i < verts.size(); ++i) {
+      const grid::VertexLoc li = grid.loc(verts[i]);
+      for (size_t j = i + 1; j < verts.size(); ++j) {
+        const grid::VertexLoc lj = grid.loc(verts[j]);
+        if (lj.layer != li.layer) continue;
+        if (geom::chebyshev({li.x, li.y}, {lj.x, lj.y}) <= window)
+          uf.unite(id_of(verts[i]), id_of(verts[j]));
+      }
+    }
+    // Emit one Conflict per component.
+    std::unordered_map<int, size_t> comp_to_idx;
+    for (const auto& [v, u] : plist) {
+      const int root = uf.find(id_of(v));
+      auto it = comp_to_idx.find(root);
+      if (it == comp_to_idx.end()) {
+        it = comp_to_idx.emplace(root, conflicts.size()).first;
+        conflicts.push_back({nets.first, nets.second, {}});
+      }
+      conflicts[it->second].pairs.emplace_back(v, u);
+    }
+  }
+  return conflicts;
+}
+
+std::vector<db::NetId> blockers_of(const grid::RoutingGrid& grid,
+                                   const db::Design& design, db::NetId net,
+                                   int margin) {
+  const geom::Rect window =
+      design.net(net).bbox().inflated(margin).intersected(design.die());
+  std::vector<char> seen(static_cast<size_t>(design.num_nets()), 0);
+  std::vector<db::NetId> out;
+  for (int layer = 0; layer < grid.num_layers(); ++layer) {
+    for (int y = window.lo.y; y <= window.hi.y; ++y) {
+      for (int x = window.lo.x; x <= window.hi.x; ++x) {
+        const db::NetId owner = grid.owner(grid.vertex(layer, x, y));
+        if (owner == db::kNoNet || owner == net) continue;
+        if (!seen[static_cast<size_t>(owner)]) {
+          seen[static_cast<size_t>(owner)] = 1;
+          out.push_back(owner);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mrtpl::core

@@ -1,0 +1,422 @@
+#include "core/mrtpl_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "util/logger.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace mrtpl::core {
+
+MrTplRouter::MrTplRouter(const db::Design& design, const global::GuideSet* guides,
+                         RouterConfig config)
+    : design_(design), guides_(guides), config_(config) {}
+
+std::vector<db::NetId> MrTplRouter::net_order() const {
+  std::vector<db::NetId> order(static_cast<size_t>(design_.num_nets()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](db::NetId a, db::NetId b) {
+    const auto& na = design_.net(a);
+    const auto& nb = design_.net(b);
+    const auto ba = na.bbox();
+    const auto bb = nb.bbox();
+    const int ha = ba.width() + ba.height() + 4 * na.degree();
+    const int hb = bb.width() + bb.height() + 4 * nb.degree();
+    return ha < hb;
+  });
+  return order;
+}
+
+std::vector<grid::VertexId> MrTplRouter::backtrace(const grid::RoutingGrid& grid,
+                                                   ColorSearch& search,
+                                                   SegSetPool& pool,
+                                                   grid::VertexId dst) {
+  // Algorithm 3. The walk runs from the reached pin's vertex back along
+  // prev pointers; tree vertices were seeded with prev == invalid, so the
+  // loop naturally stops at the junction with the routed tree.
+  std::vector<grid::VertexId> path;
+  grid::VertexId v = dst;
+  while (v != grid::kInvalidVertex) {
+    path.push_back(v);
+
+    // Lines 3–6: a vertex without a verSet gets a fresh verSet + segSet
+    // carrying its search-time color state.
+    VerSetId vs = pool.verset_of(v);
+    if (vs == kNoVerSet) {
+      vs = pool.make_verset(search.state(v));
+      pool.attach(v, vs);
+    }
+
+    const grid::VertexId prev = search.prev(v);
+    if (prev == grid::kInvalidVertex) break;
+
+    // A via edge is a free color change: masks are per-layer, so segments
+    // on different layers color independently — no merge, no stitch.
+    if (grid.loc(prev).layer != grid.loc(v).layer) {
+      v = prev;
+      continue;
+    }
+    const ColorState v_state = pool.state_of(vs);
+    // The predecessor's effective state: its segSet state when already
+    // attached (tree vertex), else its search label.
+    const VerSetId prev_vs = pool.verset_of(prev);
+    const ColorState prev_state =
+        prev_vs != kNoVerSet ? pool.state_of(prev_vs) : search.state(prev);
+
+    // Lines 7–16: merge when the two vertices share a candidate color;
+    // otherwise a stitch separates them and prev starts its own segSet on
+    // the next iteration. In both branches the surviving segSet state is
+    // the *intersection* — a verSet's state must hold at every member, or
+    // the final single color would conflict at the members whose argmin
+    // set excluded it.
+    if (v_state.has_common(prev_state)) {
+      const ColorState common = v_state.intersected(prev_state);
+      if (prev_vs == kNoVerSet) {
+        pool.attach(prev, vs);                           // line 9: same verSet
+        pool.change_state(pool.segset_of(vs), common);
+      } else {
+        const SegSetId root = pool.merge(vs, prev_vs);   // line 14
+        pool.change_state(root, common);                 // line 13
+      }
+    }
+    v = prev;
+  }
+  return path;
+}
+
+grid::NetRoute MrTplRouter::route_net(grid::RoutingGrid& grid, ColorSearch& search,
+                                      db::NetId net_id) {
+  const db::Net& net = design_.net(net_id);
+  grid::NetRoute route;
+  route.net = net_id;
+
+  // Pin access vertices.
+  std::vector<std::vector<grid::VertexId>> pin_verts;
+  pin_verts.reserve(net.pins.size());
+  for (const auto& pin : net.pins) pin_verts.push_back(grid.pin_vertices(pin));
+  for (const auto& verts : pin_verts) {
+    if (verts.empty()) {
+      util::warn("mrtpl", util::format("net %s: pin with no accessible vertices",
+                                       net.name.c_str()));
+      return route;  // unroutable by construction
+    }
+  }
+
+  // Search window: net bbox ∪ guide bbox, inflated.
+  const global::NetGuide* guide = nullptr;
+  geom::Rect window = net.bbox();
+  if (guides_ != nullptr && net_id < static_cast<db::NetId>(guides_->size())) {
+    guide = &(*guides_)[static_cast<size_t>(net_id)];
+    if (!guide->boxes.empty()) window = window.united(guide->bbox());
+  }
+  window = window.inflated(config_.search_margin).intersected(design_.die());
+
+  search.begin_net(net_id, guide, window);
+
+  // Algorithm 1 lines 1–8: pin 0's vertices are the initial sources with
+  // color state 111.
+  SegSetPool pool;
+  const ColorState universe = ColorState::universe(grid.tech().rules().num_masks);
+  for (const grid::VertexId v : pin_verts[0]) search.add_source(v, universe);
+  std::vector<bool> reached(net.pins.size(), false);
+  reached[0] = true;
+  for (size_t p = 1; p < pin_verts.size(); ++p)
+    for (const grid::VertexId v : pin_verts[p]) search.add_target(v, static_cast<int>(p));
+
+  int remaining = static_cast<int>(net.pins.size()) - 1;
+  while (remaining > 0) {
+    const grid::VertexId dst = search.search();  // Algorithm 2
+    if (dst == grid::kInvalidVertex) {
+      util::warn("mrtpl", util::format("net %s: %d pin(s) unreachable",
+                                       net.name.c_str(), remaining));
+      stats_.relaxations += search.relaxations();
+      route.routed = false;
+      // Keep the partial tree: commit what exists so the layout stays
+      // consistent for other nets.
+      color_and_commit(grid, pool, net_id, route);
+      return route;
+    }
+    const int pin = search.target_pin(dst);
+    assert(pin >= 0 && !reached[static_cast<size_t>(pin)]);
+
+    // Algorithm 3: trace, merge color states, collect the path.
+    std::vector<grid::VertexId> path = backtrace(grid, search, pool, dst);
+
+    // Re-seed the tree (Algorithm 3 lines 17–18): every path vertex
+    // becomes a zero-cost source carrying its segSet state.
+    for (const grid::VertexId v : path)
+      search.make_source(v, pool.state_of(pool.verset_of(v)));
+
+    // The reached pin's metal joins the tree: same verSet as dst. Pin
+    // vertices enter the route as their own single-vertex paths so that
+    // edges() never fabricates adjacency between non-neighboring vertices.
+    reached[static_cast<size_t>(pin)] = true;
+    search.clear_targets_of_pin(pin);
+    const VerSetId dst_vs = pool.verset_of(dst);
+    for (const grid::VertexId v : pin_verts[static_cast<size_t>(pin)]) {
+      if (pool.verset_of(v) == kNoVerSet) pool.attach(v, dst_vs);
+      search.make_source(v, pool.state_of(dst_vs));
+      route.paths.push_back({v});
+    }
+    route.paths.push_back(std::move(path));
+    --remaining;
+  }
+  // Pin 0's metal belongs to the tree as well. The first backtrace ended
+  // on one of pin 0's vertices (the initial sources), which therefore
+  // already carries a verSet; attach the rest of the pin's metal to it so
+  // the whole pin receives a mask consistent with the wire leaving it.
+  VerSetId pin0_vs = kNoVerSet;
+  for (const grid::VertexId v : pin_verts[0])
+    if (pool.verset_of(v) != kNoVerSet) {
+      pin0_vs = pool.verset_of(v);
+      break;
+    }
+  if (pin0_vs == kNoVerSet) pin0_vs = pool.make_verset(universe);
+  for (const grid::VertexId v : pin_verts[0]) {
+    if (pool.verset_of(v) == kNoVerSet) pool.attach(v, pin0_vs);
+    route.paths.push_back({v});
+  }
+
+  stats_.relaxations += search.relaxations();
+  route.routed = true;
+  color_and_commit(grid, pool, net_id, route);
+  return route;
+}
+
+void MrTplRouter::color_and_commit(grid::RoutingGrid& grid, SegSetPool& pool,
+                                   db::NetId net_id,
+                                   const grid::NetRoute& route) {
+  last_colors_.clear();
+  if (!config_.enable_coloring) {
+    for (const auto& [v, vs] : pool.attachments()) {
+      grid.commit(v, net_id, grid::kNoMask);
+      last_colors_.emplace_back(v, grid::kNoMask);
+    }
+    return;
+  }
+  // Group attachments by segSet root.
+  std::unordered_map<SegSetId, std::vector<grid::VertexId>> groups;
+  for (const auto& [v, vs] : pool.attachments())
+    groups[pool.segset_of(vs)].push_back(v);
+
+  // segSet adjacency over same-layer tree edges: every boundary whose two
+  // sides end on different masks is a stitch, so color choice below
+  // prefers aligning with already-colored neighbor segSets.
+  std::unordered_map<SegSetId, std::vector<SegSetId>> adjacent;
+  for (const auto& [a, b] : route.edges()) {
+    const VerSetId va = pool.verset_of(a);
+    const VerSetId vb = pool.verset_of(b);
+    if (va == kNoVerSet || vb == kNoVerSet) continue;
+    if (grid.loc(a).layer != grid.loc(b).layer) continue;  // via: free
+    const SegSetId ra = pool.segset_of(va);
+    const SegSetId rb = pool.segset_of(vb);
+    if (ra == rb) continue;
+    adjacent[ra].push_back(rb);
+    adjacent[rb].push_back(ra);
+  }
+
+  // Deterministic processing order (larger segSets first, then id).
+  std::vector<SegSetId> order;
+  order.reserve(groups.size());
+  for (const auto& [root, _] : groups) order.push_back(root);
+  std::sort(order.begin(), order.end(), [&](SegSetId a, SegSetId b) {
+    const size_t sa = groups[a].size(), sb = groups[b].size();
+    return sa != sb ? sa > sb : a < b;
+  });
+
+  const auto& rules = grid.tech().rules();
+  const double beta = config_.beta_override >= 0 ? config_.beta_override : rules.beta;
+  const double gamma =
+      config_.gamma_override >= 0 ? config_.gamma_override : rules.gamma;
+  std::unordered_map<SegSetId, grid::Mask> committed_root_mask;
+  for (const SegSetId root : order) {
+    auto& members = groups[root];
+    std::sort(members.begin(), members.end());
+    // change_state with 111 intersects with the universe: a no-op read.
+    const ColorState universe =
+        ColorState::universe(grid.tech().rules().num_masks);
+    ColorState state = pool.change_state(root, universe);
+    if (state.empty()) state = universe;  // over-constrained: fall back
+
+    // Final convergence to a single color (end of the backtracing phase):
+    // sum the committed same-mask neighborhood over the segSet for every
+    // mask in one window pass per member. Colors outside the state pay a
+    // stitch-sized penalty — the search's argmin narrowing is a
+    // preference, not a hard constraint, and a conflict (gamma) always
+    // outweighs a stitch (beta).
+    double counts[grid::kNumMasks] = {0, 0, 0};
+    for (const grid::VertexId v : members)
+      grid.for_each_colored_neighbor(
+          v, net_id,
+          [&counts](grid::VertexId, db::NetId, grid::Mask m) { counts[m] += 1.0; });
+    grid::Mask best = 0;
+    double best_penalty = std::numeric_limits<double>::infinity();
+    for (grid::Mask c = 0; c < grid::kNumMasks; ++c) {
+      if (!universe.contains(c)) continue;  // DPL: mask 2 unavailable
+      double penalty = gamma * counts[c];
+      if (!state.contains(c)) penalty += beta;
+      // Stitch alignment: every already-colored adjacent segSet of this
+      // net on a different mask costs one stitch.
+      const auto it = adjacent.find(root);
+      if (it != adjacent.end()) {
+        for (const SegSetId nb : it->second) {
+          const auto cit = committed_root_mask.find(nb);
+          if (cit != committed_root_mask.end() && cit->second != c) penalty += beta;
+        }
+      }
+      if (penalty < best_penalty) {
+        best = c;
+        best_penalty = penalty;
+      }
+    }
+    committed_root_mask[root] = best;
+    for (const grid::VertexId v : members) {
+      // Upper (single-patterned) layers carry no mask.
+      const grid::Mask m =
+          grid.tech().is_tpl_layer(grid.loc(v).layer) ? best : grid::kNoMask;
+      grid.commit(v, net_id, m);
+      last_colors_.emplace_back(v, m);
+    }
+  }
+  std::sort(last_colors_.begin(), last_colors_.end());
+}
+
+namespace {
+
+/// A restorable copy of the committed layout: per-net routes plus the mask
+/// of every routed vertex. Negotiated RRR is not monotonic — on heavily
+/// congested cases history-cost detours can make a later iteration worse
+/// than an earlier one — so the driver keeps the best iterate and restores
+/// it at the end instead of returning whatever the last iteration left.
+struct LayoutSnapshot {
+  grid::Solution solution;
+  std::vector<std::vector<grid::Mask>> masks;  ///< parallel to routes[i].vertices()
+  double score = std::numeric_limits<double>::infinity();
+
+  static LayoutSnapshot capture(const grid::RoutingGrid& grid,
+                                const grid::Solution& solution, double score) {
+    LayoutSnapshot snap;
+    snap.solution = solution;
+    snap.score = score;
+    snap.masks.reserve(solution.routes.size());
+    for (const auto& route : solution.routes) {
+      std::vector<grid::Mask> route_masks;
+      for (const grid::VertexId v : route.vertices())
+        route_masks.push_back(grid.mask(v));
+      snap.masks.push_back(std::move(route_masks));
+    }
+    return snap;
+  }
+
+  /// Replace the grid's committed state with this snapshot. `current` is
+  /// the solution whose routes are committed *now* — releasing the
+  /// snapshot's own routes instead would leave any vertex used only by
+  /// the current iterate committed forever (phantom metal).
+  void restore(grid::RoutingGrid& grid, const grid::Solution& current) const {
+    for (const auto& route : current.routes) grid::release_route(grid, route);
+    for (size_t i = 0; i < solution.routes.size(); ++i)
+      grid::commit_route(grid, solution.routes[i], masks[i]);
+  }
+};
+
+/// Iterate quality used to pick the best snapshot: conflicts are printing
+/// failures and dominate, then stitches (yield), then a routability tax.
+/// Ties in violations resolve toward the earlier (less detoured) iterate
+/// because replacement below is strict.
+double iterate_score(int conflicts, int stitches, int failed) {
+  return 1e6 * failed + 1e4 * conflicts + 1e2 * stitches;
+}
+
+}  // namespace
+
+grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
+  util::Timer timer;
+  stats_ = RouterStats{};
+  grid::Solution solution;
+  solution.routes.resize(static_cast<size_t>(design_.num_nets()));
+
+  ColorSearch search(grid, config_);
+  const auto order = net_order();
+
+  // Fig. 2 middle column: route every net once.
+  for (const db::NetId id : order)
+    solution.routes[static_cast<size_t>(id)] = route_net(grid, search, id);
+
+  auto current_score = [&](const std::vector<Conflict>& conflicts) {
+    int failed = 0;
+    for (const auto& r : solution.routes)
+      if (!r.routed && r.net != db::kNoNet) ++failed;
+    return iterate_score(static_cast<int>(conflicts.size()),
+                         grid::count_stitches(grid, solution), failed);
+  };
+  LayoutSnapshot best;
+
+  // Fig. 2 left column: conflict detection + rip-up & reroute with
+  // history cost, bounded by max iterations. Blockage failures (a pin
+  // walled in by earlier nets) are handled the same way: the blockers in
+  // the failed net's window are ripped and the failed net retries first.
+  for (int iter = 0; iter < config_.max_rrr_iterations; ++iter) {
+    const auto conflicts = detect_conflicts(grid);
+    stats_.conflicts_per_iter.push_back(static_cast<int>(conflicts.size()));
+    if (const double score = current_score(conflicts); score < best.score)
+      best = LayoutSnapshot::capture(grid, solution, score);
+    std::vector<db::NetId> failed;
+    for (const auto& r : solution.routes)
+      if (!r.routed && r.net != db::kNoNet) failed.push_back(r.net);
+    if (conflicts.empty() && failed.empty()) break;
+    stats_.rrr_iterations = iter + 1;
+
+    // History update on every violating vertex, then rip the nets involved.
+    std::vector<char> rip(static_cast<size_t>(design_.num_nets()), 0);
+    const double hist = grid.tech().rules().history_increment;
+    for (const auto& c : conflicts) {
+      rip[static_cast<size_t>(c.net_a)] = 1;
+      rip[static_cast<size_t>(c.net_b)] = 1;
+      for (const auto& [v, u] : c.pairs) {
+        grid.add_history(v, hist);
+        grid.add_history(u, hist);
+      }
+    }
+    for (const db::NetId id : failed) {
+      rip[static_cast<size_t>(id)] = 1;
+      for (const db::NetId b : blockers_of(grid, design_, id, config_.search_margin))
+        rip[static_cast<size_t>(b)] = 1;
+    }
+    std::vector<db::NetId> ripped;
+    for (const db::NetId id : failed) {
+      ripped.push_back(id);  // failed nets reroute first, into free space
+      rip[static_cast<size_t>(id)] = 2;
+    }
+    for (const db::NetId id : order)
+      if (rip[static_cast<size_t>(id)] == 1) ripped.push_back(id);
+    if (ripped.empty()) break;
+    for (const db::NetId id : ripped)
+      grid::release_route(grid, solution.routes[static_cast<size_t>(id)]);
+    for (const db::NetId id : ripped)
+      solution.routes[static_cast<size_t>(id)] = route_net(grid, search, id);
+  }
+  // Score the state the loop ended on (the per-iteration scoring above
+  // sees each state *before* its reroute, so the last reroute's result is
+  // still unscored), then keep whichever iterate was best.
+  {
+    const auto conflicts = detect_conflicts(grid);
+    if (static_cast<int>(stats_.conflicts_per_iter.size()) == config_.max_rrr_iterations)
+      stats_.conflicts_per_iter.push_back(static_cast<int>(conflicts.size()));
+    if (const double score = current_score(conflicts); score < best.score)
+      best = LayoutSnapshot::capture(grid, solution, score);
+  }
+  if (!best.masks.empty()) {
+    best.restore(grid, solution);
+    solution = best.solution;
+  }
+
+  for (const auto& r : solution.routes)
+    if (!r.routed) ++stats_.failed_nets;
+  stats_.runtime_s = timer.elapsed_s();
+  return solution;
+}
+
+}  // namespace mrtpl::core

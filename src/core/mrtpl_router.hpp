@@ -1,0 +1,79 @@
+#pragma once
+/// \file mrtpl_router.hpp
+/// The Mr.TPL detailed router: Algorithm 1 (multi-pin net routing) per
+/// net, Algorithm 3 (backtrace with verSet/segSet color merging), and the
+/// Fig. 2 outer loop (route all nets → detect conflicts → rip-up & update
+/// history → reroute).
+
+#include <vector>
+
+#include "core/color_search.hpp"
+#include "core/conflict.hpp"
+#include "core/router_config.hpp"
+#include "core/segset.hpp"
+#include "global/guide.hpp"
+#include "grid/route_result.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::core {
+
+/// Aggregate statistics of one routing run.
+struct RouterStats {
+  int rrr_iterations = 0;             ///< executed RRR rounds
+  std::vector<int> conflicts_per_iter;///< clustered conflicts after each round
+  int failed_nets = 0;                ///< nets with unreachable pins
+  std::uint64_t relaxations = 0;      ///< total search relaxations
+  double runtime_s = 0.0;
+};
+
+/// Mr.TPL router. Construct once per design; `run` routes every net into
+/// the grid (committing vertices and masks) and returns the solution.
+class MrTplRouter {
+ public:
+  /// `guides` may be null (route unguided). The config's toggles select
+  /// the ablation variants.
+  MrTplRouter(const db::Design& design, const global::GuideSet* guides,
+              RouterConfig config = {});
+
+  /// Route all nets with rip-up & reroute. The grid must be freshly built
+  /// from the same design.
+  grid::Solution run(grid::RoutingGrid& grid);
+
+  [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
+  /// Route one net in isolation (exposed for tests and the quickstart
+  /// example, which narrates Fig. 3 step by step). Commits the result.
+  grid::NetRoute route_net(grid::RoutingGrid& grid, ColorSearch& search,
+                           db::NetId net_id);
+
+  /// Per-vertex committed masks of the last `route_net` call, for
+  /// callers that need the color of each path vertex.
+  [[nodiscard]] const std::vector<std::pair<grid::VertexId, grid::Mask>>&
+  last_colors() const {
+    return last_colors_;
+  }
+
+ private:
+  /// Net routing order: short, low-degree nets first.
+  [[nodiscard]] std::vector<db::NetId> net_order() const;
+
+  /// Algorithm 3. Walks prev pointers from `dst` to the routed tree,
+  /// attaching vertices to verSets/segSets and re-seeding the tree.
+  std::vector<grid::VertexId> backtrace(const grid::RoutingGrid& grid,
+                                        ColorSearch& search, SegSetPool& pool,
+                                        grid::VertexId dst);
+
+  /// Final per-segSet mask selection + grid commit for a routed net.
+  /// `route` supplies the tree edges used to align colors across segSet
+  /// boundaries (each unaligned same-layer boundary is a stitch).
+  void color_and_commit(grid::RoutingGrid& grid, SegSetPool& pool,
+                        db::NetId net_id, const grid::NetRoute& route);
+
+  const db::Design& design_;
+  const global::GuideSet* guides_;
+  RouterConfig config_;
+  RouterStats stats_;
+  std::vector<std::pair<grid::VertexId, grid::Mask>> last_colors_;
+};
+
+}  // namespace mrtpl::core

@@ -1,0 +1,55 @@
+#pragma once
+/// \file router_config.hpp
+/// Tunables of the Mr.TPL detailed router. Weight defaults follow the
+/// TechRules of the design; the toggles exist for the ablation benches
+/// (DESIGN.md experiments A1–A3).
+
+#include <cstdint>
+
+namespace mrtpl::core {
+
+struct RouterConfig {
+  // ---- rip-up & reroute (Fig. 2 outer loop) --------------------------
+  int max_rrr_iterations = 5;
+
+  /// Whether the RRR loop rips nets on *color conflicts* (with history
+  /// cost), in addition to routability failures. Negotiated color-conflict
+  /// RRR is part of Mr.TPL's Fig. 2 flow; the DAC-2012 baseline's
+  /// published flow commits colors in one pass and its rip-up only targets
+  /// unroutable nets, so the Table II harness runs the baseline with this
+  /// off (see DESIGN.md §2). Turning it on for the baseline is the
+  /// `bench_ablation_rrr` "negotiated baseline" ablation.
+  bool rrr_on_color_conflicts = true;
+
+  // ---- search window ---------------------------------------------------
+  /// Hard clamp: search stays within the net bbox united with its guide
+  /// bbox, inflated by this many tracks. Keeps per-net search local, as a
+  /// guide-driven detailed router does.
+  int search_margin = 6;
+
+  // ---- ablation toggles ------------------------------------------------
+  /// A1: when false, the searcher commits to a *single* argmin color per
+  /// vertex instead of keeping the argmin set — i.e. disables the paper's
+  /// set-based color-state merging contribution.
+  bool set_based_states = true;
+
+  /// Override beta (stitch weight) / gamma (color-conflict weight) from
+  /// the tech rules when >= 0; used by the A2 sweep.
+  double beta_override = -1.0;
+  double gamma_override = -1.0;
+
+  /// When false, skip coloring entirely (plain-router mode used by the
+  /// decomposition flow of Table III).
+  bool enable_coloring = true;
+
+  /// Drive the color-state search as A* with an admissible Manhattan
+  /// lower bound to the nearest unreached pin instead of plain Dijkstra
+  /// (the paper's Algorithm 2). Path costs are identical — the heuristic
+  /// never overestimates because wire steps cost at least alpha *
+  /// wire_cost and color terms are nonnegative — so solution quality is
+  /// preserved while the explored frontier shrinks. Ablation experiment
+  /// A5 (`bench_ablation_astar`) measures the effect.
+  bool use_astar = false;
+};
+
+}  // namespace mrtpl::core

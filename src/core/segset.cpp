@@ -1,0 +1,81 @@
+#include "core/segset.hpp"
+
+#include <cassert>
+
+namespace mrtpl::core {
+
+VerSetId SegSetPool::make_verset(ColorState state) {
+  const SegSetId seg = static_cast<SegSetId>(segsets_.size());
+  segsets_.push_back({state, seg});
+  const VerSetId vs = static_cast<VerSetId>(versets_.size());
+  versets_.push_back({state, seg});
+  return vs;
+}
+
+VerSetId SegSetPool::verset_of(grid::VertexId v) const {
+  const auto it = vset_of_.find(v);
+  return it == vset_of_.end() ? kNoVerSet : it->second;
+}
+
+void SegSetPool::attach(grid::VertexId v, VerSetId vs) {
+  assert(vs >= 0 && vs < static_cast<VerSetId>(versets_.size()));
+  vset_of_[v] = vs;
+}
+
+SegSetId SegSetPool::find(SegSetId s) {
+  while (segsets_[static_cast<size_t>(s)].parent != s) {
+    auto& node = segsets_[static_cast<size_t>(s)];
+    node.parent = segsets_[static_cast<size_t>(node.parent)].parent;
+    s = node.parent;
+  }
+  return s;
+}
+
+SegSetId SegSetPool::segset_of(VerSetId vs) {
+  assert(vs >= 0 && vs < static_cast<VerSetId>(versets_.size()));
+  return find(versets_[static_cast<size_t>(vs)].seg);
+}
+
+ColorState SegSetPool::change_state(SegSetId root, ColorState state) {
+  auto& seg = segsets_[static_cast<size_t>(root)];
+  assert(seg.parent == root);
+  seg.state = seg.state.intersected(state);
+  return seg.state;
+}
+
+SegSetId SegSetPool::merge(VerSetId into, VerSetId from) {
+  const SegSetId a = segset_of(into);
+  const SegSetId b = segset_of(from);
+  if (a == b) return a;
+  const ColorState merged =
+      segsets_[static_cast<size_t>(a)].state.intersected(segsets_[static_cast<size_t>(b)].state);
+  segsets_[static_cast<size_t>(b)].parent = a;
+  segsets_[static_cast<size_t>(a)].state = merged;
+  return a;
+}
+
+ColorState SegSetPool::state_of(VerSetId vs) {
+  return segsets_[static_cast<size_t>(segset_of(vs))].state;
+}
+
+std::vector<grid::VertexId> SegSetPool::members_of(SegSetId root) {
+  std::vector<grid::VertexId> out;
+  for (const auto& [v, vs] : vset_of_)
+    if (segset_of(vs) == root) out.push_back(v);
+  return out;
+}
+
+std::vector<SegSetId> SegSetPool::roots() {
+  std::vector<SegSetId> out;
+  for (SegSetId s = 0; s < static_cast<SegSetId>(segsets_.size()); ++s)
+    if (segsets_[static_cast<size_t>(s)].parent == s) out.push_back(s);
+  return out;
+}
+
+void SegSetPool::clear() {
+  versets_.clear();
+  segsets_.clear();
+  vset_of_.clear();
+}
+
+}  // namespace mrtpl::core

@@ -1,0 +1,88 @@
+#pragma once
+/// \file segset.hpp
+/// Definitions 2 and 3 of the paper.
+///
+/// * A **verSet** groups consecutive, adjacent search vertices that share
+///   one color state.
+/// * A **segSet** is a set of verSets that must end up on the same mask;
+///   two connected vertices belong to different segSets only when a
+///   stitch is introduced between them.
+///
+/// SegSets form a union-find forest whose roots carry the (progressively
+/// intersected) color state; merging two segSets intersects their states.
+/// Everything is pool-allocated per net-routing context with plain index
+/// handles — a routed net owns at most O(path length) sets.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/color_state.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::core {
+
+using VerSetId = std::int32_t;
+using SegSetId = std::int32_t;
+constexpr VerSetId kNoVerSet = -1;
+constexpr SegSetId kNoSegSet = -1;
+
+/// Per-net pools of verSets and segSets plus the vertex→verSet map
+/// (the paper's per-vertex verSetPtr).
+class SegSetPool {
+ public:
+  /// Create a fresh verSet + owning segSet with the given state
+  /// (Algorithm 3 lines 3–6). Returns the verSet id.
+  VerSetId make_verset(ColorState state);
+
+  /// The verSet a vertex is attached to, or kNoVerSet.
+  [[nodiscard]] VerSetId verset_of(grid::VertexId v) const;
+
+  /// Attach vertex to an existing verSet (Algorithm 3 line 9).
+  void attach(grid::VertexId v, VerSetId vs);
+
+  /// segSet root of a verSet (path-compressing find).
+  [[nodiscard]] SegSetId segset_of(VerSetId vs);
+
+  /// Intersect the segSet's state with `state` (Algorithm 3 line 13,
+  /// change_state). Returns the resulting state.
+  ColorState change_state(SegSetId root, ColorState state);
+
+  /// Merge the segSet of `from` into the segSet of `into`, intersecting
+  /// states (Algorithm 3 line 14). Returns the merged root.
+  SegSetId merge(VerSetId into, VerSetId from);
+
+  /// Current state of the segSet owning verSet `vs`.
+  [[nodiscard]] ColorState state_of(VerSetId vs);
+
+  /// All vertices attached to segSet `root` (collected lazily; O(n)).
+  [[nodiscard]] std::vector<grid::VertexId> members_of(SegSetId root);
+
+  /// Distinct segSet roots in the pool.
+  [[nodiscard]] std::vector<SegSetId> roots();
+
+  /// All (vertex, verSet) attachments, for final color commit.
+  [[nodiscard]] const std::unordered_map<grid::VertexId, VerSetId>& attachments() const {
+    return vset_of_;
+  }
+
+  void clear();
+
+ private:
+  struct VerSet {
+    ColorState state;
+    SegSetId seg = kNoSegSet;
+  };
+  struct SegSet {
+    ColorState state;
+    SegSetId parent;  ///< union-find; parent == self at roots
+  };
+
+  SegSetId find(SegSetId s);
+
+  std::vector<VerSet> versets_;
+  std::vector<SegSet> segsets_;
+  std::unordered_map<grid::VertexId, VerSetId> vset_of_;
+};
+
+}  // namespace mrtpl::core

@@ -1,0 +1,72 @@
+#include "db/design.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace mrtpl::db {
+
+geom::Rect Pin::bbox() const {
+  geom::Rect box = shapes.empty() ? geom::Rect{} : shapes.front();
+  for (const auto& s : shapes) box = box.united(s);
+  return box;
+}
+
+geom::Rect Net::bbox() const {
+  geom::Rect box = pins.empty() ? geom::Rect{} : pins.front().bbox();
+  for (const auto& p : pins) box = box.united(p.bbox());
+  return box;
+}
+
+Design::Design(std::string name, Tech tech, geom::Rect die)
+    : name_(std::move(name)), tech_(std::move(tech)), die_(die) {
+  if (!die_.valid()) throw std::invalid_argument("Design: invalid die rect");
+}
+
+NetId Design::add_net(std::string name) {
+  const NetId id = static_cast<NetId>(nets_.size());
+  Net n;
+  n.id = id;
+  n.name = std::move(name);
+  nets_.push_back(std::move(n));
+  return id;
+}
+
+void Design::add_pin(NetId net, Pin pin) {
+  if (net < 0 || net >= num_nets()) throw std::out_of_range("Design::add_pin: bad net id");
+  nets_[static_cast<size_t>(net)].pins.push_back(std::move(pin));
+}
+
+void Design::add_obstacle(Obstacle obs) { obstacles_.push_back(std::move(obs)); }
+
+void Design::validate() const {
+  const int nl = tech_.num_layers();
+  for (const auto& net : nets_) {
+    if (net.pins.empty())
+      throw std::invalid_argument(util::format("net %s has no pins", net.name.c_str()));
+    for (const auto& pin : net.pins) {
+      if (pin.layer < 0 || pin.layer >= nl)
+        throw std::invalid_argument(util::format("pin %s on bad layer %d", pin.name.c_str(), pin.layer));
+      if (pin.shapes.empty())
+        throw std::invalid_argument(util::format("pin %s has no shapes", pin.name.c_str()));
+      for (const auto& s : pin.shapes) {
+        if (!s.valid() || !die_.contains(s))
+          throw std::invalid_argument(util::format("pin %s shape outside die", pin.name.c_str()));
+      }
+    }
+  }
+  for (const auto& obs : obstacles_) {
+    if (obs.layer < 0 || obs.layer >= nl)
+      throw std::invalid_argument("obstacle on bad layer");
+    if (!obs.shape.valid() || !die_.contains(obs.shape))
+      throw std::invalid_argument("obstacle outside die");
+  }
+}
+
+int Design::total_pins() const {
+  int n = 0;
+  for (const auto& net : nets_) n += net.degree();
+  return n;
+}
+
+}  // namespace mrtpl::db

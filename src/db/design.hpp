@@ -1,0 +1,81 @@
+#pragma once
+/// \file design.hpp
+/// The routing problem instance: die area, obstacles, nets with multi-pin
+/// connectivity. This is the DEF-equivalent the ISPD contests supply; the
+/// synthetic benchmark generator (src/benchgen) produces instances of this
+/// type.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/tech.hpp"
+#include "geom/rect.hpp"
+
+namespace mrtpl::db {
+
+using NetId = std::int32_t;
+constexpr NetId kNoNet = -1;
+
+/// A pin is a set of access rectangles on one layer. Multi-rect pins model
+/// the L-shaped std-cell pin geometries of the contests.
+struct Pin {
+  std::string name;
+  int layer = 0;
+  std::vector<geom::Rect> shapes;
+
+  [[nodiscard]] geom::Rect bbox() const;
+};
+
+/// A routing blockage on one layer (macro body, pre-route, keep-out).
+struct Obstacle {
+  int layer = 0;
+  geom::Rect shape;
+};
+
+/// A net connects >= 1 pins; routers must create an electrically connected
+/// tree covering all of them.
+struct Net {
+  NetId id = kNoNet;
+  std::string name;
+  std::vector<Pin> pins;
+
+  [[nodiscard]] int degree() const { return static_cast<int>(pins.size()); }
+  [[nodiscard]] geom::Rect bbox() const;
+};
+
+/// Immutable-after-build routing instance.
+class Design {
+ public:
+  Design(std::string name, Tech tech, geom::Rect die);
+
+  /// Builder API (benchgen + tests). Returns the new net's id.
+  NetId add_net(std::string name);
+  void add_pin(NetId net, Pin pin);
+  void add_obstacle(Obstacle obs);
+
+  /// Validation: every pin shape inside the die, on a real layer, every
+  /// net non-empty. Throws std::invalid_argument on violation; call once
+  /// after building.
+  void validate() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const Tech& tech() const { return tech_; }
+  [[nodiscard]] const geom::Rect& die() const { return die_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] const Net& net(NetId id) const { return nets_[static_cast<size_t>(id)]; }
+  [[nodiscard]] const std::vector<Obstacle>& obstacles() const { return obstacles_; }
+  [[nodiscard]] int num_nets() const { return static_cast<int>(nets_.size()); }
+
+  /// Sum of net pin counts — the problem-size statistic reported by benches.
+  [[nodiscard]] int total_pins() const;
+
+ private:
+  std::string name_;
+  Tech tech_;
+  geom::Rect die_;
+  std::vector<Net> nets_;
+  std::vector<Obstacle> obstacles_;
+};
+
+}  // namespace mrtpl::db

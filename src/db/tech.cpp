@@ -1,0 +1,30 @@
+#include "db/tech.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace mrtpl::db {
+
+Tech::Tech(std::vector<Layer> layers, TechRules rules)
+    : layers_(std::move(layers)), rules_(rules) {
+  if (layers_.empty()) throw std::invalid_argument("Tech: empty layer stack");
+  if (!rules_.valid()) throw std::invalid_argument("Tech: invalid rules");
+}
+
+Tech Tech::make_default(int num_layers, int tpl_layers, TechRules rules) {
+  assert(num_layers >= 1);
+  std::vector<Layer> layers;
+  layers.reserve(static_cast<size_t>(num_layers));
+  for (int i = 0; i < num_layers; ++i) {
+    Layer l;
+    l.name = util::format("M%d", i + 1);
+    l.dir = (i % 2 == 0) ? LayerDir::Horizontal : LayerDir::Vertical;
+    l.tpl = i < tpl_layers;
+    layers.push_back(std::move(l));
+  }
+  return Tech(std::move(layers), rules);
+}
+
+}  // namespace mrtpl::db

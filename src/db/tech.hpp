@@ -1,0 +1,85 @@
+#pragma once
+/// \file tech.hpp
+/// Technology description: the routing layer stack and the TPL design
+/// rules. This plays the role of the LEF technology section of the ISPD
+/// contests, reduced to the attributes the routers actually consume.
+
+#include <string>
+#include <vector>
+
+namespace mrtpl::db {
+
+/// Preferred routing direction of a metal layer.
+enum class LayerDir { Horizontal, Vertical };
+
+/// One routable metal layer. Tracks run along the preferred direction at
+/// unit pitch (the routing grid is fully gridded).
+struct Layer {
+  std::string name;       ///< e.g. "M1"
+  LayerDir dir;           ///< preferred direction
+  bool tpl = false;       ///< subject to triple-patterning rules (the
+                          ///< critical lower layers; upper layers are
+                          ///< printed single-patterned)
+};
+
+/// TPL + routing rules shared by all routers.
+///
+/// `dcolor` is the same-mask spacing threshold of the paper's Fig. 1: two
+/// features on the same TPL layer, assigned the same mask, with Chebyshev
+/// track distance <= dcolor form a *color conflict*. Different-mask
+/// features may be at any distance >= 1 track.
+struct TechRules {
+  int dcolor = 2;
+
+  /// Number of masks the critical layers are decomposed into: 3 = triple
+  /// patterning (the paper), 2 = double patterning (the DAC-2012
+  /// baseline's original comparison axis). All routers and the
+  /// decomposer honour this bound.
+  int num_masks = 3;
+
+  // Cost model weights (Eq. 1: alpha * trad + beta * stitch + gamma * color).
+  double alpha = 1.0;
+  double beta = 50.0;
+  double gamma = 500.0;
+
+  // Traditional-routing cost atoms (ISPD-style; see eval/ispd_cost.hpp for
+  // the scoring-side equivalents).
+  double wire_cost = 1.0;        ///< per planar grid edge along preferred dir
+  double wrong_way_cost = 2.0;   ///< extra for non-preferred planar moves
+  double via_cost = 4.0;         ///< per layer change
+  double out_of_guide_cost = 6.0; ///< per vertex outside the GR guide
+
+  // Negotiated congestion (PathFinder-style RRR).
+  double occupied_cost = 5000.0; ///< soft cost of pushing through another net
+  double history_increment = 30.0;
+
+  [[nodiscard]] bool valid() const {
+    return dcolor >= 1 && num_masks >= 2 && num_masks <= 3 && alpha >= 0 &&
+           beta >= 0 && gamma >= 0;
+  }
+};
+
+/// Layer stack + rules. Immutable once built.
+class Tech {
+ public:
+  Tech(std::vector<Layer> layers, TechRules rules);
+
+  /// Conventional stack: `num_layers` metals, M1 horizontal, alternating;
+  /// lowest `tpl_layers` metals are TPL-critical.
+  static Tech make_default(int num_layers = 4, int tpl_layers = 2,
+                           TechRules rules = TechRules{});
+
+  [[nodiscard]] int num_layers() const { return static_cast<int>(layers_.size()); }
+  [[nodiscard]] const Layer& layer(int i) const { return layers_[static_cast<size_t>(i)]; }
+  [[nodiscard]] const TechRules& rules() const { return rules_; }
+  [[nodiscard]] bool is_tpl_layer(int i) const { return layers_[static_cast<size_t>(i)].tpl; }
+  [[nodiscard]] bool is_horizontal(int i) const {
+    return layers_[static_cast<size_t>(i)].dir == LayerDir::Horizontal;
+  }
+
+ private:
+  std::vector<Layer> layers_;
+  TechRules rules_;
+};
+
+}  // namespace mrtpl::db

@@ -1,0 +1,103 @@
+#include "eval/breakdown.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mrtpl::eval {
+
+std::vector<LayerBreakdown> per_layer(const grid::RoutingGrid& grid,
+                                      const grid::Solution& solution) {
+  std::vector<LayerBreakdown> out(static_cast<size_t>(grid.num_layers()));
+  for (int l = 0; l < grid.num_layers(); ++l) {
+    out[static_cast<size_t>(l)].layer = l;
+    out[static_cast<size_t>(l)].tpl = grid.tech().is_tpl_layer(l);
+  }
+
+  for (const auto& route : solution.routes) {
+    for (const auto& [a, b] : route.edges()) {
+      const grid::VertexLoc la = grid.loc(a);
+      const grid::VertexLoc lb = grid.loc(b);
+      if (la.layer != lb.layer) continue;  // vias belong to neither layer
+      auto& layer = out[static_cast<size_t>(la.layer)];
+      ++layer.wirelength;
+      const grid::Mask ma = grid.mask(a);
+      const grid::Mask mb = grid.mask(b);
+      if (layer.tpl && ma != grid::kNoMask && mb != grid::kNoMask && ma != mb)
+        ++layer.stitches;
+    }
+  }
+
+  // Violating vertices per layer from the raw pair list.
+  for (const auto& [v, u] : core::violation_pairs(grid)) {
+    ++out[static_cast<size_t>(grid.loc(v).layer)].violating_vertices;
+    ++out[static_cast<size_t>(grid.loc(u).layer)].violating_vertices;
+  }
+  return out;
+}
+
+std::vector<DegreeBreakdown> per_degree(const grid::RoutingGrid& grid,
+                                        const db::Design& design,
+                                        const grid::Solution& solution,
+                                        int max_degree) {
+  max_degree = std::max(max_degree, 2);
+  std::vector<DegreeBreakdown> out(static_cast<size_t>(max_degree - 1));
+  for (int d = 2; d <= max_degree; ++d)
+    out[static_cast<size_t>(d - 2)].degree = d;
+
+  auto bucket_of = [&](db::NetId net) -> DegreeBreakdown& {
+    const int degree = std::clamp(design.net(net).degree(), 2, max_degree);
+    return out[static_cast<size_t>(degree - 2)];
+  };
+
+  for (const auto& net : design.nets())
+    if (net.degree() >= 2) ++bucket_of(net.id).nets;
+
+  for (const auto& route : solution.routes) {
+    if (route.empty() || design.net(route.net).degree() < 2) continue;
+    auto& bucket = bucket_of(route.net);
+    for (const auto& [a, b] : route.edges()) {
+      const grid::VertexLoc la = grid.loc(a);
+      const grid::VertexLoc lb = grid.loc(b);
+      if (la.layer != lb.layer) continue;
+      ++bucket.wirelength;
+      if (!grid.tech().is_tpl_layer(la.layer)) continue;
+      const grid::Mask ma = grid.mask(a);
+      const grid::Mask mb = grid.mask(b);
+      if (ma != grid::kNoMask && mb != grid::kNoMask && ma != mb)
+        ++bucket.stitches;
+    }
+  }
+
+  for (const auto& conflict : core::detect_conflicts(grid)) {
+    // A conflict joins two nets; it counts toward both degree buckets
+    // (tables that sum buckets should divide by the double-counting or
+    // use conflict_stats for exact totals).
+    if (design.net(conflict.net_a).degree() >= 2)
+      ++bucket_of(conflict.net_a).conflicts;
+    if (design.net(conflict.net_b).degree() >= 2)
+      ++bucket_of(conflict.net_b).conflicts;
+  }
+  return out;
+}
+
+ConflictStats conflict_stats(const grid::RoutingGrid& grid) {
+  ConflictStats stats;
+  const auto conflicts = core::detect_conflicts(grid);
+  stats.clusters = static_cast<int>(conflicts.size());
+  std::unordered_set<db::NetId> nets;
+  for (const auto& c : conflicts) {
+    const int pairs = static_cast<int>(c.pairs.size());
+    stats.violating_pairs += pairs;
+    stats.largest_cluster = std::max(stats.largest_cluster, pairs);
+    nets.insert(c.net_a);
+    nets.insert(c.net_b);
+  }
+  stats.nets_involved = static_cast<int>(nets.size());
+  stats.mean_cluster_size =
+      stats.clusters > 0
+          ? static_cast<double>(stats.violating_pairs) / stats.clusters
+          : 0.0;
+  return stats;
+}
+
+}  // namespace mrtpl::eval

@@ -1,0 +1,57 @@
+#pragma once
+/// \file breakdown.hpp
+/// Drill-down statistics behind the headline metrics: per-layer and
+/// per-net-degree breakdowns, and conflict-cluster shape statistics.
+///
+/// The headline numbers of Tables II/III say *who* wins; these say *why*.
+/// The per-degree breakdown in particular carries the paper's central
+/// claim — 2-pin methods pay their stitch/conflict penalty at multi-pin
+/// junctions, so the gap must widen with net degree (`bench_net_degree`
+/// regenerates that series).
+
+#include <vector>
+
+#include "eval/metrics.hpp"
+#include "grid/route_result.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::eval {
+
+/// Metrics of one routing layer.
+struct LayerBreakdown {
+  int layer = 0;
+  bool tpl = false;          ///< layer is triple-patterned
+  long wirelength = 0;
+  int stitches = 0;
+  int violating_vertices = 0;  ///< vertices in any same-mask window violation
+};
+
+/// Metrics of one net-degree bucket (2-pin, 3-pin, ... nets).
+struct DegreeBreakdown {
+  int degree = 0;            ///< pin count (last bucket aggregates >= max)
+  int nets = 0;
+  int stitches = 0;
+  int conflicts = 0;         ///< clustered conflicts touching a net of this degree
+  long wirelength = 0;
+};
+
+/// Shape statistics of the conflict clusters found by detect_conflicts.
+struct ConflictStats {
+  int clusters = 0;
+  int violating_pairs = 0;     ///< raw same-mask vertex pairs
+  int largest_cluster = 0;     ///< pairs in the biggest cluster
+  double mean_cluster_size = 0.0;
+  int nets_involved = 0;       ///< distinct nets touching any conflict
+};
+
+[[nodiscard]] std::vector<LayerBreakdown> per_layer(
+    const grid::RoutingGrid& grid, const grid::Solution& solution);
+
+/// Degree buckets 2..max_degree; the final bucket absorbs larger nets.
+[[nodiscard]] std::vector<DegreeBreakdown> per_degree(
+    const grid::RoutingGrid& grid, const db::Design& design,
+    const grid::Solution& solution, int max_degree = 8);
+
+[[nodiscard]] ConflictStats conflict_stats(const grid::RoutingGrid& grid);
+
+}  // namespace mrtpl::eval

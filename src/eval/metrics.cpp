@@ -1,0 +1,53 @@
+#include "eval/metrics.hpp"
+
+namespace mrtpl::eval {
+
+int count_stitches(const grid::RoutingGrid& grid, const grid::Solution& solution) {
+  return mrtpl::grid::count_stitches(grid, solution);  // canonical impl lives in grid
+}
+
+double ispd_cost(const Metrics& m) {
+  return 0.5 * static_cast<double>(m.wirelength) + 4.0 * static_cast<double>(m.vias) +
+         1.0 * static_cast<double>(m.wrong_way) +
+         1.0 * static_cast<double>(m.out_of_guide) +
+         0.5 * static_cast<double>(m.stitches) + 5000.0 * m.failed_nets;
+}
+
+Metrics evaluate(const grid::RoutingGrid& grid, const grid::Solution& solution,
+                 const global::GuideSet* guides) {
+  Metrics m;
+  m.conflicts = static_cast<int>(core::detect_conflicts(grid).size());
+  m.stitches = mrtpl::grid::count_stitches(grid, solution);
+  for (const auto& route : solution.routes) {
+    if (!route.empty() && !route.routed) ++m.failed_nets;
+    if (route.empty()) {
+      ++m.failed_nets;
+      continue;
+    }
+    for (const auto& [a, b] : route.edges()) {
+      const grid::VertexLoc la = grid.loc(a);
+      const grid::VertexLoc lb = grid.loc(b);
+      if (la.layer != lb.layer) {
+        ++m.vias;
+        continue;
+      }
+      ++m.wirelength;
+      const bool horizontal_move = la.y == lb.y;
+      if (grid.tech().is_horizontal(la.layer) != horizontal_move) ++m.wrong_way;
+    }
+    if (guides != nullptr && route.net >= 0 &&
+        route.net < static_cast<db::NetId>(guides->size())) {
+      const auto& guide = (*guides)[static_cast<size_t>(route.net)];
+      if (!guide.boxes.empty()) {
+        for (const grid::VertexId v : route.vertices()) {
+          const grid::VertexLoc l = grid.loc(v);
+          if (!guide.covers({l.x, l.y})) ++m.out_of_guide;
+        }
+      }
+    }
+  }
+  m.cost = ispd_cost(m);
+  return m;
+}
+
+}  // namespace mrtpl::eval

@@ -1,0 +1,42 @@
+#pragma once
+/// \file metrics.hpp
+/// Solution quality metrics: the four columns of Table II (conflicts,
+/// stitches, ISPD-style cost, runtime is measured by callers) plus the
+/// underlying quantities (wirelength, vias, wrong-way, out-of-guide).
+
+#include "core/conflict.hpp"
+#include "global/guide.hpp"
+#include "grid/route_result.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::eval {
+
+struct Metrics {
+  int conflicts = 0;       ///< clustered color conflicts (Table II/III "conflict")
+  int stitches = 0;        ///< same-layer mask changes inside nets
+  long wirelength = 0;     ///< planar tree edges
+  long vias = 0;           ///< via tree edges
+  long wrong_way = 0;      ///< planar edges against the preferred direction
+  long out_of_guide = 0;   ///< routed vertices outside their net's guide
+  int failed_nets = 0;     ///< nets with unconnected pins
+  double cost = 0.0;       ///< composite ISPD-style score (see ispd_cost)
+};
+
+/// Count same-layer mask changes across the tree edges of every net.
+/// Vias are free color changes; an uncolored endpoint contributes nothing.
+[[nodiscard]] int count_stitches(const grid::RoutingGrid& grid,
+                                 const grid::Solution& solution);
+
+/// ISPD-2018-style composite score over the given raw quantities. The
+/// contest weights wirelength 0.5, vias 4, wrong-way 1, out-of-guide 1 per
+/// unit; unrouted nets pay a large penalty. Stitches add a small metal
+/// cost (0.5 each) — this is why Table II's cost column moves by fractions
+/// of a percent while the stitch column moves by 80%.
+[[nodiscard]] double ispd_cost(const Metrics& m);
+
+/// Evaluate everything at once. `guides` may be null (out_of_guide = 0).
+[[nodiscard]] Metrics evaluate(const grid::RoutingGrid& grid,
+                               const grid::Solution& solution,
+                               const global::GuideSet* guides);
+
+}  // namespace mrtpl::eval

@@ -1,0 +1,28 @@
+#pragma once
+/// \file report.hpp
+/// Fixed-width table printer for the bench harness, so every bench binary
+/// emits its paper table in a uniform, diff-able format.
+
+#include <string>
+#include <vector>
+
+namespace mrtpl::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mrtpl::eval

@@ -1,0 +1,46 @@
+#pragma once
+/// \file interval.hpp
+/// Closed 1-D integer interval; building block for track spans and for the
+/// segment extraction pass of the layout decomposer baseline.
+
+#include <algorithm>
+
+namespace mrtpl::geom {
+
+struct Interval {
+  int lo = 0;
+  int hi = -1;  // default-constructed interval is empty
+
+  constexpr Interval() = default;
+  constexpr Interval(int l, int h) : lo(l), hi(h) {}
+
+  friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+
+  [[nodiscard]] constexpr bool empty() const { return lo > hi; }
+  [[nodiscard]] constexpr int length() const { return empty() ? 0 : hi - lo + 1; }
+  [[nodiscard]] constexpr bool contains(int v) const { return v >= lo && v <= hi; }
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+  /// Overlap or abut (share an endpoint neighbourhood); merging wire pieces
+  /// into maximal segments uses adjacency, not just overlap.
+  [[nodiscard]] constexpr bool touches(const Interval& o) const {
+    return !empty() && !o.empty() && lo <= o.hi + 1 && o.lo <= hi + 1;
+  }
+
+  [[nodiscard]] Interval united(const Interval& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+  [[nodiscard]] Interval intersected(const Interval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+  /// Distance between intervals; 0 when overlapping.
+  [[nodiscard]] constexpr int distance_to(const Interval& o) const {
+    if (overlaps(o)) return 0;
+    return lo > o.hi ? lo - o.hi : o.lo - hi;
+  }
+};
+
+}  // namespace mrtpl::geom

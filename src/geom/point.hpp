@@ -1,0 +1,49 @@
+#pragma once
+/// \file point.hpp
+/// 2-D integer lattice point. Coordinates are *track indices*, not
+/// nanometres: the routing substrate is fully gridded, so integer math is
+/// exact and overflow-free for any realistic die.
+
+#include <compare>
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+
+namespace mrtpl::geom {
+
+struct Point {
+  int x = 0;
+  int y = 0;
+
+  constexpr Point() = default;
+  constexpr Point(int px, int py) : x(px), y(py) {}
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  constexpr Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  constexpr Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan (L1) distance — routing wirelength between grid points.
+constexpr int manhattan(const Point& a, const Point& b) {
+  const int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Chebyshev (L∞) distance — the mask-spacing window check uses this:
+/// two shapes conflict when both |dx| and |dy| are within Dcolor.
+constexpr int chebyshev(const Point& a, const Point& b) {
+  const int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx > dy ? dx : dy;
+}
+
+struct PointHash {
+  size_t operator()(const Point& p) const {
+    return std::hash<std::int64_t>()((static_cast<std::int64_t>(p.x) << 32) ^
+                                     static_cast<std::uint32_t>(p.y));
+  }
+};
+
+}  // namespace mrtpl::geom

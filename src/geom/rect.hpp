@@ -1,0 +1,75 @@
+#pragma once
+/// \file rect.hpp
+/// Closed integer rectangle [lo.x, hi.x] × [lo.y, hi.y] on the track grid.
+/// Used for pin shapes, obstacles, macro blockages and route-guide boxes.
+
+#include <algorithm>
+
+#include "geom/point.hpp"
+
+namespace mrtpl::geom {
+
+struct Rect {
+  Point lo;
+  Point hi;
+
+  constexpr Rect() = default;
+  constexpr Rect(Point l, Point h) : lo(l), hi(h) {}
+  constexpr Rect(int x0, int y0, int x1, int y1) : lo(x0, y0), hi(x1, y1) {}
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] constexpr bool valid() const { return lo.x <= hi.x && lo.y <= hi.y; }
+  [[nodiscard]] constexpr int width() const { return hi.x - lo.x + 1; }
+  [[nodiscard]] constexpr int height() const { return hi.y - lo.y + 1; }
+  [[nodiscard]] constexpr std::int64_t area() const {
+    return static_cast<std::int64_t>(width()) * height();
+  }
+
+  [[nodiscard]] constexpr bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& r) const {
+    return contains(r.lo) && contains(r.hi);
+  }
+  [[nodiscard]] constexpr bool overlaps(const Rect& r) const {
+    return lo.x <= r.hi.x && r.lo.x <= hi.x && lo.y <= r.hi.y && r.lo.y <= hi.y;
+  }
+
+  /// Smallest rectangle covering both operands.
+  [[nodiscard]] Rect united(const Rect& r) const {
+    return {{std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y)},
+            {std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y)}};
+  }
+
+  /// Intersection; may be !valid() when the operands are disjoint.
+  [[nodiscard]] Rect intersected(const Rect& r) const {
+    return {{std::max(lo.x, r.lo.x), std::max(lo.y, r.lo.y)},
+            {std::min(hi.x, r.hi.x), std::min(hi.y, r.hi.y)}};
+  }
+
+  /// Rectangle grown by `d` tracks on every side (negative shrinks).
+  [[nodiscard]] constexpr Rect inflated(int d) const {
+    return {{lo.x - d, lo.y - d}, {hi.x + d, hi.y + d}};
+  }
+
+  /// L∞ distance from a point to this rectangle (0 when inside).
+  [[nodiscard]] constexpr int chebyshev_to(const Point& p) const {
+    const int dx = p.x < lo.x ? lo.x - p.x : (p.x > hi.x ? p.x - hi.x : 0);
+    const int dy = p.y < lo.y ? lo.y - p.y : (p.y > hi.y ? p.y - hi.y : 0);
+    return dx > dy ? dx : dy;
+  }
+
+  /// L1 distance from a point to this rectangle (0 when inside).
+  [[nodiscard]] constexpr int manhattan_to(const Point& p) const {
+    const int dx = p.x < lo.x ? lo.x - p.x : (p.x > hi.x ? p.x - hi.x : 0);
+    const int dy = p.y < lo.y ? lo.y - p.y : (p.y > hi.y ? p.y - hi.y : 0);
+    return dx + dy;
+  }
+
+  [[nodiscard]] constexpr Point center() const {
+    return {(lo.x + hi.x) / 2, (lo.y + hi.y) / 2};
+  }
+};
+
+}  // namespace mrtpl::geom

@@ -1,0 +1,68 @@
+#include "geom/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrtpl::geom {
+
+SpatialGrid::SpatialGrid(Rect bounds, int bin_size)
+    : bounds_(bounds), bin_size_(std::max(1, bin_size)) {
+  assert(bounds.valid());
+  nx_ = (bounds_.width() + bin_size_ - 1) / bin_size_;
+  ny_ = (bounds_.height() + bin_size_ - 1) / bin_size_;
+  nx_ = std::max(nx_, 1);
+  ny_ = std::max(ny_, 1);
+  bins_.resize(static_cast<size_t>(nx_) * static_cast<size_t>(ny_));
+}
+
+int SpatialGrid::bin_x(int x) const {
+  const int clamped = std::clamp(x, bounds_.lo.x, bounds_.hi.x);
+  return (clamped - bounds_.lo.x) / bin_size_;
+}
+
+int SpatialGrid::bin_y(int y) const {
+  const int clamped = std::clamp(y, bounds_.lo.y, bounds_.hi.y);
+  return (clamped - bounds_.lo.y) / bin_size_;
+}
+
+void SpatialGrid::insert(std::uint32_t id, const Rect& r) {
+  assert(r.valid());
+  const auto entry_idx = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back({id, r});
+  seen_epoch_.push_back(0);
+  const int bx0 = bin_x(r.lo.x), bx1 = bin_x(r.hi.x);
+  const int by0 = bin_y(r.lo.y), by1 = bin_y(r.hi.y);
+  for (int by = by0; by <= by1; ++by)
+    for (int bx = bx0; bx <= bx1; ++bx) bins_[bin_index(bx, by)].push_back(entry_idx);
+}
+
+std::vector<std::uint32_t> SpatialGrid::query(const Rect& q) const {
+  std::vector<std::uint32_t> out;
+  if (!q.valid()) return out;
+  ++epoch_;
+  const int bx0 = bin_x(q.lo.x), bx1 = bin_x(q.hi.x);
+  const int by0 = bin_y(q.lo.y), by1 = bin_y(q.hi.y);
+  for (int by = by0; by <= by1; ++by) {
+    for (int bx = bx0; bx <= bx1; ++bx) {
+      for (const std::uint32_t ei : bins_[bin_index(bx, by)]) {
+        if (seen_epoch_[ei] == epoch_) continue;
+        seen_epoch_[ei] = epoch_;
+        if (entries_[ei].rect.overlaps(q)) out.push_back(entries_[ei].id);
+      }
+    }
+  }
+  return out;
+}
+
+bool SpatialGrid::any_overlap(const Rect& q) const {
+  if (!q.valid()) return false;
+  const int bx0 = bin_x(q.lo.x), bx1 = bin_x(q.hi.x);
+  const int by0 = bin_y(q.lo.y), by1 = bin_y(q.hi.y);
+  for (int by = by0; by <= by1; ++by)
+    for (int bx = bx0; bx <= bx1; ++bx)
+      for (const std::uint32_t ei : bins_[bin_index(bx, by)])
+        if (entries_[ei].rect.overlaps(q)) return true;
+  return false;
+}
+
+}  // namespace mrtpl::geom

@@ -1,0 +1,60 @@
+#pragma once
+/// \file spatial_grid.hpp
+/// Uniform-bin spatial index over rectangles. The benchmark generator uses
+/// it to keep macros/pins non-overlapping; the decomposer baseline uses it
+/// to find conflict-graph edges among wire segments in O(window) instead of
+/// O(n²).
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace mrtpl::geom {
+
+/// Index of rectangles identified by caller-provided 32-bit ids.
+/// Rectangles may span multiple bins; queries deduplicate via an epoch
+/// stamp, so repeated queries do no allocation beyond the result vector.
+class SpatialGrid {
+ public:
+  /// `bounds` is the indexed universe; `bin_size` the square bin edge in
+  /// tracks (>= 1).
+  SpatialGrid(Rect bounds, int bin_size);
+
+  /// Insert rectangle `r` with identifier `id`. Ids need not be unique,
+  /// but query results report each id at most once per query.
+  void insert(std::uint32_t id, const Rect& r);
+
+  /// All ids whose rectangle overlaps `query`.
+  [[nodiscard]] std::vector<std::uint32_t> query(const Rect& query) const;
+
+  /// True if any inserted rectangle overlaps `query`.
+  [[nodiscard]] bool any_overlap(const Rect& query) const;
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] Rect bounds() const { return bounds_; }
+
+ private:
+  struct Entry {
+    std::uint32_t id;
+    Rect rect;
+  };
+
+  [[nodiscard]] int bin_x(int x) const;
+  [[nodiscard]] int bin_y(int y) const;
+  [[nodiscard]] size_t bin_index(int bx, int by) const {
+    return static_cast<size_t>(by) * static_cast<size_t>(nx_) + static_cast<size_t>(bx);
+  }
+
+  Rect bounds_;
+  int bin_size_;
+  int nx_;
+  int ny_;
+  std::vector<std::vector<std::uint32_t>> bins_;  // entry indices per bin
+  std::vector<Entry> entries_;
+  // Epoch-stamped dedup scratch, mutable so query() stays const.
+  mutable std::vector<std::uint32_t> seen_epoch_;
+  mutable std::uint32_t epoch_ = 0;
+};
+
+}  // namespace mrtpl::geom

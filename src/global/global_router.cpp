@@ -1,0 +1,147 @@
+#include "global/global_router.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace mrtpl::global {
+
+GlobalRouter::GlobalRouter(const db::Design& design, GlobalConfig config)
+    : design_(design), config_(config) {
+  assert(config_.gcell_size >= 1);
+  const auto& die = design.die();
+  gx_ = (die.width() + config_.gcell_size - 1) / config_.gcell_size;
+  gy_ = (die.height() + config_.gcell_size - 1) / config_.gcell_size;
+  demand_.assign(static_cast<size_t>(gx_) * static_cast<size_t>(gy_), 0);
+  obstacle_penalty_.assign(demand_.size(), 0);
+  for (const auto& obs : design.obstacles()) {
+    if (obs.layer >= 2) continue;  // upper layers barely constrain GR
+    const auto lo = cell_of(obs.shape.lo);
+    const auto hi = cell_of(obs.shape.hi);
+    for (int cy = lo.cy; cy <= hi.cy; ++cy)
+      for (int cx = lo.cx; cx <= hi.cx; ++cx)
+        obstacle_penalty_[static_cast<size_t>(cell_index(cx, cy))] +=
+            config_.gcell_size;
+  }
+}
+
+GlobalRouter::CellCoord GlobalRouter::cell_of(const geom::Point& p) const {
+  const auto& die = design_.die();
+  const int cx = std::clamp((p.x - die.lo.x) / config_.gcell_size, 0, gx_ - 1);
+  const int cy = std::clamp((p.y - die.lo.y) / config_.gcell_size, 0, gy_ - 1);
+  return {cx, cy};
+}
+
+geom::Rect GlobalRouter::cell_rect(int cx, int cy) const {
+  const auto& die = design_.die();
+  const int x0 = die.lo.x + cx * config_.gcell_size;
+  const int y0 = die.lo.y + cy * config_.gcell_size;
+  return {x0, y0, std::min(x0 + config_.gcell_size - 1, die.hi.x),
+          std::min(y0 + config_.gcell_size - 1, die.hi.y)};
+}
+
+std::vector<int> GlobalRouter::connect(const std::vector<int>& sources,
+                                       const std::vector<int>& targets) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const size_t n = demand_.size();
+  std::vector<double> dist(n, kInf);
+  std::vector<int> prev(n, -1);
+  std::vector<char> is_target(n, 0);
+  for (const int t : targets) is_target[static_cast<size_t>(t)] = 1;
+
+  using Item = std::pair<double, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (const int s : sources) {
+    dist[static_cast<size_t>(s)] = 0.0;
+    pq.push({0.0, s});
+  }
+
+  int reached = -1;
+  while (!pq.empty()) {
+    const auto [d, c] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(c)]) continue;
+    if (is_target[static_cast<size_t>(c)]) {
+      reached = c;
+      break;
+    }
+    const int cx = c % gx_, cy = c / gx_;
+    const int nbr[4][2] = {{cx + 1, cy}, {cx - 1, cy}, {cx, cy + 1}, {cx, cy - 1}};
+    for (const auto& [nx2, ny2] : nbr) {
+      if (nx2 < 0 || nx2 >= gx_ || ny2 < 0 || ny2 >= gy_) continue;
+      const int u = cell_index(nx2, ny2);
+      const size_t ui = static_cast<size_t>(u);
+      const double over =
+          std::max(0, demand_[ui] + obstacle_penalty_[ui] - config_.capacity_per_gcell);
+      const double step = 1.0 + config_.congestion_weight * over;
+      if (dist[static_cast<size_t>(c)] + step < dist[ui]) {
+        dist[ui] = dist[static_cast<size_t>(c)] + step;
+        prev[ui] = c;
+        pq.push({dist[ui], u});
+      }
+    }
+  }
+  std::vector<int> path;
+  if (reached < 0) return path;
+  for (int c = reached; c != -1; c = prev[static_cast<size_t>(c)]) path.push_back(c);
+  return path;
+}
+
+GuideSet GlobalRouter::route_all() {
+  GuideSet guides(static_cast<size_t>(design_.num_nets()));
+  for (const auto& net : design_.nets()) {
+    NetGuide& guide = guides[static_cast<size_t>(net.id)];
+    guide.net = net.id;
+
+    // Per-pin GCell sets.
+    std::vector<std::vector<int>> pin_cells;
+    pin_cells.reserve(net.pins.size());
+    for (const auto& pin : net.pins) {
+      std::vector<int> cells;
+      for (const auto& s : pin.shapes) {
+        const auto lo = cell_of(s.lo);
+        const auto hi = cell_of(s.hi);
+        for (int cy = lo.cy; cy <= hi.cy; ++cy)
+          for (int cx = lo.cx; cx <= hi.cx; ++cx) cells.push_back(cell_index(cx, cy));
+      }
+      std::sort(cells.begin(), cells.end());
+      cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+      pin_cells.push_back(std::move(cells));
+    }
+
+    // Grow a GCell tree pin by pin (cheap sequential Steiner heuristic).
+    std::vector<int> tree = pin_cells.front();
+    std::vector<char> in_tree(demand_.size(), 0);
+    for (const int c : tree) in_tree[static_cast<size_t>(c)] = 1;
+    for (size_t p = 1; p < pin_cells.size(); ++p) {
+      bool already = false;
+      for (const int c : pin_cells[p])
+        if (in_tree[static_cast<size_t>(c)]) already = true;
+      if (already) continue;
+      const auto path = connect(tree, pin_cells[p]);
+      for (const int c : path) {
+        if (!in_tree[static_cast<size_t>(c)]) {
+          in_tree[static_cast<size_t>(c)] = 1;
+          tree.push_back(c);
+          ++demand_[static_cast<size_t>(c)];
+        }
+      }
+      // Disconnected pins leave no path; detailed routing will still try
+      // inside the net bbox because covers() of an empty guide is false
+      // but distance() treats "no boxes" as unconstrained.
+    }
+
+    // Emit guide boxes: used GCells inflated by guide_inflation.
+    for (const int c : tree) {
+      const int cx = c % gx_, cy = c / gx_;
+      geom::Rect r = cell_rect(cx, cy);
+      r = r.inflated(config_.guide_inflation * config_.gcell_size);
+      r = r.intersected(design_.die());
+      guide.boxes.push_back(r);
+    }
+  }
+  return guides;
+}
+
+}  // namespace mrtpl::global

@@ -1,0 +1,56 @@
+#pragma once
+/// \file global_router.hpp
+/// Congestion-aware global router on a GCell grid. It produces the route
+/// guides the detailed routers consume. Algorithm: per net, Steiner-less
+/// sequential multi-source BFS/Dijkstra over GCells with a demand-based
+/// congestion cost, connecting pins one at a time (the 2-D analogue of
+/// the detailed multi-pin loop); guide boxes are the used GCells inflated
+/// by one GCell.
+
+#include <vector>
+
+#include "db/design.hpp"
+#include "global/guide.hpp"
+
+namespace mrtpl::global {
+
+struct GlobalConfig {
+  int gcell_size = 8;        ///< tracks per GCell edge
+  double congestion_weight = 2.0;
+  int capacity_per_gcell = 24;  ///< track segments a GCell can host
+  int guide_inflation = 1;   ///< GCells added around the used region
+};
+
+/// Stateless facade: route the whole design, return guides per net.
+class GlobalRouter {
+ public:
+  GlobalRouter(const db::Design& design, GlobalConfig config = {});
+
+  /// Route every net; result is indexed by net id.
+  [[nodiscard]] GuideSet route_all();
+
+  [[nodiscard]] int gcells_x() const { return gx_; }
+  [[nodiscard]] int gcells_y() const { return gy_; }
+
+ private:
+  struct CellCoord {
+    int cx, cy;
+  };
+
+  [[nodiscard]] int cell_index(int cx, int cy) const { return cy * gx_ + cx; }
+  [[nodiscard]] CellCoord cell_of(const geom::Point& p) const;
+  [[nodiscard]] geom::Rect cell_rect(int cx, int cy) const;
+
+  /// Dijkstra from the set `sources` to any cell in `targets`; returns the
+  /// path (cell indices) or empty when disconnected.
+  [[nodiscard]] std::vector<int> connect(const std::vector<int>& sources,
+                                         const std::vector<int>& targets) const;
+
+  const db::Design& design_;
+  GlobalConfig config_;
+  int gx_, gy_;
+  std::vector<int> demand_;       ///< per-GCell routed demand
+  std::vector<int> obstacle_penalty_;  ///< blocked-track count per GCell
+};
+
+}  // namespace mrtpl::global

@@ -1,0 +1,49 @@
+#pragma once
+/// \file guide.hpp
+/// Global-routing guides. The detailed routers take, per net, a set of
+/// rectangular regions the net should stay inside; vertices outside pay
+/// the out-of-guide penalty of the cost model (Eq. 1's traditional term),
+/// exactly how Dr.CU consumes CUGR guides. Mr.TPL additionally uses the
+/// guide region to pre-compute color costs ("Calculate Color Cost by GR
+/// Guide" in Fig. 2).
+
+#include <vector>
+
+#include "db/design.hpp"
+#include "geom/rect.hpp"
+
+namespace mrtpl::global {
+
+/// Guides for one net: 2-D boxes in track coordinates, valid on all
+/// layers (layer assignment stays with the detailed router).
+struct NetGuide {
+  db::NetId net = db::kNoNet;
+  std::vector<geom::Rect> boxes;
+
+  [[nodiscard]] bool covers(const geom::Point& p) const {
+    for (const auto& b : boxes)
+      if (b.contains(p)) return true;
+    return false;
+  }
+
+  /// L∞ distance from p to the nearest guide box; 0 when covered.
+  [[nodiscard]] int distance(const geom::Point& p) const {
+    if (boxes.empty()) return 0;  // no guide = unconstrained
+    int best = boxes.front().chebyshev_to(p);
+    for (size_t i = 1; i < boxes.size() && best > 0; ++i)
+      best = std::min(best, boxes[i].chebyshev_to(p));
+    return best;
+  }
+
+  /// Bounding box over all guide boxes (search-window clamp).
+  [[nodiscard]] geom::Rect bbox() const {
+    geom::Rect box = boxes.empty() ? geom::Rect{} : boxes.front();
+    for (const auto& b : boxes) box = box.united(b);
+    return box;
+  }
+};
+
+/// Guides for the whole design, indexed by net id.
+using GuideSet = std::vector<NetGuide>;
+
+}  // namespace mrtpl::global

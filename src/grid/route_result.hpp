@@ -1,0 +1,52 @@
+#pragma once
+/// \file route_result.hpp
+/// Routed-net representation shared by Mr.TPL and the baselines: a tree of
+/// grid-vertex paths plus the committed mask per vertex. The evaluation
+/// module consumes this to count wirelength, vias, stitches and conflicts.
+
+#include <utility>
+#include <vector>
+
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::grid {
+
+/// One net's routing result. `paths` holds the vertex sequences produced
+/// by successive pin-to-tree connections (Algorithm 1's resPaths); their
+/// union forms the net's routed tree.
+struct NetRoute {
+  db::NetId net = db::kNoNet;
+  bool routed = false;           ///< all pins connected
+  std::vector<std::vector<VertexId>> paths;
+
+  /// Unique vertices of the tree, sorted ascending.
+  [[nodiscard]] std::vector<VertexId> vertices() const;
+
+  /// Unique undirected tree edges as normalized (min,max) vertex pairs.
+  [[nodiscard]] std::vector<std::pair<VertexId, VertexId>> edges() const;
+
+  [[nodiscard]] bool empty() const { return paths.empty(); }
+};
+
+/// Whole-design solution, indexed by net id.
+struct Solution {
+  std::vector<NetRoute> routes;
+
+  [[nodiscard]] int num_routed() const;
+  [[nodiscard]] int num_failed() const;
+};
+
+/// Write a net's tree and masks into the grid's committed state.
+/// `masks` must be parallel to `route.vertices()` or empty (uncolored).
+void commit_route(RoutingGrid& grid, const NetRoute& route,
+                  const std::vector<Mask>& masks);
+
+/// Undo commit_route for the given net (pin metal survives).
+void release_route(RoutingGrid& grid, const NetRoute& route);
+
+/// Number of stitches in the committed layout: same-layer tree edges on a
+/// TPL layer whose two endpoint masks differ. Vias never stitch (masks
+/// are per-layer), and uncolored endpoints don't count.
+[[nodiscard]] int count_stitches(const RoutingGrid& grid, const Solution& solution);
+
+}  // namespace mrtpl::grid

@@ -1,0 +1,132 @@
+#include "grid/routing_grid.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace mrtpl::grid {
+
+RoutingGrid::RoutingGrid(const db::Design& design)
+    : design_(&design),
+      nl_(design.tech().num_layers()),
+      nx_(design.die().width()),
+      ny_(design.die().height()),
+      dcolor_(design.tech().rules().dcolor) {
+  if (design.die().lo != geom::Point{0, 0})
+    throw std::invalid_argument("RoutingGrid: die must be origin-anchored");
+  const auto n = num_vertices();
+  owner_.assign(n, db::kNoNet);
+  mask_.assign(n, kNoMask);
+  blocked_.assign(n, 0);
+  pin_vertex_.assign(n, 0);
+  pin_owner_.assign(n, db::kNoNet);
+  history_.assign(n, 0.0f);
+
+  for (const auto& obs : design.obstacles()) {
+    for (int y = obs.shape.lo.y; y <= obs.shape.hi.y; ++y)
+      for (int x = obs.shape.lo.x; x <= obs.shape.hi.x; ++x)
+        blocked_[vertex(obs.layer, x, y)] = 1;
+  }
+  for (const auto& net : design.nets()) {
+    for (const auto& pin : net.pins) {
+      for (const auto& s : pin.shapes) {
+        for (int y = s.lo.y; y <= s.hi.y; ++y) {
+          for (int x = s.lo.x; x <= s.hi.x; ++x) {
+            const VertexId v = vertex(pin.layer, x, y);
+            if (blocked_[v]) continue;  // obstacle wins; pin access reduced
+            pin_vertex_[v] = 1;
+            pin_owner_[v] = net.id;
+            owner_[v] = net.id;
+          }
+        }
+      }
+    }
+  }
+}
+
+VertexId RoutingGrid::neighbor(VertexId v, Dir d) const {
+  const VertexLoc l = loc(v);
+  switch (d) {
+    case Dir::East: return l.x + 1 < nx_ ? v + 1 : kInvalidVertex;
+    case Dir::West: return l.x > 0 ? v - 1 : kInvalidVertex;
+    case Dir::North:
+      return l.y + 1 < ny_ ? v + static_cast<VertexId>(nx_) : kInvalidVertex;
+    case Dir::South:
+      return l.y > 0 ? v - static_cast<VertexId>(nx_) : kInvalidVertex;
+    case Dir::Up:
+      return l.layer + 1 < nl_
+                 ? v + static_cast<VertexId>(nx_) * static_cast<VertexId>(ny_)
+                 : kInvalidVertex;
+    case Dir::Down:
+      return l.layer > 0
+                 ? v - static_cast<VertexId>(nx_) * static_cast<VertexId>(ny_)
+                 : kInvalidVertex;
+  }
+  return kInvalidVertex;
+}
+
+bool RoutingGrid::is_preferred(int layer, Dir d) const {
+  if (is_via(d)) return true;
+  const bool horizontal = tech().is_horizontal(layer);
+  const bool east_west = d == Dir::East || d == Dir::West;
+  return horizontal == east_west;
+}
+
+void RoutingGrid::commit(VertexId v, db::NetId net, Mask m) {
+  assert(net != db::kNoNet);
+  assert(owner_[v] == db::kNoNet || owner_[v] == net);
+  owner_[v] = net;
+  mask_[v] = m;
+}
+
+void RoutingGrid::set_mask(VertexId v, Mask m) {
+  assert(owner_[v] != db::kNoNet);
+  mask_[v] = m;
+}
+
+void RoutingGrid::release(VertexId v) {
+  if (pin_vertex_[v]) {
+    owner_[v] = pin_owner_[v];  // pin metal stays; only wire color is undone
+    mask_[v] = kNoMask;
+  } else {
+    owner_[v] = db::kNoNet;
+    mask_[v] = kNoMask;
+  }
+}
+
+void RoutingGrid::clear_history() {
+  std::fill(history_.begin(), history_.end(), 0.0f);
+}
+
+int RoutingGrid::same_mask_neighbors(VertexId v, Mask m, db::NetId self) const {
+  int count = 0;
+  for_each_colored_neighbor(v, self, [&](VertexId, db::NetId, Mask other) {
+    if (other == m) ++count;
+  });
+  return count;
+}
+
+std::uint8_t RoutingGrid::conflict_mask_bits(VertexId v, db::NetId self) const {
+  std::uint8_t bits = 0;
+  for_each_colored_neighbor(v, self, [&](VertexId, db::NetId, Mask other) {
+    bits |= static_cast<std::uint8_t>(1u << other);
+  });
+  return bits;
+}
+
+std::vector<VertexId> RoutingGrid::pin_vertices(const db::Pin& pin) const {
+  std::vector<VertexId> out;
+  for (const auto& s : pin.shapes) {
+    for (int y = s.lo.y; y <= s.hi.y; ++y) {
+      for (int x = s.lo.x; x <= s.hi.x; ++x) {
+        const VertexId v = vertex(pin.layer, x, y);
+        if (!blocked_[v]) out.push_back(v);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace mrtpl::grid

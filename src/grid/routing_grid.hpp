@@ -1,0 +1,173 @@
+#pragma once
+/// \file routing_grid.hpp
+/// The 3-D gridded routing graph shared by Mr.TPL and both baselines.
+///
+/// Vertices are track intersections (layer, x, y). Edges are implicit:
+/// four planar moves plus up/down vias, mirroring the six search
+/// directions {F,B,R,L,U,D} of Algorithm 2 in the paper. The grid also
+/// stores the *committed* state of the layout — which net owns a vertex
+/// and which mask it has been assigned — which is what the color-conflict
+/// cost of Eq. 1 and the final conflict detection read.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "db/design.hpp"
+#include "db/tech.hpp"
+#include "geom/point.hpp"
+
+namespace mrtpl::grid {
+
+using VertexId = std::uint32_t;
+constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Mask index: 0=red, 1=green, 2=blue; kNoMask = not yet colored.
+using Mask = std::int8_t;
+constexpr Mask kNoMask = -1;
+constexpr int kNumMasks = 3;
+
+/// Search directions, same order as Algorithm 2's {F,B,R,L,U,D}.
+enum class Dir : std::uint8_t { East = 0, West, North, South, Up, Down };
+constexpr int kNumDirs = 6;
+
+[[nodiscard]] constexpr bool is_via(Dir d) { return d == Dir::Up || d == Dir::Down; }
+[[nodiscard]] constexpr Dir opposite(Dir d) {
+  switch (d) {
+    case Dir::East: return Dir::West;
+    case Dir::West: return Dir::East;
+    case Dir::North: return Dir::South;
+    case Dir::South: return Dir::North;
+    case Dir::Up: return Dir::Down;
+    case Dir::Down: return Dir::Up;
+  }
+  return Dir::East;
+}
+
+/// Location of a vertex in (layer, x, y) coordinates.
+struct VertexLoc {
+  int layer = 0;
+  int x = 0;
+  int y = 0;
+  friend constexpr auto operator<=>(const VertexLoc&, const VertexLoc&) = default;
+};
+
+/// Gridded routing graph + committed layout state.
+///
+/// Construction rasterises the design: obstacle shapes block vertices;
+/// every pin's shapes are recorded as owned by its net (pins are metal and
+/// participate in TPL coloring) and are impenetrable to other nets.
+class RoutingGrid {
+ public:
+  explicit RoutingGrid(const db::Design& design);
+
+  // ---- topology -----------------------------------------------------
+  [[nodiscard]] int num_layers() const { return nl_; }
+  [[nodiscard]] int size_x() const { return nx_; }
+  [[nodiscard]] int size_y() const { return ny_; }
+  [[nodiscard]] std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(nl_) * static_cast<std::uint32_t>(nx_) *
+           static_cast<std::uint32_t>(ny_);
+  }
+
+  [[nodiscard]] VertexId vertex(int layer, int x, int y) const {
+    return (static_cast<VertexId>(layer) * static_cast<VertexId>(ny_) +
+            static_cast<VertexId>(y)) * static_cast<VertexId>(nx_) +
+           static_cast<VertexId>(x);
+  }
+  [[nodiscard]] VertexLoc loc(VertexId v) const {
+    const int x = static_cast<int>(v % static_cast<VertexId>(nx_));
+    const VertexId rest = v / static_cast<VertexId>(nx_);
+    const int y = static_cast<int>(rest % static_cast<VertexId>(ny_));
+    const int layer = static_cast<int>(rest / static_cast<VertexId>(ny_));
+    return {layer, x, y};
+  }
+
+  /// Neighbor in direction `d`, or kInvalidVertex at the boundary.
+  [[nodiscard]] VertexId neighbor(VertexId v, Dir d) const;
+
+  /// True when moving planar in `d` on `layer` follows the preferred
+  /// direction (East/West on horizontal layers, North/South on vertical).
+  [[nodiscard]] bool is_preferred(int layer, Dir d) const;
+
+  // ---- committed layout state ----------------------------------------
+  [[nodiscard]] bool blocked(VertexId v) const { return blocked_[v] != 0; }
+  [[nodiscard]] db::NetId owner(VertexId v) const { return owner_[v]; }
+  [[nodiscard]] Mask mask(VertexId v) const { return mask_[v]; }
+  [[nodiscard]] bool is_pin_vertex(VertexId v) const { return pin_vertex_[v] != 0; }
+
+  /// Commit a routed vertex to `net` (mask may be kNoMask until coloring).
+  void commit(VertexId v, db::NetId net, Mask m);
+  /// Assign/overwrite the mask of an already-committed vertex.
+  void set_mask(VertexId v, Mask m);
+  /// Release a vertex during rip-up. Pin vertices revert to pin ownership,
+  /// wire vertices to free.
+  void release(VertexId v);
+
+  // ---- negotiated-congestion history ---------------------------------
+  [[nodiscard]] double history(VertexId v) const { return history_[v]; }
+  void add_history(VertexId v, double amount) { history_[v] += static_cast<float>(amount); }
+  void clear_history();
+
+  // ---- TPL neighborhood queries ---------------------------------------
+  /// Number of vertices within the Dcolor window of `v` (same layer,
+  /// Chebyshev distance in [1, dcolor]) committed to a *different* net
+  /// with mask `m`. This is the color-conflict term of Eq. 1. Non-TPL
+  /// layers always report 0.
+  [[nodiscard]] int same_mask_neighbors(VertexId v, Mask m, db::NetId self) const;
+
+  /// Bitmask over masks 0..2: bit c set iff same_mask_neighbors(v, c) > 0.
+  /// One window scan instead of three.
+  [[nodiscard]] std::uint8_t conflict_mask_bits(VertexId v, db::NetId self) const;
+
+  /// Visit all (vertex, mask) pairs of *other* nets within the window.
+  template <typename Fn>  // Fn(VertexId u, db::NetId owner, Mask m)
+  void for_each_colored_neighbor(VertexId v, db::NetId self, Fn&& fn) const;
+
+  [[nodiscard]] const db::Design& design() const { return *design_; }
+  [[nodiscard]] const db::Tech& tech() const { return design_->tech(); }
+  [[nodiscard]] int dcolor() const { return dcolor_; }
+
+  /// All grid vertices covered by a pin's shapes that are usable as
+  /// search sources/targets (not blocked by obstacles).
+  [[nodiscard]] std::vector<VertexId> pin_vertices(const db::Pin& pin) const;
+
+  // ---- failure injection (tests) --------------------------------------
+  /// Block an arbitrary vertex; used by tests to create unroutable or
+  /// congested instances deterministically.
+  void inject_blockage(VertexId v) { blocked_[v] = 1; }
+
+ private:
+  const db::Design* design_;
+  int nl_, nx_, ny_;
+  int dcolor_;
+  std::vector<db::NetId> owner_;   ///< committed net or kNoNet
+  std::vector<Mask> mask_;         ///< committed mask or kNoMask
+  std::vector<std::uint8_t> blocked_;
+  std::vector<std::uint8_t> pin_vertex_;  ///< vertex belongs to a pin shape
+  std::vector<db::NetId> pin_owner_;      ///< pin net (survives release())
+  std::vector<float> history_;
+};
+
+template <typename Fn>
+void RoutingGrid::for_each_colored_neighbor(VertexId v, db::NetId self, Fn&& fn) const {
+  const VertexLoc l = loc(v);
+  if (!tech().is_tpl_layer(l.layer)) return;
+  const int x0 = l.x >= dcolor_ ? l.x - dcolor_ : 0;
+  const int x1 = l.x + dcolor_ < nx_ ? l.x + dcolor_ : nx_ - 1;
+  const int y0 = l.y >= dcolor_ ? l.y - dcolor_ : 0;
+  const int y1 = l.y + dcolor_ < ny_ ? l.y + dcolor_ : ny_ - 1;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (x == l.x && y == l.y) continue;
+      const VertexId u = vertex(l.layer, x, y);
+      const db::NetId net = owner_[u];
+      if (net == db::kNoNet || net == self) continue;
+      const Mask m = mask_[u];
+      if (m == kNoMask) continue;
+      fn(u, net, m);
+    }
+  }
+}
+
+}  // namespace mrtpl::grid

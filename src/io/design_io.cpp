@@ -1,0 +1,243 @@
+#include "io/design_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace mrtpl::io {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error(util::format("design_io: line %d: %s", line, what.c_str()));
+}
+
+/// Tokenizing line reader with 1-based line numbers for error messages.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& is) : is_(is) {}
+
+  /// Next non-empty, non-comment line split into tokens; false at EOF.
+  bool next(std::vector<std::string>& tokens) {
+    std::string line;
+    while (std::getline(is_, line)) {
+      ++line_no_;
+      std::istringstream ss(line);
+      tokens.clear();
+      std::string tok;
+      while (ss >> tok) {
+        if (tok.front() == '#') break;  // comment to end of line
+        tokens.push_back(tok);
+      }
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] int line_no() const { return line_no_; }
+
+ private:
+  std::istream& is_;
+  int line_no_ = 0;
+};
+
+int to_int(const LineReader& r, const std::string& tok) {
+  try {
+    size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    fail(r.line_no(), "expected integer, got '" + tok + "'");
+  }
+}
+
+double to_double(const LineReader& r, const std::string& tok) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return v;
+  } catch (const std::exception&) {
+    fail(r.line_no(), "expected number, got '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+namespace {
+/// Names are single whitespace-free tokens in the format; empty names get
+/// a '-' placeholder so the token grid stays rectangular.
+std::string token_name(const std::string& name) {
+  if (name.empty()) return "-";
+  std::string out = name;
+  for (char& c : out)
+    if (c == ' ' || c == '\t') c = '_';
+  return out;
+}
+}  // namespace
+
+void write_design(std::ostream& os, const db::Design& design) {
+  const auto& tech = design.tech();
+  const auto& rules = tech.rules();
+  os << "mrtpl-design 1\n";
+  os << "name " << token_name(design.name()) << "\n";
+  os << "die " << design.die().lo.x << ' ' << design.die().lo.y << ' '
+     << design.die().hi.x << ' ' << design.die().hi.y << "\n";
+  os << "layers " << tech.num_layers() << "\n";
+  for (int i = 0; i < tech.num_layers(); ++i) {
+    const auto& layer = tech.layer(i);
+    os << "layer " << i << ' ' << (layer.dir == db::LayerDir::Horizontal ? 'H' : 'V')
+       << ' ' << (layer.tpl ? 1 : 0) << ' ' << token_name(layer.name) << "\n";
+  }
+  os << "rules " << rules.dcolor << ' ' << rules.num_masks << ' ' << rules.alpha
+     << ' ' << rules.beta << ' '
+     << rules.gamma << ' ' << rules.wire_cost << ' ' << rules.wrong_way_cost << ' '
+     << rules.via_cost << ' ' << rules.out_of_guide_cost << ' '
+     << rules.occupied_cost << ' ' << rules.history_increment << "\n";
+  for (const auto& obs : design.obstacles())
+    os << "obstacle " << obs.layer << ' ' << obs.shape.lo.x << ' ' << obs.shape.lo.y
+       << ' ' << obs.shape.hi.x << ' ' << obs.shape.hi.y << "\n";
+  for (const auto& net : design.nets()) {
+    os << "net " << token_name(net.name) << ' ' << net.degree() << "\n";
+    for (const auto& pin : net.pins) {
+      os << "pin " << token_name(pin.name) << ' ' << pin.layer << ' '
+         << pin.shapes.size();
+      for (const auto& s : pin.shapes)
+        os << ' ' << s.lo.x << ' ' << s.lo.y << ' ' << s.hi.x << ' ' << s.hi.y;
+      os << "\n";
+    }
+  }
+  os << "end\n";
+}
+
+std::string design_to_string(const db::Design& design) {
+  std::ostringstream ss;
+  write_design(ss, design);
+  return ss.str();
+}
+
+db::Design read_design(std::istream& is) {
+  LineReader reader(is);
+  std::vector<std::string> t;
+
+  if (!reader.next(t) || t.size() != 2 || t[0] != "mrtpl-design")
+    fail(reader.line_no(), "missing 'mrtpl-design <version>' header");
+  if (to_int(reader, t[1]) != 1) fail(reader.line_no(), "unsupported version");
+
+  if (!reader.next(t) || t[0] != "name" || t.size() != 2)
+    fail(reader.line_no(), "expected 'name <string>'");
+  const std::string name = t[1];
+
+  if (!reader.next(t) || t[0] != "die" || t.size() != 5)
+    fail(reader.line_no(), "expected 'die x0 y0 x1 y1'");
+  const geom::Rect die{to_int(reader, t[1]), to_int(reader, t[2]),
+                       to_int(reader, t[3]), to_int(reader, t[4])};
+
+  if (!reader.next(t) || t[0] != "layers" || t.size() != 2)
+    fail(reader.line_no(), "expected 'layers <n>'");
+  const int num_layers = to_int(reader, t[1]);
+  if (num_layers < 1 || num_layers > 32) fail(reader.line_no(), "bad layer count");
+
+  std::vector<db::Layer> layers(static_cast<size_t>(num_layers));
+  for (int i = 0; i < num_layers; ++i) {
+    if (!reader.next(t) || t[0] != "layer" || t.size() != 5)
+      fail(reader.line_no(), "expected 'layer idx H|V tpl name'");
+    const int idx = to_int(reader, t[1]);
+    if (idx != i) fail(reader.line_no(), "layers out of order");
+    db::Layer& layer = layers[static_cast<size_t>(i)];
+    if (t[2] == "H")
+      layer.dir = db::LayerDir::Horizontal;
+    else if (t[2] == "V")
+      layer.dir = db::LayerDir::Vertical;
+    else
+      fail(reader.line_no(), "layer direction must be H or V");
+    layer.tpl = to_int(reader, t[3]) != 0;
+    layer.name = t[4];
+  }
+
+  if (!reader.next(t) || t[0] != "rules" || t.size() != 12)
+    fail(reader.line_no(), "expected 'rules <11 numbers>'");
+  db::TechRules rules;
+  rules.dcolor = to_int(reader, t[1]);
+  rules.num_masks = to_int(reader, t[2]);
+  rules.alpha = to_double(reader, t[3]);
+  rules.beta = to_double(reader, t[4]);
+  rules.gamma = to_double(reader, t[5]);
+  rules.wire_cost = to_double(reader, t[6]);
+  rules.wrong_way_cost = to_double(reader, t[7]);
+  rules.via_cost = to_double(reader, t[8]);
+  rules.out_of_guide_cost = to_double(reader, t[9]);
+  rules.occupied_cost = to_double(reader, t[10]);
+  rules.history_increment = to_double(reader, t[11]);
+
+  db::Design design(name, db::Tech(std::move(layers), rules), die);
+
+  db::NetId current_net = db::kNoNet;
+  int pins_expected = 0;
+  bool ended = false;
+  while (reader.next(t)) {
+    if (t[0] == "end") {
+      ended = true;
+      break;
+    }
+    if (t[0] == "obstacle") {
+      if (t.size() != 6) fail(reader.line_no(), "expected 'obstacle layer x0 y0 x1 y1'");
+      design.add_obstacle({to_int(reader, t[1]),
+                           {to_int(reader, t[2]), to_int(reader, t[3]),
+                            to_int(reader, t[4]), to_int(reader, t[5])}});
+    } else if (t[0] == "net") {
+      if (t.size() != 3) fail(reader.line_no(), "expected 'net name num_pins'");
+      if (current_net != db::kNoNet && pins_expected != 0)
+        fail(reader.line_no(), "previous net is missing pins");
+      current_net = design.add_net(t[1]);
+      pins_expected = to_int(reader, t[2]);
+    } else if (t[0] == "pin") {
+      if (current_net == db::kNoNet) fail(reader.line_no(), "pin before any net");
+      if (pins_expected <= 0) fail(reader.line_no(), "more pins than declared");
+      if (t.size() < 4) fail(reader.line_no(), "expected 'pin name layer n shapes...'");
+      db::Pin pin;
+      pin.name = t[1];
+      pin.layer = to_int(reader, t[2]);
+      const int num_shapes = to_int(reader, t[3]);
+      if (static_cast<int>(t.size()) != 4 + 4 * num_shapes)
+        fail(reader.line_no(), "shape token count mismatch");
+      for (int s = 0; s < num_shapes; ++s) {
+        const size_t base = 4 + 4 * static_cast<size_t>(s);
+        pin.shapes.push_back({to_int(reader, t[base]), to_int(reader, t[base + 1]),
+                              to_int(reader, t[base + 2]), to_int(reader, t[base + 3])});
+      }
+      design.add_pin(current_net, std::move(pin));
+      --pins_expected;
+    } else {
+      fail(reader.line_no(), "unknown directive '" + t[0] + "'");
+    }
+  }
+  if (!ended) fail(reader.line_no(), "missing 'end'");
+  if (pins_expected != 0) fail(reader.line_no(), "last net is missing pins");
+  design.validate();
+  return design;
+}
+
+db::Design design_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_design(ss);
+}
+
+void save_design(const std::string& path, const db::Design& design) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("design_io: cannot open " + path);
+  write_design(os, design);
+  if (!os) throw std::runtime_error("design_io: write failed for " + path);
+}
+
+db::Design load_design(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("design_io: cannot open " + path);
+  return read_design(is);
+}
+
+}  // namespace mrtpl::io

@@ -1,0 +1,42 @@
+#pragma once
+/// \file design_io.hpp
+/// Text serialization of routing instances — a miniature DEF/LEF stand-in
+/// so cases can be saved, shared, inspected and reloaded instead of being
+/// regenerated. The format is line-oriented and versioned:
+///
+///   mrtpl-design 1
+///   name <string>
+///   die <x0> <y0> <x1> <y1>
+///   layers <n>
+///   layer <idx> <H|V> <tpl:0|1> <name>
+///   rules <dcolor> <num_masks> <alpha> <beta> <gamma> <wire> <wrongway>
+///         <via> <oog> <occupied> <history>
+///   obstacle <layer> <x0> <y0> <x1> <y1>
+///   net <name> <num_pins>
+///   pin <name> <layer> <num_shapes> (<x0> <y0> <x1> <y1>)*
+///   end
+///
+/// Tokens are whitespace-separated; nets own the pins that follow them.
+
+#include <iosfwd>
+#include <string>
+
+#include "db/design.hpp"
+
+namespace mrtpl::io {
+
+/// Serialize a design (tech + geometry + netlist).
+void write_design(std::ostream& os, const db::Design& design);
+std::string design_to_string(const db::Design& design);
+
+/// Parse a design written by write_design. Throws std::runtime_error with
+/// a line-numbered message on malformed input; the returned design passes
+/// validate().
+db::Design read_design(std::istream& is);
+db::Design design_from_string(const std::string& text);
+
+/// Convenience file wrappers. Throw std::runtime_error on I/O failure.
+void save_design(const std::string& path, const db::Design& design);
+db::Design load_design(const std::string& path);
+
+}  // namespace mrtpl::io

@@ -1,0 +1,95 @@
+#include "io/json_report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace mrtpl::io {
+
+std::string json_escape(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void write_metrics(std::ostream& os, const eval::Metrics& m) {
+  os << "{\"conflicts\":" << m.conflicts << ",\"stitches\":" << m.stitches
+     << ",\"wirelength\":" << m.wirelength << ",\"vias\":" << m.vias
+     << ",\"wrong_way\":" << m.wrong_way << ",\"out_of_guide\":" << m.out_of_guide
+     << ",\"failed_nets\":" << m.failed_nets << ",\"cost\":" << m.cost << "}";
+}
+
+void write_layers(std::ostream& os,
+                  const std::vector<eval::LayerBreakdown>& layers) {
+  os << "[";
+  for (size_t i = 0; i < layers.size(); ++i) {
+    const auto& l = layers[i];
+    if (i) os << ",";
+    os << "{\"layer\":" << l.layer << ",\"tpl\":" << (l.tpl ? "true" : "false")
+       << ",\"wirelength\":" << l.wirelength << ",\"stitches\":" << l.stitches
+       << ",\"violating_vertices\":" << l.violating_vertices << "}";
+  }
+  os << "]";
+}
+
+void write_degrees(std::ostream& os,
+                   const std::vector<eval::DegreeBreakdown>& degrees) {
+  os << "[";
+  for (size_t i = 0; i < degrees.size(); ++i) {
+    const auto& d = degrees[i];
+    if (i) os << ",";
+    os << "{\"degree\":" << d.degree << ",\"nets\":" << d.nets
+       << ",\"stitches\":" << d.stitches << ",\"conflicts\":" << d.conflicts
+       << ",\"wirelength\":" << d.wirelength << "}";
+  }
+  os << "]";
+}
+
+}  // namespace
+
+void write_case_report(std::ostream& os, const CaseReport& report) {
+  os << "{\"case\":" << json_escape(report.case_name)
+     << ",\"flow\":" << json_escape(report.flow)
+     << ",\"runtime_s\":" << report.runtime_s << ",\"metrics\":";
+  write_metrics(os, report.metrics);
+  os << ",\"layers\":";
+  write_layers(os, report.layers);
+  os << ",\"degrees\":";
+  write_degrees(os, report.degrees);
+  os << "}";
+}
+
+void write_report_array(std::ostream& os, const std::vector<CaseReport>& reports) {
+  os << "[";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    if (i) os << ",\n ";
+    write_case_report(os, reports[i]);
+  }
+  os << "]\n";
+}
+
+std::string report_array_to_string(const std::vector<CaseReport>& reports) {
+  std::ostringstream os;
+  write_report_array(os, reports);
+  return os.str();
+}
+
+}  // namespace mrtpl::io

@@ -1,0 +1,40 @@
+#pragma once
+/// \file json_report.hpp
+/// JSON export of evaluation results: headline metrics plus the per-layer
+/// and per-degree breakdowns, one object per (case, flow) pair. The bench
+/// harness prints paper-style text tables for humans; this writer exists
+/// for downstream tooling (plots, regression tracking, CI dashboards).
+///
+/// The emitter is deliberately minimal — flat objects, arrays of objects,
+/// numbers, and escaped strings — not a general JSON library.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/breakdown.hpp"
+#include "eval/metrics.hpp"
+
+namespace mrtpl::io {
+
+/// One flow's results on one case.
+struct CaseReport {
+  std::string case_name;
+  std::string flow;   ///< "mrtpl" | "dac12" | "decompose" | ...
+  double runtime_s = 0.0;
+  eval::Metrics metrics;
+  std::vector<eval::LayerBreakdown> layers;    ///< optional (may be empty)
+  std::vector<eval::DegreeBreakdown> degrees;  ///< optional (may be empty)
+};
+
+/// Serialize one report as a JSON object.
+void write_case_report(std::ostream& os, const CaseReport& report);
+
+/// Serialize many reports as a JSON array (the usual bench output).
+void write_report_array(std::ostream& os, const std::vector<CaseReport>& reports);
+std::string report_array_to_string(const std::vector<CaseReport>& reports);
+
+/// Escape a string for inclusion in JSON output (quotes added).
+std::string json_escape(const std::string& s);
+
+}  // namespace mrtpl::io

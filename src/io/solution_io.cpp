@@ -1,0 +1,209 @@
+#include "io/solution_io.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace mrtpl::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("solution_io: " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+int to_int(const std::string& tok) {
+  try {
+    return std::stoi(tok);
+  } catch (const std::exception&) {
+    fail("expected integer, got '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+void write_solution(std::ostream& os, const grid::RoutingGrid& grid,
+                    const grid::Solution& solution) {
+  os << "mrtpl-solution 1\n";
+  for (const auto& route : solution.routes) {
+    if (route.net == db::kNoNet && route.empty()) continue;
+    os << "route " << route.net << ' ' << (route.routed ? 1 : 0) << ' '
+       << route.paths.size() << "\n";
+    for (const auto& path : route.paths) {
+      os << "path " << path.size();
+      for (const auto v : path) {
+        const grid::VertexLoc l = grid.loc(v);
+        os << ' ' << l.layer << ' ' << l.x << ' ' << l.y;
+      }
+      os << "\n";
+    }
+    const auto verts = route.vertices();
+    os << "masks " << verts.size();
+    for (const auto v : verts) {
+      const grid::VertexLoc l = grid.loc(v);
+      os << ' ' << l.layer << ' ' << l.x << ' ' << l.y << ' '
+         << static_cast<int>(grid.mask(v));
+    }
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+std::string solution_to_string(const grid::RoutingGrid& grid,
+                               const grid::Solution& solution) {
+  std::ostringstream ss;
+  write_solution(ss, grid, solution);
+  return ss.str();
+}
+
+grid::Solution read_solution(std::istream& is, grid::RoutingGrid& grid) {
+  grid::Solution solution;
+  solution.routes.resize(static_cast<size_t>(grid.design().num_nets()));
+
+  auto vertex_of = [&](int layer, int x, int y) {
+    if (layer < 0 || layer >= grid.num_layers() || x < 0 || x >= grid.size_x() ||
+        y < 0 || y >= grid.size_y())
+      fail(util::format("vertex (%d,%d,%d) outside grid", layer, x, y));
+    return grid.vertex(layer, x, y);
+  };
+
+  std::string line;
+  if (!std::getline(is, line) || tokenize(line) != std::vector<std::string>{"mrtpl-solution", "1"})
+    fail("missing 'mrtpl-solution 1' header");
+
+  grid::NetRoute* current = nullptr;
+  int paths_expected = 0;
+  bool ended = false;
+  while (std::getline(is, line)) {
+    const auto t = tokenize(line);
+    if (t.empty()) continue;
+    if (t[0] == "end") {
+      ended = true;
+      break;
+    }
+    if (t[0] == "route") {
+      if (t.size() != 4) fail("expected 'route net routed num_paths'");
+      const int net = to_int(t[1]);
+      if (net < 0 || net >= grid.design().num_nets()) fail("route for unknown net");
+      current = &solution.routes[static_cast<size_t>(net)];
+      current->net = net;
+      current->routed = to_int(t[2]) != 0;
+      paths_expected = to_int(t[3]);
+    } else if (t[0] == "path") {
+      if (current == nullptr) fail("path before route");
+      if (paths_expected <= 0) fail("more paths than declared");
+      const int n = to_int(t[1]);
+      if (static_cast<int>(t.size()) != 2 + 3 * n) fail("path token count mismatch");
+      std::vector<grid::VertexId> path;
+      path.reserve(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        const size_t base = 2 + 3 * static_cast<size_t>(i);
+        path.push_back(
+            vertex_of(to_int(t[base]), to_int(t[base + 1]), to_int(t[base + 2])));
+      }
+      current->paths.push_back(std::move(path));
+      --paths_expected;
+    } else if (t[0] == "masks") {
+      if (current == nullptr) fail("masks before route");
+      const int n = to_int(t[1]);
+      if (static_cast<int>(t.size()) != 2 + 4 * n) fail("masks token count mismatch");
+      for (int i = 0; i < n; ++i) {
+        const size_t base = 2 + 4 * static_cast<size_t>(i);
+        const grid::VertexId v =
+            vertex_of(to_int(t[base]), to_int(t[base + 1]), to_int(t[base + 2]));
+        const int mask = to_int(t[base + 3]);
+        if (mask < -1 || mask >= grid::kNumMasks) fail("bad mask value");
+        grid.commit(v, current->net, static_cast<grid::Mask>(mask));
+      }
+    } else {
+      fail("unknown directive '" + t[0] + "'");
+    }
+  }
+  if (!ended) fail("missing 'end'");
+  return solution;
+}
+
+grid::Solution solution_from_string(const std::string& text, grid::RoutingGrid& grid) {
+  std::istringstream ss(text);
+  return read_solution(ss, grid);
+}
+
+void save_solution(const std::string& path, const grid::RoutingGrid& grid,
+                   const grid::Solution& solution) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open " + path);
+  write_solution(os, grid, solution);
+  if (!os) fail("write failed for " + path);
+}
+
+grid::Solution load_solution(const std::string& path, grid::RoutingGrid& grid) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open " + path);
+  return read_solution(is, grid);
+}
+
+void write_guides(std::ostream& os, const global::GuideSet& guides) {
+  os << "mrtpl-guides 1\n";
+  for (const auto& g : guides) {
+    os << "guide " << g.net << ' ' << g.boxes.size();
+    for (const auto& b : g.boxes)
+      os << ' ' << b.lo.x << ' ' << b.lo.y << ' ' << b.hi.x << ' ' << b.hi.y;
+    os << "\n";
+  }
+  os << "end\n";
+}
+
+global::GuideSet read_guides(std::istream& is) {
+  global::GuideSet guides;
+  std::string line;
+  if (!std::getline(is, line) ||
+      tokenize(line) != std::vector<std::string>{"mrtpl-guides", "1"})
+    fail("missing 'mrtpl-guides 1' header");
+  bool ended = false;
+  while (std::getline(is, line)) {
+    const auto t = tokenize(line);
+    if (t.empty()) continue;
+    if (t[0] == "end") {
+      ended = true;
+      break;
+    }
+    if (t[0] != "guide") fail("unknown directive '" + t[0] + "'");
+    if (t.size() < 3) fail("expected 'guide net num_boxes ...'");
+    global::NetGuide g;
+    g.net = to_int(t[1]);
+    const int n = to_int(t[2]);
+    if (static_cast<int>(t.size()) != 3 + 4 * n) fail("guide token count mismatch");
+    for (int i = 0; i < n; ++i) {
+      const size_t base = 3 + 4 * static_cast<size_t>(i);
+      g.boxes.push_back({to_int(t[base]), to_int(t[base + 1]), to_int(t[base + 2]),
+                         to_int(t[base + 3])});
+    }
+    guides.push_back(std::move(g));
+  }
+  if (!ended) fail("missing 'end'");
+  return guides;
+}
+
+std::string guides_to_string(const global::GuideSet& guides) {
+  std::ostringstream ss;
+  write_guides(ss, guides);
+  return ss.str();
+}
+
+global::GuideSet guides_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_guides(ss);
+}
+
+}  // namespace mrtpl::io

@@ -1,0 +1,105 @@
+#include "layout/segment_extract.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrtpl::layout {
+
+namespace {
+
+/// Order vertices of one net for run detection: by layer, then by the
+/// cross coordinate, then along the run coordinate.
+struct RunKey {
+  int layer, cross, along;
+  grid::VertexId v;
+};
+
+}  // namespace
+
+SegmentGraph extract_segments(const grid::RoutingGrid& grid,
+                              const grid::Solution& solution) {
+  SegmentGraph graph;
+
+  for (const auto& route : solution.routes) {
+    if (route.empty()) continue;
+    const auto verts = route.vertices();
+
+    // Detect maximal straight runs along each layer's preferred direction.
+    std::vector<RunKey> keys;
+    keys.reserve(verts.size());
+    for (const grid::VertexId v : verts) {
+      const grid::VertexLoc l = grid.loc(v);
+      const bool horizontal = grid.tech().is_horizontal(l.layer);
+      keys.push_back({l.layer, horizontal ? l.y : l.x, horizontal ? l.x : l.y, v});
+    }
+    std::sort(keys.begin(), keys.end(), [](const RunKey& a, const RunKey& b) {
+      if (a.layer != b.layer) return a.layer < b.layer;
+      if (a.cross != b.cross) return a.cross < b.cross;
+      return a.along < b.along;
+    });
+
+    size_t i = 0;
+    while (i < keys.size()) {
+      size_t j = i + 1;
+      while (j < keys.size() && keys[j].layer == keys[i].layer &&
+             keys[j].cross == keys[i].cross &&
+             keys[j].along == keys[j - 1].along + 1)
+        ++j;
+      Segment seg;
+      seg.id = static_cast<SegmentId>(graph.segments.size());
+      seg.net = route.net;
+      seg.layer = keys[i].layer;
+      for (size_t k = i; k < j; ++k) {
+        seg.vertices.push_back(keys[k].v);
+        graph.segment_of[keys[k].v] = seg.id;
+      }
+      graph.segments.push_back(std::move(seg));
+      i = j;
+    }
+
+    // Touch edges: tree edges crossing segment boundaries.
+    for (const auto& [a, b] : route.edges()) {
+      const SegmentId sa = graph.segment_of.at(a);
+      const SegmentId sb = graph.segment_of.at(b);
+      if (sa == sb) continue;
+      const bool via = grid.loc(a).layer != grid.loc(b).layer;
+      graph.touches.push_back({std::min(sa, sb), std::max(sa, sb), via});
+    }
+  }
+
+  // Deduplicate touch edges.
+  std::sort(graph.touches.begin(), graph.touches.end(),
+            [](const TouchEdge& x, const TouchEdge& y) {
+              if (x.a != y.a) return x.a < y.a;
+              if (x.b != y.b) return x.b < y.b;
+              return x.via < y.via;
+            });
+  graph.touches.erase(std::unique(graph.touches.begin(), graph.touches.end(),
+                                  [](const TouchEdge& x, const TouchEdge& y) {
+                                    return x.a == y.a && x.b == y.b && x.via == y.via;
+                                  }),
+                      graph.touches.end());
+  return graph;
+}
+
+SegmentId split_segment(SegmentGraph& graph, SegmentId seg, size_t split_index) {
+  assert(seg >= 0 && seg < static_cast<SegmentId>(graph.segments.size()));
+  Segment& s = graph.segments[static_cast<size_t>(seg)];
+  assert(split_index > 0 && split_index < s.vertices.size());
+
+  Segment tail;
+  tail.id = static_cast<SegmentId>(graph.segments.size());
+  tail.net = s.net;
+  tail.layer = s.layer;
+  tail.vertices.assign(s.vertices.begin() + static_cast<std::ptrdiff_t>(split_index),
+                       s.vertices.end());
+  s.vertices.resize(split_index);
+  for (const grid::VertexId v : tail.vertices) graph.segment_of[v] = tail.id;
+  const SegmentId tail_id = tail.id;
+  graph.segments.push_back(std::move(tail));
+  // The stitch candidate: a same-layer touch between the halves.
+  graph.touches.push_back({seg, tail_id, false});
+  return tail_id;
+}
+
+}  // namespace mrtpl::layout

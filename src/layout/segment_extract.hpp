@@ -1,0 +1,55 @@
+#pragma once
+/// \file segment_extract.hpp
+/// Wire-segment extraction for the layout-decomposition flows. A
+/// *segment* is a maximal straight run of routed vertices of one net on
+/// one layer; segments partition the routed vertices, so assigning one
+/// mask per segment yields a complete vertex coloring. Touch relations
+/// between segments of the same net record where a differing assignment
+/// would create a stitch (same-layer) or is free (via).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "grid/route_result.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::layout {
+
+using SegmentId = std::int32_t;
+constexpr SegmentId kNoSegment = -1;
+
+struct Segment {
+  SegmentId id = kNoSegment;
+  db::NetId net = db::kNoNet;
+  int layer = 0;
+  std::vector<grid::VertexId> vertices;  ///< sorted along the run
+};
+
+/// Same-net adjacency between two segments.
+struct TouchEdge {
+  SegmentId a = kNoSegment;
+  SegmentId b = kNoSegment;
+  bool via = false;  ///< layer change: mask difference is free
+};
+
+struct SegmentGraph {
+  std::vector<Segment> segments;
+  std::vector<TouchEdge> touches;
+  std::unordered_map<grid::VertexId, SegmentId> segment_of;
+};
+
+/// Extract the segment partition of every routed net in `solution`.
+/// Preferred-direction runs are extracted first; leftover vertices (vias,
+/// wrong-way jogs, isolated pin metal) become short or unit segments.
+[[nodiscard]] SegmentGraph extract_segments(const grid::RoutingGrid& grid,
+                                            const grid::Solution& solution);
+
+/// Split `seg` into two segments at position `split_index` (the first
+/// vertex of the second half). Updates the graph in place: the new
+/// segment takes the tail vertices, a same-layer touch edge (stitch
+/// candidate) links the halves, and segment_of is remapped. Returns the
+/// new segment's id.
+SegmentId split_segment(SegmentGraph& graph, SegmentId seg, size_t split_index);
+
+}  // namespace mrtpl::layout

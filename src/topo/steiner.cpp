@@ -1,0 +1,178 @@
+#include "topo/steiner.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace mrtpl::topo {
+
+namespace {
+constexpr int kInf = std::numeric_limits<int>::max();
+
+/// Median of three ints — the Hanan/Steiner junction coordinate for three
+/// points is the component-wise median.
+int median3(int a, int b, int c) {
+  return std::max(std::min(a, b), std::min(std::max(a, b), c));
+}
+}  // namespace
+
+int hpwl(std::span<const geom::Point> terminals) {
+  if (terminals.empty()) return 0;
+  int lox = terminals[0].x, hix = terminals[0].x;
+  int loy = terminals[0].y, hiy = terminals[0].y;
+  for (const auto& p : terminals) {
+    lox = std::min(lox, p.x);
+    hix = std::max(hix, p.x);
+    loy = std::min(loy, p.y);
+    hiy = std::max(hiy, p.y);
+  }
+  return (hix - lox) + (hiy - loy);
+}
+
+long long wirelength(const Topology& topo) {
+  long long total = 0;
+  for (const auto& [a, b] : topo.edges)
+    total += geom::manhattan(topo.points[static_cast<size_t>(a)],
+                             topo.points[static_cast<size_t>(b)]);
+  return total;
+}
+
+bool is_tree(const Topology& topo) {
+  const size_t n = topo.points.size();
+  if (n == 0) return false;
+  if (topo.edges.size() != n - 1) return false;
+  // Union-find cycle/connectivity check.
+  std::vector<int> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : topo.edges) {
+    if (a < 0 || b < 0 || a >= static_cast<int>(n) || b >= static_cast<int>(n))
+      return false;
+    const int ra = find(a), rb = find(b);
+    if (ra == rb) return false;  // cycle
+    parent[static_cast<size_t>(ra)] = rb;
+  }
+  return true;  // n-1 acyclic edges over n vertices => connected tree
+}
+
+Topology rmst(std::span<const geom::Point> terminals) {
+  assert(!terminals.empty());
+  Topology topo;
+  topo.points.assign(terminals.begin(), terminals.end());
+  topo.num_terminals = static_cast<int>(terminals.size());
+  const int n = topo.num_terminals;
+  if (n == 1) return topo;
+
+  // Prim with O(n^2) dense scan: best_dist[v] = distance from v to the
+  // grown tree, best_from[v] = the tree vertex realizing it.
+  std::vector<int> best_dist(static_cast<size_t>(n), kInf);
+  std::vector<int> best_from(static_cast<size_t>(n), 0);
+  std::vector<char> in_tree(static_cast<size_t>(n), 0);
+  in_tree[0] = 1;
+  for (int v = 1; v < n; ++v)
+    best_dist[static_cast<size_t>(v)] =
+        geom::manhattan(terminals[0], terminals[static_cast<size_t>(v)]);
+
+  for (int round = 1; round < n; ++round) {
+    int pick = -1, pick_dist = kInf;
+    for (int v = 0; v < n; ++v)
+      if (!in_tree[static_cast<size_t>(v)] &&
+          best_dist[static_cast<size_t>(v)] < pick_dist) {
+        pick = v;
+        pick_dist = best_dist[static_cast<size_t>(v)];
+      }
+    assert(pick >= 0);
+    in_tree[static_cast<size_t>(pick)] = 1;
+    topo.edges.emplace_back(best_from[static_cast<size_t>(pick)], pick);
+    for (int v = 0; v < n; ++v) {
+      if (in_tree[static_cast<size_t>(v)]) continue;
+      const int d = geom::manhattan(terminals[static_cast<size_t>(pick)],
+                                    terminals[static_cast<size_t>(v)]);
+      if (d < best_dist[static_cast<size_t>(v)]) {
+        best_dist[static_cast<size_t>(v)] = d;
+        best_from[static_cast<size_t>(v)] = pick;
+      }
+    }
+  }
+  return topo;
+}
+
+Topology rsmt(std::span<const geom::Point> terminals) {
+  Topology topo = rmst(terminals);
+  if (topo.points.size() < 3) return topo;
+
+  // Greedy Steinerization: for every vertex with >= 2 tree neighbors,
+  // try merging two incident edges through the component-wise median of
+  // the three endpoints. Gain = len(v,a) + len(v,b) - [len(v,s) +
+  // len(s,a) + len(s,b)]; apply the best positive gain and repeat. Each
+  // insertion strictly shortens the tree, so the loop terminates.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    // Adjacency from the current edge list.
+    std::vector<std::vector<int>> adj(topo.points.size());
+    for (int e = 0; e < static_cast<int>(topo.edges.size()); ++e) {
+      adj[static_cast<size_t>(topo.edges[static_cast<size_t>(e)].first)].push_back(e);
+      adj[static_cast<size_t>(topo.edges[static_cast<size_t>(e)].second)].push_back(e);
+    }
+    int best_gain = 0, best_v = -1, best_e1 = -1, best_e2 = -1;
+    geom::Point best_s;
+    for (int v = 0; v < static_cast<int>(topo.points.size()); ++v) {
+      const auto& inc = adj[static_cast<size_t>(v)];
+      for (size_t i = 0; i < inc.size(); ++i) {
+        for (size_t j = i + 1; j < inc.size(); ++j) {
+          const auto& [a1, b1] = topo.edges[static_cast<size_t>(inc[i])];
+          const auto& [a2, b2] = topo.edges[static_cast<size_t>(inc[j])];
+          const int na = a1 == v ? b1 : a1;
+          const int nb = a2 == v ? b2 : a2;
+          const geom::Point pv = topo.points[static_cast<size_t>(v)];
+          const geom::Point pa = topo.points[static_cast<size_t>(na)];
+          const geom::Point pb = topo.points[static_cast<size_t>(nb)];
+          const geom::Point s{median3(pv.x, pa.x, pb.x), median3(pv.y, pa.y, pb.y)};
+          const int before = geom::manhattan(pv, pa) + geom::manhattan(pv, pb);
+          const int after = geom::manhattan(pv, s) + geom::manhattan(s, pa) +
+                            geom::manhattan(s, pb);
+          const int gain = before - after;
+          if (gain > best_gain) {
+            best_gain = gain;
+            best_v = v;
+            best_e1 = inc[i];
+            best_e2 = inc[j];
+            best_s = s;
+          }
+        }
+      }
+    }
+    if (best_gain > 0) {
+      const int s_idx = static_cast<int>(topo.points.size());
+      topo.points.push_back(best_s);
+      auto& e1 = topo.edges[static_cast<size_t>(best_e1)];
+      auto& e2 = topo.edges[static_cast<size_t>(best_e2)];
+      const int na = e1.first == best_v ? e1.second : e1.first;
+      const int nb = e2.first == best_v ? e2.second : e2.first;
+      e1 = {best_v, s_idx};
+      e2 = {s_idx, na};
+      topo.edges.emplace_back(s_idx, nb);
+      improved = true;
+    }
+  }
+  return topo;
+}
+
+std::vector<std::pair<int, int>> mst_edge_order(
+    std::span<const geom::Point> terminals) {
+  const Topology topo = rmst(terminals);
+  // Prim emits edges already in grown-component order: edge i attaches a
+  // new vertex to the tree built by edges [0, i). Return them directly.
+  return topo.edges;
+}
+
+}  // namespace mrtpl::topo

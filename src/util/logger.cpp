@@ -1,0 +1,31 @@
+#include "util/logger.hpp"
+
+namespace mrtpl::util {
+
+LogLevel Logger::level_ = LogLevel::Warn;
+
+namespace {
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Silent: return "     ";
+  }
+  return "?";
+}
+}  // namespace
+
+void Logger::log(LogLevel lvl, std::string_view tag, const std::string& msg) {
+  if (static_cast<int>(lvl) < static_cast<int>(level_)) return;
+  std::fprintf(stderr, "[%s][%.*s] %s\n", level_name(lvl),
+               static_cast<int>(tag.size()), tag.data(), msg.c_str());
+}
+
+void debug(std::string_view tag, const std::string& msg) { Logger::log(LogLevel::Debug, tag, msg); }
+void info(std::string_view tag, const std::string& msg) { Logger::log(LogLevel::Info, tag, msg); }
+void warn(std::string_view tag, const std::string& msg) { Logger::log(LogLevel::Warn, tag, msg); }
+void error(std::string_view tag, const std::string& msg) { Logger::log(LogLevel::Error, tag, msg); }
+
+}  // namespace mrtpl::util

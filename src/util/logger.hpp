@@ -1,0 +1,34 @@
+#pragma once
+/// \file logger.hpp
+/// Minimal leveled logger. Routing runs produce a lot of per-iteration
+/// diagnostics; benches silence everything below Warn so table output
+/// stays machine-parsable.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace mrtpl::util {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/// Process-wide logger. Not thread-safe by design: all routers in this
+/// project are single-threaded (the paper's runtimes are single-run wall
+/// clock), so a mutex would be dead weight.
+class Logger {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel lvl) { level_ = lvl; }
+
+  static void log(LogLevel lvl, std::string_view tag, const std::string& msg);
+
+ private:
+  static LogLevel level_;
+};
+
+void debug(std::string_view tag, const std::string& msg);
+void info(std::string_view tag, const std::string& msg);
+void warn(std::string_view tag, const std::string& msg);
+void error(std::string_view tag, const std::string& msg);
+
+}  // namespace mrtpl::util

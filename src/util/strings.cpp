@@ -1,0 +1,67 @@
+#include "util/strings.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace mrtpl::util {
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string sci(double v) { return format("%.4E", v); }
+
+std::string fixed(double v, int digits) { return format("%.*f", digits, v); }
+
+std::string improvement(double base, double ours) {
+  if (base < 0) return "-";
+  if (base == 0) return "zero";
+  return format("%.2f%%", (base - ours) / base * 100.0);
+}
+
+void ImprovementAvg::add(double base, double ours) {
+  if (base <= 0) return;
+  sum_ += (base - ours) / base * 100.0;
+  ++n_;
+}
+
+double ImprovementAvg::mean() const { return n_ > 0 ? sum_ / n_ : 0.0; }
+
+std::string ImprovementAvg::str() const {
+  return n_ > 0 ? format("%.2f%%", mean()) : "-";
+}
+
+void SpeedupAvg::add(double base, double ours) {
+  if (ours <= 0 || base < 0) return;
+  sum_ += base / ours;
+  ++n_;
+}
+
+double SpeedupAvg::mean() const { return n_ > 0 ? sum_ / n_ : 0.0; }
+
+std::string SpeedupAvg::str() const {
+  return n_ > 0 ? format("%.2fx", mean()) : "-";
+}
+
+std::string join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace mrtpl::util

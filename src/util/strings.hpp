@@ -1,0 +1,63 @@
+#pragma once
+/// \file strings.hpp
+/// Small formatting helpers used by the table printers in src/eval.
+
+#include <string>
+#include <vector>
+
+namespace mrtpl::util {
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// "1.2345E+07"-style scientific with 4 fractional digits (paper table style).
+std::string sci(double v);
+
+/// Fixed-point with `digits` fractional digits.
+std::string fixed(double v, int digits);
+
+/// Percentage improvement string: (base-ours)/base as "81.17%"; returns
+/// "zero" when base == 0 (footnote a of Table II) and "-" when base < 0
+/// (missing data).
+std::string improvement(double base, double ours);
+
+/// Join with separator.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Accumulates per-case improvement percentages the way the paper's table
+/// "avg." rows do: cases with base == 0 are excluded (the "zero" footnote
+/// of Table II), and the average is the arithmetic mean of the remaining
+/// per-case percentages — not the improvement of the sums. (Check against
+/// Table II: mean{100, 94.12, 85.71, 100, 85, 22.16} = 81.17.)
+class ImprovementAvg {
+ public:
+  /// Record one case. Ignored when base <= 0 (zero or missing data).
+  void add(double base, double ours);
+  /// Mean per-case improvement as "81.17%", or "-" when nothing counted.
+  [[nodiscard]] std::string str() const;
+  /// Mean per-case improvement in percent (0 when nothing counted).
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] int count() const { return n_; }
+
+ private:
+  double sum_ = 0.0;
+  int n_ = 0;
+};
+
+/// Mean of per-case speedup ratios base/ours (paper's Table II speedup
+/// "avg." is mean{4.00, 3.86, ...} = 5.41, again not the ratio of sums).
+class SpeedupAvg {
+ public:
+  /// Record one case. Ignored when ours <= 0 or base < 0.
+  void add(double base, double ours);
+  /// Mean per-case speedup as "5.41x", or "-" when nothing counted.
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] int count() const { return n_; }
+
+ private:
+  double sum_ = 0.0;
+  int n_ = 0;
+};
+
+}  // namespace mrtpl::util

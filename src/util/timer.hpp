@@ -1,0 +1,26 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing used for the runtime columns of Table II.
+
+#include <chrono>
+
+namespace mrtpl::util {
+
+/// Monotonic stopwatch; `elapsed_s()` may be read repeatedly.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mrtpl::util

@@ -1,0 +1,59 @@
+#include "viz/ascii_render.hpp"
+
+#include "core/conflict.hpp"
+#include "util/strings.hpp"
+
+namespace mrtpl::viz {
+
+std::string render_layer(const grid::RoutingGrid& grid, int layer,
+                         AsciiOptions options) {
+  static constexpr char kMaskChar[grid::kNumMasks] = {'r', 'g', 'b'};
+
+  // Conflict overlay positions for this layer.
+  std::vector<std::uint8_t> conflicted;
+  if (options.mark_conflicts) {
+    conflicted.assign(grid.num_vertices(), 0);
+    for (const auto& c : core::detect_conflicts(grid)) {
+      for (const auto& [v, u] : c.pairs) {
+        conflicted[v] = 1;
+        conflicted[u] = 1;
+      }
+    }
+  }
+
+  std::string out;
+  out.reserve(static_cast<size_t>((grid.size_x() + 1) * grid.size_y()));
+  for (int y = grid.size_y() - 1; y >= 0; --y) {
+    for (int x = 0; x < grid.size_x(); ++x) {
+      const grid::VertexId v = grid.vertex(layer, x, y);
+      char c = '.';
+      if (grid.blocked(v)) {
+        c = '#';
+      } else if (options.mark_conflicts && !conflicted.empty() && conflicted[v]) {
+        c = '!';
+      } else if (options.show_pins && grid.is_pin_vertex(v)) {
+        c = static_cast<char>('1' + grid.owner(v) % 9);
+      } else if (grid.mask(v) != grid::kNoMask) {
+        c = kMaskChar[grid.mask(v)];
+      } else if (grid.owner(v) != db::kNoNet) {
+        c = '?';
+      }
+      out += c;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_all(const grid::RoutingGrid& grid, AsciiOptions options) {
+  std::string out;
+  for (int layer = 0; layer < grid.num_layers(); ++layer) {
+    out += util::format("-- %s (%s%s) --\n", grid.tech().layer(layer).name.c_str(),
+                        grid.tech().is_horizontal(layer) ? "H" : "V",
+                        grid.tech().is_tpl_layer(layer) ? ", TPL" : "");
+    out += render_layer(grid, layer, options);
+  }
+  return out;
+}
+
+}  // namespace mrtpl::viz

@@ -1,0 +1,26 @@
+#pragma once
+/// \file ascii_render.hpp
+/// Terminal rendering of a routed, colored layer: masks as r/g/b,
+/// blockages as '#', pins as digits, uncolored routed metal as '?'.
+/// Used by examples and by failing tests to show the offending region.
+
+#include <string>
+
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::viz {
+
+struct AsciiOptions {
+  bool show_pins = true;      ///< digits ('1'-based net id mod 10) on pin metal
+  bool mark_conflicts = false;///< overlay '!' where a color conflict exists
+};
+
+/// Render one layer of the grid as rows of characters (top row = max y).
+[[nodiscard]] std::string render_layer(const grid::RoutingGrid& grid, int layer,
+                                       AsciiOptions options = {});
+
+/// Render every layer, separated by headers.
+[[nodiscard]] std::string render_all(const grid::RoutingGrid& grid,
+                                     AsciiOptions options = {});
+
+}  // namespace mrtpl::viz

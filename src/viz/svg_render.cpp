@@ -1,0 +1,100 @@
+#include "viz/svg_render.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/conflict.hpp"
+#include "util/strings.hpp"
+
+namespace mrtpl::viz {
+
+namespace {
+
+const char* mask_color(grid::Mask m) {
+  switch (m) {
+    case 0: return "#d62728";  // red
+    case 1: return "#2ca02c";  // green
+    case 2: return "#1f77b4";  // blue
+    default: return "#999999";
+  }
+}
+
+}  // namespace
+
+std::string render_svg(const grid::RoutingGrid& grid, SvgOptions options) {
+  const int cell = options.cell_px;
+  const int first_layer = options.single_layer ? options.layer : 0;
+  const int last_layer = options.single_layer ? options.layer : grid.num_layers() - 1;
+  const int panes = last_layer - first_layer + 1;
+  const int pane_w = grid.size_x() * cell + 2 * cell;
+  const int width = panes * pane_w;
+  const int height = grid.size_y() * cell + 4 * cell;
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width
+      << "\" height=\"" << height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+
+  std::vector<std::uint8_t> conflicted;
+  if (options.mark_conflicts) {
+    conflicted.assign(grid.num_vertices(), 0);
+    for (const auto& c : core::detect_conflicts(grid))
+      for (const auto& [v, u] : c.pairs) {
+        conflicted[v] = 1;
+        conflicted[u] = 1;
+      }
+  }
+
+  for (int layer = first_layer; layer <= last_layer; ++layer) {
+    const int ox = (layer - first_layer) * pane_w + cell;
+    const int oy = 3 * cell;
+    svg << "<text x=\"" << ox << "\" y=\"" << 2 * cell << "\" font-size=\""
+        << 2 * cell << "\" font-family=\"monospace\">"
+        << grid.tech().layer(layer).name
+        << (grid.tech().is_tpl_layer(layer) ? " (TPL)" : "") << "</text>\n";
+    // Pane frame.
+    svg << "<rect x=\"" << ox << "\" y=\"" << oy << "\" width=\""
+        << grid.size_x() * cell << "\" height=\"" << grid.size_y() * cell
+        << "\" fill=\"none\" stroke=\"#cccccc\"/>\n";
+    for (int y = 0; y < grid.size_y(); ++y) {
+      for (int x = 0; x < grid.size_x(); ++x) {
+        const grid::VertexId v = grid.vertex(layer, x, y);
+        // SVG y axis points down; flip so row 0 is at the bottom.
+        const int px = ox + x * cell;
+        const int py = oy + (grid.size_y() - 1 - y) * cell;
+        if (grid.blocked(v)) {
+          svg << "<rect x=\"" << px << "\" y=\"" << py << "\" width=\"" << cell
+              << "\" height=\"" << cell << "\" fill=\"#555555\"/>\n";
+          continue;
+        }
+        const db::NetId owner = grid.owner(v);
+        if (owner == db::kNoNet) continue;
+        const grid::Mask m = grid.mask(v);
+        svg << "<rect x=\"" << px << "\" y=\"" << py << "\" width=\"" << cell
+            << "\" height=\"" << cell << "\" fill=\"" << mask_color(m)
+            << "\" fill-opacity=\"" << (grid.is_pin_vertex(v) ? "1.0" : "0.7")
+            << "\"";
+        if (grid.is_pin_vertex(v)) svg << " stroke=\"black\" stroke-width=\"1\"";
+        svg << "/>\n";
+        if (!conflicted.empty() && conflicted[v]) {
+          svg << "<circle cx=\"" << px + cell / 2 << "\" cy=\"" << py + cell / 2
+              << "\" r=\"" << cell << "\" fill=\"none\" stroke=\"#ff00ff\""
+              << " stroke-width=\"2\"/>\n";
+        }
+      }
+    }
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+void save_svg(const std::string& path, const grid::RoutingGrid& grid,
+              SvgOptions options) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("svg_render: cannot open " + path);
+  os << render_svg(grid, options);
+  if (!os) throw std::runtime_error("svg_render: write failed for " + path);
+}
+
+}  // namespace mrtpl::viz

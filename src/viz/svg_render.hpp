@@ -1,0 +1,30 @@
+#pragma once
+/// \file svg_render.hpp
+/// SVG rendering of routed, colored layouts — one translucent pane per
+/// TPL layer, masks in red/green/blue, obstacles in grey, conflicts
+/// circled. This is the figure generator for docs and for debugging
+/// specific cases (the paper's Fig. 1 / Fig. 3 style pictures).
+
+#include <string>
+
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::viz {
+
+struct SvgOptions {
+  int cell_px = 8;            ///< pixels per track
+  bool mark_conflicts = true; ///< circle color-conflict sites
+  bool single_layer = false;  ///< render only `layer`
+  int layer = 0;
+};
+
+/// Render the grid's committed state to an SVG document string.
+[[nodiscard]] std::string render_svg(const grid::RoutingGrid& grid,
+                                     SvgOptions options = {});
+
+/// Write render_svg output to a file; throws std::runtime_error on I/O
+/// failure.
+void save_svg(const std::string& path, const grid::RoutingGrid& grid,
+              SvgOptions options = {});
+
+}  // namespace mrtpl::viz

@@ -1,0 +1,92 @@
+/// \file test_astar.cpp
+/// A* mode must preserve solution quality (the heuristic is admissible,
+/// so path costs are optimal either way) while doing no more relaxation
+/// work than Dijkstra. Quality equality is checked at the metrics level;
+/// exact path identity is not required (equal-cost ties may break
+/// differently).
+
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "drc/checker.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+struct FlowMetrics {
+  eval::Metrics metrics;
+  std::uint64_t relaxations = 0;
+};
+
+FlowMetrics run_flow(const db::Design& design, const global::GuideSet& guides,
+                     bool astar) {
+  grid::RoutingGrid grid(design);
+  RouterConfig cfg;
+  cfg.use_astar = astar;
+  MrTplRouter router(design, &guides, cfg);
+  const grid::Solution sol = router.run(grid);
+  // Whatever the search mode, the result must verify.
+  const drc::DrcReport report = drc::verify(grid, design, sol);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  return {eval::evaluate(grid, sol, &guides), router.stats().relaxations};
+}
+
+class AstarEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AstarEquivalence, QualityPreservedWorkReduced) {
+  benchgen::CaseSpec spec = benchgen::tiny_case();
+  spec.width = spec.height = 48;
+  spec.num_nets = 70;
+  spec.seed = GetParam();
+  const db::Design design = benchgen::generate(spec);
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+
+  const FlowMetrics dijkstra = run_flow(design, guides, false);
+  const FlowMetrics astar = run_flow(design, guides, true);
+
+  // Same weighted quality band (ties can nudge individual counts by a
+  // hair, never systematically).
+  EXPECT_NEAR(astar.metrics.cost, dijkstra.metrics.cost,
+              0.03 * dijkstra.metrics.cost + 10.0)
+      << "seed " << GetParam();
+  EXPECT_LE(astar.metrics.conflicts, dijkstra.metrics.conflicts + 2);
+  EXPECT_EQ(astar.metrics.failed_nets, dijkstra.metrics.failed_nets);
+
+  // The point of the heuristic: strictly less frontier work.
+  EXPECT_LT(astar.relaxations, dijkstra.relaxations) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AstarEquivalence,
+                         ::testing::Values(5, 17, 23, 61, 97));
+
+TEST(Astar, FourPinNetSameCostAsDijkstra) {
+  // One net alone on an empty grid: both modes must find a tree of equal
+  // total cost (the optimum for each pin round).
+  db::Design d("f", db::Tech::make_default(2, 2), {0, 0, 29, 29});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  for (const auto& [x, y] :
+       {std::pair{2, 2}, {26, 3}, {3, 25}, {24, 26}}) {
+    p.shapes = {{x, y, x, y}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+
+  auto wirelength_of = [&](bool astar) {
+    grid::RoutingGrid grid(d);
+    RouterConfig cfg;
+    cfg.use_astar = astar;
+    MrTplRouter router(d, nullptr, cfg);
+    const grid::Solution sol = router.run(grid);
+    return eval::evaluate(grid, sol, nullptr).wirelength;
+  };
+  EXPECT_EQ(wirelength_of(true), wirelength_of(false));
+}
+
+}  // namespace
+}  // namespace mrtpl::core

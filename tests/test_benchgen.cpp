@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/case_spec.hpp"
+#include "benchgen/generator.hpp"
+#include "geom/spatial_grid.hpp"
+
+namespace mrtpl::benchgen {
+namespace {
+
+TEST(CaseSpec, SuitesHaveTenCases) {
+  EXPECT_EQ(ispd2018_suite().size(), 10u);
+  EXPECT_EQ(ispd2019_suite().size(), 10u);
+  for (const auto& s : ispd2018_suite()) EXPECT_TRUE(s.valid()) << s.name;
+  for (const auto& s : ispd2019_suite()) EXPECT_TRUE(s.valid()) << s.name;
+}
+
+TEST(CaseSpec, SizesGrowMonotonically) {
+  const auto suite = ispd2018_suite();
+  for (size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_GE(suite[i].width, suite[i - 1].width) << suite[i].name;
+    EXPECT_GE(suite[i].num_nets, suite[i - 1].num_nets) << suite[i].name;
+  }
+}
+
+TEST(CaseSpec, Ispd19UsesWiderColorWindow) {
+  for (const auto& s : ispd2019_suite()) EXPECT_EQ(s.dcolor, 3) << s.name;
+  for (const auto& s : ispd2018_suite()) EXPECT_EQ(s.dcolor, 2) << s.name;
+}
+
+TEST(Generator, RejectsInvalidSpec) {
+  CaseSpec bad = tiny_case();
+  bad.width = 2;
+  EXPECT_THROW(generate(bad), std::invalid_argument);
+}
+
+TEST(Generator, TinyCaseShape) {
+  const db::Design d = generate(tiny_case());
+  EXPECT_GT(d.num_nets(), 0);
+  EXPECT_LE(d.num_nets(), tiny_case().num_nets);
+  EXPECT_EQ(d.die(), geom::Rect(0, 0, 23, 23));
+  EXPECT_NO_THROW(d.validate());
+  for (const auto& net : d.nets()) EXPECT_GE(net.degree(), 2) << net.name;
+}
+
+TEST(Generator, Deterministic) {
+  const db::Design a = generate(tiny_case());
+  const db::Design b = generate(tiny_case());
+  ASSERT_EQ(a.num_nets(), b.num_nets());
+  for (int i = 0; i < a.num_nets(); ++i) {
+    const auto& na = a.net(i);
+    const auto& nb = b.net(i);
+    ASSERT_EQ(na.degree(), nb.degree());
+    for (int p = 0; p < na.degree(); ++p)
+      EXPECT_EQ(na.pins[static_cast<size_t>(p)].shapes,
+                nb.pins[static_cast<size_t>(p)].shapes);
+  }
+  ASSERT_EQ(a.obstacles().size(), b.obstacles().size());
+  for (size_t i = 0; i < a.obstacles().size(); ++i)
+    EXPECT_EQ(a.obstacles()[i].shape, b.obstacles()[i].shape);
+}
+
+TEST(Generator, SeedChangesLayout) {
+  CaseSpec other = tiny_case();
+  other.seed = 4242;
+  const db::Design a = generate(tiny_case());
+  const db::Design b = generate(other);
+  bool differs = a.num_nets() != b.num_nets();
+  if (!differs && a.num_nets() > 0)
+    differs = a.net(0).pins[0].shapes != b.net(0).pins[0].shapes;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generator, PinsDoNotOverlapEachOtherOrMacros) {
+  const db::Design d = generate(tiny_case());
+  geom::SpatialGrid idx(d.die(), 8);
+  std::uint32_t id = 0;
+  for (const auto& obs : d.obstacles())
+    if (obs.layer == 0) idx.insert(id++, obs.shape);
+  for (const auto& net : d.nets()) {
+    for (const auto& pin : net.pins) {
+      for (const auto& s : pin.shapes) {
+        EXPECT_FALSE(idx.any_overlap(s)) << "overlap at net " << net.name;
+        idx.insert(id++, s);
+      }
+    }
+  }
+}
+
+TEST(Generator, MultiPinNetsPresent) {
+  // The paper targets multi-pin nets; the suites must contain them.
+  const db::Design d = generate(ispd2018_suite()[0]);
+  int multi = 0;
+  for (const auto& net : d.nets())
+    if (net.degree() >= 3) ++multi;
+  EXPECT_GT(multi, 0);
+}
+
+TEST(Generator, MacrosBecomeObstaclesOnTplLayers) {
+  const CaseSpec spec = tiny_case();
+  const db::Design d = generate(spec);
+  ASSERT_FALSE(d.obstacles().empty());
+  for (const auto& obs : d.obstacles())
+    EXPECT_LT(obs.layer, spec.tpl_layers);
+}
+
+}  // namespace
+}  // namespace mrtpl::benchgen

@@ -1,0 +1,129 @@
+/// \file test_breakdown.cpp
+/// Per-layer / per-degree breakdowns and conflict statistics must be
+/// consistent with the headline metrics on the same layout.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "eval/breakdown.hpp"
+#include "eval/metrics.hpp"
+
+namespace mrtpl::eval {
+namespace {
+
+struct Routed {
+  db::Design design;
+  grid::RoutingGrid grid;
+  grid::Solution solution;
+
+  explicit Routed(benchgen::CaseSpec spec)
+      : design(benchgen::generate(spec)), grid(design) {
+    core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+    solution = router.run(grid);
+  }
+};
+
+benchgen::CaseSpec spec_of(std::uint64_t seed) {
+  benchgen::CaseSpec spec = benchgen::tiny_case();
+  spec.width = spec.height = 40;
+  spec.num_nets = 50;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(PerLayer, WirelengthSumsToMetric) {
+  Routed r(spec_of(7));
+  const Metrics m = evaluate(r.grid, r.solution, nullptr);
+  const auto layers = per_layer(r.grid, r.solution);
+  ASSERT_EQ(static_cast<int>(layers.size()), r.grid.num_layers());
+  long total_wl = 0;
+  int total_stitches = 0;
+  for (const auto& l : layers) {
+    total_wl += l.wirelength;
+    total_stitches += l.stitches;
+  }
+  EXPECT_EQ(total_wl, m.wirelength);
+  EXPECT_EQ(total_stitches, m.stitches);
+}
+
+TEST(PerLayer, NonTplLayersHaveNoStitchesOrViolations) {
+  Routed r(spec_of(11));
+  for (const auto& l : per_layer(r.grid, r.solution)) {
+    if (l.tpl) continue;
+    EXPECT_EQ(l.stitches, 0) << "layer " << l.layer;
+    EXPECT_EQ(l.violating_vertices, 0) << "layer " << l.layer;
+  }
+}
+
+TEST(PerLayer, TplFlagMatchesTech) {
+  Routed r(spec_of(13));
+  for (const auto& l : per_layer(r.grid, r.solution))
+    EXPECT_EQ(l.tpl, r.grid.tech().is_tpl_layer(l.layer));
+}
+
+TEST(PerDegree, NetCountsSumToDesign) {
+  Routed r(spec_of(17));
+  const auto buckets = per_degree(r.grid, r.design, r.solution);
+  int total = 0;
+  for (const auto& b : buckets) total += b.nets;
+  int expected = 0;
+  for (const auto& net : r.design.nets()) expected += net.degree() >= 2 ? 1 : 0;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(PerDegree, StitchesSumToMetric) {
+  Routed r(spec_of(19));
+  const Metrics m = evaluate(r.grid, r.solution, nullptr);
+  const auto buckets = per_degree(r.grid, r.design, r.solution);
+  int total = 0;
+  for (const auto& b : buckets) total += b.stitches;
+  EXPECT_EQ(total, m.stitches);
+}
+
+TEST(PerDegree, BucketsCoverRequestedRange) {
+  Routed r(spec_of(23));
+  const auto buckets = per_degree(r.grid, r.design, r.solution, 6);
+  ASSERT_EQ(buckets.size(), 5u);  // degrees 2..6
+  for (size_t i = 0; i < buckets.size(); ++i)
+    EXPECT_EQ(buckets[i].degree, static_cast<int>(i) + 2);
+}
+
+TEST(PerDegree, MaxDegreeClampedToTwo) {
+  Routed r(spec_of(29));
+  const auto buckets = per_degree(r.grid, r.design, r.solution, 0);
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].degree, 2);
+}
+
+TEST(ConflictStats, AgreesWithDetector) {
+  Routed r(spec_of(31));
+  const Metrics m = evaluate(r.grid, r.solution, nullptr);
+  const ConflictStats stats = conflict_stats(r.grid);
+  EXPECT_EQ(stats.clusters, m.conflicts);
+  if (stats.clusters == 0) {
+    EXPECT_EQ(stats.violating_pairs, 0);
+    EXPECT_EQ(stats.largest_cluster, 0);
+    EXPECT_EQ(stats.nets_involved, 0);
+    EXPECT_DOUBLE_EQ(stats.mean_cluster_size, 0.0);
+  } else {
+    EXPECT_GE(stats.violating_pairs, stats.clusters);
+    EXPECT_GE(stats.largest_cluster, 1);
+    EXPECT_GE(stats.nets_involved, 2);
+    EXPECT_GT(stats.mean_cluster_size, 0.0);
+  }
+}
+
+TEST(ConflictStats, CleanGridIsAllZero) {
+  // A freshly built grid has no committed wires at all.
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid g(d);
+  const ConflictStats stats = conflict_stats(g);
+  EXPECT_EQ(stats.clusters, 0);
+  EXPECT_EQ(stats.violating_pairs, 0);
+}
+
+}  // namespace
+}  // namespace mrtpl::eval

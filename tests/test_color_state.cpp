@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/color_state.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+TEST(ColorState, TableIEncodings) {
+  // Table I of the paper: every 3-bit encoding and its meaning.
+  EXPECT_EQ(ColorState::none().to_string(), "000");
+  EXPECT_EQ(ColorState::only(0).to_string(), "100");
+  EXPECT_EQ(ColorState::only(1).to_string(), "010");
+  EXPECT_EQ(ColorState::only(2).to_string(), "001");
+  EXPECT_EQ(ColorState::only(0).united(ColorState::only(1)).to_string(), "110");
+  EXPECT_EQ(ColorState::only(0).united(ColorState::only(2)).to_string(), "101");
+  EXPECT_EQ(ColorState::only(1).united(ColorState::only(2)).to_string(), "011");
+  EXPECT_EQ(ColorState::all().to_string(), "111");
+}
+
+TEST(ColorState, Counts) {
+  EXPECT_EQ(ColorState::none().count(), 0);
+  EXPECT_EQ(ColorState::only(1).count(), 1);
+  EXPECT_EQ(ColorState::all().count(), 3);
+  EXPECT_TRUE(ColorState::only(2).is_single());
+  EXPECT_FALSE(ColorState::all().is_single());
+  EXPECT_FALSE(ColorState::none().is_single());
+}
+
+TEST(ColorState, Contains) {
+  const ColorState rb = ColorState::only(0).united(ColorState::only(2));  // 101
+  EXPECT_TRUE(rb.contains(0));
+  EXPECT_FALSE(rb.contains(1));
+  EXPECT_TRUE(rb.contains(2));
+  EXPECT_FALSE(rb.contains(grid::kNoMask));
+}
+
+TEST(ColorState, Intersection) {
+  const ColorState a(0b110), b(0b011);
+  EXPECT_EQ(a.intersected(b).bits(), 0b010);
+  EXPECT_TRUE(a.has_common(b));
+  EXPECT_FALSE(ColorState(0b100).has_common(ColorState(0b011)));
+  EXPECT_TRUE(ColorState(0b100).intersected(ColorState(0b011)).empty());
+}
+
+TEST(ColorState, Minus) {
+  EXPECT_EQ(ColorState::all().minus(ColorState::only(1)).to_string(), "101");
+  EXPECT_EQ(ColorState::only(0).minus(ColorState::all()).to_string(), "000");
+}
+
+TEST(ColorState, LowestMask) {
+  // Bit k of the raw value corresponds to mask k (0=red,1=green,2=blue);
+  // note to_string() prints mask 0 leftmost, so raw 0b110 is masks {1,2}
+  // and stringifies as "011".
+  EXPECT_EQ(ColorState(0b111).lowest_mask(), 0);
+  EXPECT_EQ(ColorState(0b110).lowest_mask(), 1);
+  EXPECT_EQ(ColorState(0b100).lowest_mask(), 2);
+  EXPECT_EQ(ColorState(0b110).to_string(), "011");
+  EXPECT_EQ(ColorState::none().lowest_mask(), grid::kNoMask);
+}
+
+TEST(ColorState, BitsAreMasked) {
+  // Construction masks to 3 bits; no stray high bits survive.
+  EXPECT_EQ(ColorState(0xFF).bits(), 0b111);
+}
+
+TEST(ColorState, Add) {
+  ColorState s;
+  s.add(2);
+  EXPECT_EQ(s.to_string(), "001");
+  s.add(0);
+  EXPECT_EQ(s.to_string(), "101");
+  s.add(0);  // idempotent
+  EXPECT_EQ(s.to_string(), "101");
+}
+
+// Property: the Fig. 3 narrowing sequence 111 -> 101 -> 100 is monotone
+// under intersection — intersecting never adds colors.
+class IntersectMonotone : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IntersectMonotone, NeverGrows) {
+  const auto [a, b] = GetParam();
+  const ColorState sa(static_cast<std::uint8_t>(a));
+  const ColorState sb(static_cast<std::uint8_t>(b));
+  const ColorState x = sa.intersected(sb);
+  EXPECT_LE(x.count(), sa.count());
+  EXPECT_LE(x.count(), sb.count());
+  // Intersection result is contained in both.
+  for (grid::Mask m = 0; m < grid::kNumMasks; ++m)
+    if (x.contains(m)) {
+      EXPECT_TRUE(sa.contains(m));
+      EXPECT_TRUE(sb.contains(m));
+    }
+  // Commutativity & associativity with union.
+  EXPECT_EQ(sa.intersected(sb).bits(), sb.intersected(sa).bits());
+  EXPECT_EQ(sa.united(sb).bits(), sb.united(sa).bits());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, IntersectMonotone,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(0, 8)));
+
+}  // namespace
+}  // namespace mrtpl::core

@@ -1,0 +1,147 @@
+/// \file test_color_state_property.cpp
+/// Exhaustive algebraic properties of ColorState. The state space is all
+/// 8 subsets of {R,G,B}, so every law is checked over the full domain —
+/// these are the invariants the search and backtrace lean on (Table I of
+/// the paper plus the set algebra of the merging rules).
+
+#include <gtest/gtest.h>
+
+#include "core/color_state.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+std::vector<ColorState> all_states() {
+  std::vector<ColorState> out;
+  for (std::uint8_t bits = 0; bits < 8; ++bits) out.emplace_back(bits);
+  return out;
+}
+
+TEST(ColorStateAlgebra, IntersectionCommutes) {
+  for (const auto a : all_states())
+    for (const auto b : all_states())
+      EXPECT_EQ(a.intersected(b).bits(), b.intersected(a).bits());
+}
+
+TEST(ColorStateAlgebra, IntersectionAssociates) {
+  for (const auto a : all_states())
+    for (const auto b : all_states())
+      for (const auto c : all_states())
+        EXPECT_EQ(a.intersected(b).intersected(c).bits(),
+                  a.intersected(b.intersected(c)).bits());
+}
+
+TEST(ColorStateAlgebra, IntersectionIdempotent) {
+  for (const auto a : all_states()) EXPECT_EQ(a.intersected(a).bits(), a.bits());
+}
+
+TEST(ColorStateAlgebra, UniverseIsIdentity) {
+  const ColorState universe = ColorState::all();
+  for (const auto a : all_states())
+    EXPECT_EQ(a.intersected(universe).bits(), a.bits());
+}
+
+TEST(ColorStateAlgebra, EmptyAnnihilates) {
+  const ColorState empty(0);
+  for (const auto a : all_states()) {
+    EXPECT_EQ(a.intersected(empty).bits(), 0);
+    EXPECT_TRUE(a.intersected(empty).empty());
+  }
+}
+
+TEST(ColorStateAlgebra, IntersectionShrinks) {
+  for (const auto a : all_states())
+    for (const auto b : all_states()) {
+      const ColorState i = a.intersected(b);
+      EXPECT_LE(i.count(), a.count());
+      EXPECT_LE(i.count(), b.count());
+      // Every mask of the intersection is in both operands.
+      for (grid::Mask m = 0; m < grid::kNumMasks; ++m)
+        if (i.contains(m)) {
+          EXPECT_TRUE(a.contains(m));
+          EXPECT_TRUE(b.contains(m));
+        }
+    }
+}
+
+TEST(ColorStateAlgebra, HasCommonIffIntersectionNonEmpty) {
+  for (const auto a : all_states())
+    for (const auto b : all_states())
+      EXPECT_EQ(a.has_common(b), !a.intersected(b).empty());
+}
+
+TEST(ColorStateAlgebra, ContainsMatchesBitDecomposition) {
+  for (const auto a : all_states()) {
+    int members = 0;
+    for (grid::Mask m = 0; m < grid::kNumMasks; ++m)
+      members += a.contains(m) ? 1 : 0;
+    EXPECT_EQ(members, a.count());
+    EXPECT_EQ(a.empty(), members == 0);
+  }
+}
+
+TEST(ColorStateAlgebra, LowestMaskIsMember) {
+  for (const auto a : all_states()) {
+    if (a.empty()) continue;
+    const grid::Mask m = a.lowest_mask();
+    EXPECT_TRUE(a.contains(m));
+    for (grid::Mask lower = 0; lower < m; ++lower) EXPECT_FALSE(a.contains(lower));
+  }
+}
+
+TEST(ColorStateAlgebra, OnlyIsSingleton) {
+  for (grid::Mask m = 0; m < grid::kNumMasks; ++m) {
+    const ColorState s = ColorState::only(m);
+    EXPECT_EQ(s.count(), 1);
+    EXPECT_TRUE(s.contains(m));
+    EXPECT_EQ(s.lowest_mask(), m);
+  }
+}
+
+TEST(ColorStateAlgebra, UniverseOfKMasks) {
+  // DPL universe (2 masks) excludes blue; TPL universe holds all three.
+  EXPECT_EQ(ColorState::universe(2).count(), 2);
+  EXPECT_FALSE(ColorState::universe(2).contains(2));
+  EXPECT_EQ(ColorState::universe(3).count(), 3);
+  EXPECT_EQ(ColorState::universe(3).bits(), ColorState::all().bits());
+}
+
+TEST(ColorStateAlgebra, AddIsUnion) {
+  for (const auto a : all_states())
+    for (grid::Mask m = 0; m < grid::kNumMasks; ++m) {
+      ColorState s = a;
+      s.add(m);
+      EXPECT_TRUE(s.contains(m));
+      EXPECT_GE(s.count(), a.count());
+      // Everything previously present is still present.
+      for (grid::Mask other = 0; other < grid::kNumMasks; ++other)
+        if (a.contains(other)) EXPECT_TRUE(s.contains(other));
+    }
+}
+
+TEST(ColorStateAlgebra, MinusRemovesExactly) {
+  for (const auto a : all_states())
+    for (const auto b : all_states()) {
+      const ColorState d = a.minus(b);
+      for (grid::Mask m = 0; m < grid::kNumMasks; ++m)
+        EXPECT_EQ(d.contains(m), a.contains(m) && !b.contains(m));
+    }
+}
+
+TEST(ColorStateAlgebra, MinusThenIntersectDisjoint) {
+  for (const auto a : all_states())
+    for (const auto b : all_states())
+      EXPECT_TRUE(a.minus(b).intersected(b).empty());
+}
+
+/// The searching rule (Algorithm 2 lines 13-15): moving to a color outside
+/// the current state costs a stitch. Sanity over the full domain: a color
+/// is stitch-free iff contained.
+TEST(ColorStateAlgebra, StitchConditionIsMembership) {
+  for (const auto state : all_states())
+    for (grid::Mask c = 0; c < grid::kNumMasks; ++c)
+      EXPECT_EQ(!state.contains(c), state.intersected(ColorState::only(c)).empty());
+}
+
+}  // namespace
+}  // namespace mrtpl::core

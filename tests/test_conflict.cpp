@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/conflict.hpp"
+#include "db/design.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+db::Design blank(int nets = 4) {
+  db::Design d("c", db::Tech::make_default(2, 2), {0, 0, 31, 31});
+  for (int i = 0; i < nets; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{30, 30 - i, 30, 30 - i}};
+    d.add_pin(n, p);
+    p.shapes = {{28, 30 - i, 28, 30 - i}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  return d;
+}
+
+TEST(Conflict, EmptyGridHasNone) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  EXPECT_TRUE(violation_pairs(g).empty());
+  EXPECT_TRUE(detect_conflicts(g).empty());
+}
+
+TEST(Conflict, SameMaskWithinWindow) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);  // dcolor = 2
+  g.commit(g.vertex(0, 5, 5), 0, 1);
+  g.commit(g.vertex(0, 7, 5), 1, 1);  // distance 2, same mask -> violation
+  const auto pairs = violation_pairs(g);
+  ASSERT_EQ(pairs.size(), 1u);
+  const auto conflicts = detect_conflicts(g);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_EQ(conflicts[0].net_a, 0);
+  EXPECT_EQ(conflicts[0].net_b, 1);
+}
+
+TEST(Conflict, DifferentMasksNoViolation) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  g.commit(g.vertex(0, 5, 5), 0, 1);
+  g.commit(g.vertex(0, 6, 5), 1, 2);  // adjacent but different masks
+  EXPECT_TRUE(detect_conflicts(g).empty());
+}
+
+TEST(Conflict, OutsideWindowNoViolation) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  g.commit(g.vertex(0, 5, 5), 0, 1);
+  g.commit(g.vertex(0, 8, 5), 1, 1);  // distance 3 > dcolor
+  EXPECT_TRUE(detect_conflicts(g).empty());
+}
+
+TEST(Conflict, SameNetNeverConflicts) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  g.commit(g.vertex(0, 5, 5), 0, 1);
+  g.commit(g.vertex(0, 6, 5), 0, 1);
+  EXPECT_TRUE(detect_conflicts(g).empty());
+}
+
+TEST(Conflict, DifferentLayersNeverConflict) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  g.commit(g.vertex(0, 5, 5), 0, 1);
+  g.commit(g.vertex(1, 5, 5), 1, 1);
+  EXPECT_TRUE(detect_conflicts(g).empty());
+}
+
+TEST(Conflict, ParallelRunsClusterToOneConflict) {
+  // Two same-mask wires of different nets running parallel for 10 tracks:
+  // dozens of violating pairs but ONE clustered conflict.
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  for (int x = 3; x <= 13; ++x) {
+    g.commit(g.vertex(0, x, 5), 0, 2);
+    g.commit(g.vertex(0, x, 6), 1, 2);
+  }
+  const auto pairs = violation_pairs(g);
+  EXPECT_GT(pairs.size(), 10u);
+  EXPECT_EQ(detect_conflicts(g).size(), 1u);
+}
+
+TEST(Conflict, SeparatedRegionsCountSeparately) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  // Region 1 near (3,3); region 2 near (20,20): same net pair, two
+  // disconnected violating regions -> two conflicts.
+  g.commit(g.vertex(0, 3, 3), 0, 0);
+  g.commit(g.vertex(0, 4, 3), 1, 0);
+  g.commit(g.vertex(0, 20, 20), 0, 0);
+  g.commit(g.vertex(0, 21, 20), 1, 0);
+  EXPECT_EQ(detect_conflicts(g).size(), 2u);
+}
+
+TEST(Conflict, ThreeNetsPairwise) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  // Three mutually-close same-mask wires: three net pairs -> 3 conflicts.
+  g.commit(g.vertex(0, 5, 5), 0, 1);
+  g.commit(g.vertex(0, 6, 5), 1, 1);
+  g.commit(g.vertex(0, 5, 6), 2, 1);
+  EXPECT_EQ(detect_conflicts(g).size(), 3u);
+}
+
+TEST(Conflict, UncoloredVerticesIgnored) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  g.commit(g.vertex(0, 5, 5), 0, grid::kNoMask);
+  g.commit(g.vertex(0, 6, 5), 1, 1);
+  EXPECT_TRUE(detect_conflicts(g).empty());
+}
+
+TEST(Conflict, PairsListedInsideCluster) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  for (int x = 3; x <= 6; ++x) {
+    g.commit(g.vertex(0, x, 5), 0, 2);
+    g.commit(g.vertex(0, x, 6), 1, 2);
+  }
+  const auto conflicts = detect_conflicts(g);
+  ASSERT_EQ(conflicts.size(), 1u);
+  EXPECT_GE(conflicts[0].pairs.size(), 4u);
+}
+
+}  // namespace
+}  // namespace mrtpl::core

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "baseline/decomposer.hpp"
+#include "baseline/plain_router.hpp"
+#include "benchgen/generator.hpp"
+#include "core/conflict.hpp"
+#include "eval/metrics.hpp"
+
+namespace mrtpl::baseline {
+namespace {
+
+/// Two parallel wires of different nets one track apart: decomposition
+/// must give them different masks.
+db::Design parallel_pair() {
+  db::Design d("p", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  for (int i = 0; i < 2; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{2, 7 + i, 2, 7 + i}};
+    d.add_pin(n, p);
+    p.shapes = {{13, 7 + i, 13, 7 + i}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  return d;
+}
+
+TEST(Decomposer, ColorsParallelPairConflictFree) {
+  const db::Design d = parallel_pair();
+  grid::RoutingGrid g(d);
+  const grid::Solution sol = route_plain(d, nullptr, g);
+  ASSERT_EQ(sol.num_failed(), 0);
+  const DecomposeStats stats = decompose(g, sol);
+  EXPECT_GT(stats.segments, 0);
+  EXPECT_TRUE(core::detect_conflicts(g).empty());
+  // Every routed vertex on a TPL layer got a mask.
+  for (const auto& r : sol.routes) {
+    for (const auto v : r.vertices()) {
+      if (g.tech().is_tpl_layer(g.loc(v).layer)) {
+        EXPECT_NE(g.mask(v), grid::kNoMask);
+      }
+    }
+  }
+}
+
+TEST(Decomposer, FourMutuallyCloseWiresKeepConflict) {
+  // The paper's Fig. 1(a): four features pairwise within the color window
+  // cannot be 3-colored. Build it directly on the grid.
+  db::Design d("k4", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  for (int i = 0; i < 4; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{1, 1 + 3 * i, 1, 1 + 3 * i}};
+    d.add_pin(n, p);
+    p.shapes = {{1, 2 + 3 * i, 1, 2 + 3 * i}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  grid::RoutingGrid g(d);
+  // Hand-commit four unit wires in a 2x2 cluster (pairwise Chebyshev <= 2,
+  // all different nets) — plus connect each net's pins trivially far away.
+  grid::Solution sol;
+  const int cx = 8, cy = 8;
+  const std::pair<int, int> at[4] = {{cx, cy}, {cx + 1, cy}, {cx, cy + 1}, {cx + 1, cy + 1}};
+  for (int i = 0; i < 4; ++i) {
+    grid::NetRoute r;
+    r.net = i;
+    r.routed = true;
+    const grid::VertexId v = g.vertex(0, at[i].first, at[i].second);
+    r.paths = {{v}};
+    grid::commit_route(g, r, {});
+    sol.routes.push_back(std::move(r));
+  }
+  decompose(g, sol);
+  // 4 mutually conflicting unit features, 3 masks: at least one conflict
+  // must survive (pigeonhole).
+  EXPECT_GE(core::detect_conflicts(g).size(), 1u);
+}
+
+TEST(Decomposer, StitchInsertionTradesConflictForStitch) {
+  // One long wire conflicts with two short wires forced onto two
+  // different masks at its two ends; without a stitch the long wire
+  // always conflicts with one of them. Stitch insertion resolves it.
+  db::Design d("st", db::Tech::make_default(2, 2), {0, 0, 23, 23});
+  for (int i = 0; i < 5; ++i) d.add_net("n" + std::to_string(i));
+  for (int i = 0; i < 5; ++i) {
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{20, 20 - i, 20, 20 - i}};
+    d.add_pin(i, p);
+    p.shapes = {{22, 20 - i, 22, 20 - i}};
+    d.add_pin(i, p);
+  }
+  d.validate();
+  grid::RoutingGrid g(d);
+  grid::Solution sol;
+  sol.routes.resize(5);
+  auto add_wire = [&](db::NetId net, int y, int x0, int x1) {
+    grid::NetRoute r;
+    r.net = net;
+    r.routed = true;
+    std::vector<grid::VertexId> path;
+    for (int x = x0; x <= x1; ++x) path.push_back(g.vertex(0, x, y));
+    r.paths = {path};
+    grid::commit_route(g, r, {});
+    sol.routes[static_cast<size_t>(net)] = std::move(r);
+  };
+  // Long wire net0 along y=8, x in [2,14].
+  add_wire(0, 8, 2, 14);
+  // Left cluster: nets 1,2 near x=3 (force two masks), within window of net0.
+  add_wire(1, 6, 2, 4);
+  add_wire(2, 7, 2, 4);   // adjacent to net1 and net0: three nets locked
+  // Right cluster: nets 3,4 near x=13.
+  add_wire(3, 6, 12, 14);
+  add_wire(4, 7, 12, 14);
+
+  DecomposerConfig no_stitch;
+  no_stitch.enable_stitch_insertion = false;
+  grid::RoutingGrid g2(d);
+  for (size_t i = 0; i < sol.routes.size(); ++i) grid::commit_route(g2, sol.routes[i], {});
+  decompose(g2, sol, no_stitch);
+  const auto conflicts_without = core::detect_conflicts(g2).size();
+
+  DecomposerConfig with_stitch;
+  with_stitch.enable_stitch_insertion = true;
+  decompose(g, sol, with_stitch);
+  const auto conflicts_with = core::detect_conflicts(g).size();
+  EXPECT_LE(conflicts_with, conflicts_without);
+}
+
+TEST(Decomposer, DeterministicMasks) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  auto run_once = [&]() {
+    grid::RoutingGrid g(d);
+    const grid::Solution sol = route_plain(d, nullptr, g);
+    decompose(g, sol);
+    std::vector<int> masks;
+    for (grid::VertexId v = 0; v < g.num_vertices(); ++v)
+      masks.push_back(g.mask(v));
+    return masks;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Decomposer, TinyCaseEndToEnd) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid g(d);
+  const grid::Solution sol = route_plain(d, nullptr, g);
+  const DecomposeStats stats = decompose(g, sol);
+  EXPECT_GT(stats.segments, 0);
+  EXPECT_GT(stats.components, 0);
+  EXPECT_GE(stats.exact_components, 0);
+}
+
+TEST(Decomposer, ExactMatchesOrBeatsGreedyOnSmallComponents) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid g1(d);
+  const grid::Solution sol1 = route_plain(d, nullptr, g1);
+  DecomposerConfig exact_cfg;
+  exact_cfg.exact_component_limit = 12;
+  decompose(g1, sol1, exact_cfg);
+  const auto exact_conf = core::detect_conflicts(g1).size();
+
+  grid::RoutingGrid g2(d);
+  const grid::Solution sol2 = route_plain(d, nullptr, g2);
+  DecomposerConfig greedy_cfg;
+  greedy_cfg.exact_component_limit = 0;  // force greedy everywhere
+  decompose(g2, sol2, greedy_cfg);
+  const auto greedy_conf = core::detect_conflicts(g2).size();
+  EXPECT_LE(exact_conf, greedy_conf);
+}
+
+}  // namespace
+}  // namespace mrtpl::baseline

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "db/design.hpp"
+
+namespace mrtpl::db {
+namespace {
+
+Design make_design() {
+  return Design("d", Tech::make_default(4, 2), {0, 0, 31, 31});
+}
+
+TEST(Design, BuildNetsAndPins) {
+  Design d = make_design();
+  const NetId a = d.add_net("n0");
+  const NetId b = d.add_net("n1");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  Pin p;
+  p.name = "p";
+  p.layer = 0;
+  p.shapes.push_back({1, 1, 2, 1});
+  d.add_pin(a, p);
+  p.shapes = {{5, 5, 5, 5}};
+  d.add_pin(a, p);
+  p.shapes = {{9, 9, 9, 9}};
+  d.add_pin(b, p);
+  EXPECT_EQ(d.num_nets(), 2);
+  EXPECT_EQ(d.net(a).degree(), 2);
+  EXPECT_EQ(d.total_pins(), 3);
+}
+
+TEST(Design, PinBBox) {
+  Pin p;
+  p.layer = 0;
+  p.shapes = {{1, 1, 2, 1}, {5, 3, 5, 5}};
+  EXPECT_EQ(p.bbox(), geom::Rect(1, 1, 5, 5));
+}
+
+TEST(Design, NetBBox) {
+  Design d = make_design();
+  const NetId a = d.add_net("n0");
+  Pin p;
+  p.layer = 0;
+  p.shapes = {{2, 2, 2, 2}};
+  d.add_pin(a, p);
+  p.shapes = {{20, 9, 21, 9}};
+  d.add_pin(a, p);
+  EXPECT_EQ(d.net(a).bbox(), geom::Rect(2, 2, 21, 9));
+}
+
+TEST(Design, ValidatePasses) {
+  Design d = make_design();
+  const NetId a = d.add_net("n0");
+  Pin p;
+  p.layer = 1;
+  p.shapes = {{0, 0, 0, 0}};
+  d.add_pin(a, p);
+  d.add_obstacle({0, {5, 5, 8, 8}});
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Design, ValidateRejectsEmptyNet) {
+  Design d = make_design();
+  d.add_net("empty");
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Design, ValidateRejectsBadLayer) {
+  Design d = make_design();
+  const NetId a = d.add_net("n");
+  Pin p;
+  p.layer = 9;
+  p.shapes = {{0, 0, 0, 0}};
+  d.add_pin(a, p);
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Design, ValidateRejectsOutOfDiePin) {
+  Design d = make_design();
+  const NetId a = d.add_net("n");
+  Pin p;
+  p.layer = 0;
+  p.shapes = {{30, 30, 40, 30}};
+  d.add_pin(a, p);
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Design, ValidateRejectsOutOfDieObstacle) {
+  Design d = make_design();
+  const NetId a = d.add_net("n");
+  Pin p;
+  p.layer = 0;
+  p.shapes = {{0, 0, 0, 0}};
+  d.add_pin(a, p);
+  d.add_obstacle({0, {-1, 0, 3, 3}});
+  EXPECT_THROW(d.validate(), std::invalid_argument);
+}
+
+TEST(Design, AddPinToBadNetThrows) {
+  Design d = make_design();
+  Pin p;
+  p.layer = 0;
+  p.shapes = {{0, 0, 0, 0}};
+  EXPECT_THROW(d.add_pin(5, p), std::out_of_range);
+}
+
+TEST(Design, InvalidDieRejected) {
+  EXPECT_THROW(Design("d", Tech::make_default(2, 1), geom::Rect{5, 5, 2, 2}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mrtpl::db

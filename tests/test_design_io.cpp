@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/generator.hpp"
+#include "io/design_io.hpp"
+
+namespace mrtpl::io {
+namespace {
+
+TEST(DesignIo, RoundTripTinyCase) {
+  const db::Design original = benchgen::generate(benchgen::tiny_case());
+  const std::string text = design_to_string(original);
+  const db::Design loaded = design_from_string(text);
+
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.die(), original.die());
+  EXPECT_EQ(loaded.tech().num_layers(), original.tech().num_layers());
+  EXPECT_EQ(loaded.tech().rules().dcolor, original.tech().rules().dcolor);
+  ASSERT_EQ(loaded.num_nets(), original.num_nets());
+  for (int i = 0; i < original.num_nets(); ++i) {
+    const auto& a = original.net(i);
+    const auto& b = loaded.net(i);
+    EXPECT_EQ(a.name, b.name);
+    ASSERT_EQ(a.degree(), b.degree());
+    for (int p = 0; p < a.degree(); ++p) {
+      EXPECT_EQ(a.pins[static_cast<size_t>(p)].layer, b.pins[static_cast<size_t>(p)].layer);
+      EXPECT_EQ(a.pins[static_cast<size_t>(p)].shapes, b.pins[static_cast<size_t>(p)].shapes);
+    }
+  }
+  ASSERT_EQ(loaded.obstacles().size(), original.obstacles().size());
+  for (size_t i = 0; i < original.obstacles().size(); ++i) {
+    EXPECT_EQ(loaded.obstacles()[i].layer, original.obstacles()[i].layer);
+    EXPECT_EQ(loaded.obstacles()[i].shape, original.obstacles()[i].shape);
+  }
+}
+
+TEST(DesignIo, SecondRoundTripIsIdentical) {
+  const db::Design original = benchgen::generate(benchgen::tiny_case());
+  const std::string once = design_to_string(original);
+  const std::string twice = design_to_string(design_from_string(once));
+  EXPECT_EQ(once, twice);
+}
+
+TEST(DesignIo, RulesSurviveRoundTrip) {
+  db::TechRules rules;
+  rules.dcolor = 3;
+  rules.beta = 12.5;
+  rules.gamma = 777.25;
+  db::Design d("rules", db::Tech::make_default(3, 2, rules), {0, 0, 9, 9});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{1, 1, 1, 1}};
+  d.add_pin(n, p);
+  p.shapes = {{8, 8, 8, 8}};
+  d.add_pin(n, p);
+  const db::Design loaded = design_from_string(design_to_string(d));
+  EXPECT_EQ(loaded.tech().rules().dcolor, 3);
+  EXPECT_DOUBLE_EQ(loaded.tech().rules().beta, 12.5);
+  EXPECT_DOUBLE_EQ(loaded.tech().rules().gamma, 777.25);
+  EXPECT_TRUE(loaded.tech().is_tpl_layer(1));
+  EXPECT_FALSE(loaded.tech().is_tpl_layer(2));
+}
+
+TEST(DesignIo, CommentsAndBlankLinesIgnored) {
+  db::Design d("c", db::Tech::make_default(2, 1), {0, 0, 7, 7});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{1, 1, 1, 1}};
+  d.add_pin(n, p);
+  p.shapes = {{6, 6, 6, 6}};
+  d.add_pin(n, p);
+  std::string text = design_to_string(d);
+  text.insert(text.find("die"), "# a comment line\n\n");
+  EXPECT_NO_THROW(design_from_string(text));
+}
+
+TEST(DesignIo, RejectsBadHeader) {
+  EXPECT_THROW(design_from_string("bogus 1\n"), std::runtime_error);
+  EXPECT_THROW(design_from_string("mrtpl-design 99\nname x\n"), std::runtime_error);
+  EXPECT_THROW(design_from_string(""), std::runtime_error);
+}
+
+TEST(DesignIo, RejectsMissingEnd) {
+  db::Design d("m", db::Tech::make_default(2, 1), {0, 0, 7, 7});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{1, 1, 1, 1}};
+  d.add_pin(n, p);
+  p.shapes = {{6, 6, 6, 6}};
+  d.add_pin(n, p);
+  std::string text = design_to_string(d);
+  text = text.substr(0, text.rfind("end"));
+  EXPECT_THROW(design_from_string(text), std::runtime_error);
+}
+
+TEST(DesignIo, RejectsPinCountMismatch) {
+  db::Design d("m", db::Tech::make_default(2, 1), {0, 0, 7, 7});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{1, 1, 1, 1}};
+  d.add_pin(n, p);
+  p.shapes = {{6, 6, 6, 6}};
+  d.add_pin(n, p);
+  std::string text = design_to_string(d);
+  // Declare 3 pins but provide 2.
+  const auto pos = text.find("net n 2");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 7, "net n 3");
+  EXPECT_THROW(design_from_string(text), std::runtime_error);
+}
+
+TEST(DesignIo, RejectsGarbageTokens) {
+  EXPECT_THROW(
+      design_from_string("mrtpl-design 1\nname x\ndie 0 0 seven 7\n"),
+      std::runtime_error);
+}
+
+TEST(DesignIo, FileRoundTrip) {
+  const db::Design original = benchgen::generate(benchgen::tiny_case());
+  const std::string path = testing::TempDir() + "/mrtpl_design_io_test.design";
+  save_design(path, original);
+  const db::Design loaded = load_design(path);
+  EXPECT_EQ(design_to_string(original), design_to_string(loaded));
+}
+
+TEST(DesignIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_design("/nonexistent/path/x.design"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mrtpl::io

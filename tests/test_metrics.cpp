@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "db/design.hpp"
+#include "eval/metrics.hpp"
+#include "eval/report.hpp"
+
+namespace mrtpl::eval {
+namespace {
+
+db::Design blank() {
+  db::Design d("m", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  const db::NetId n = d.add_net("n0");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{14, 14, 14, 14}};
+  d.add_pin(n, p);
+  p.shapes = {{14, 12, 14, 12}};
+  d.add_pin(n, p);
+  d.validate();
+  return d;
+}
+
+grid::Solution route_with(grid::RoutingGrid& g,
+                          const std::vector<grid::VertexId>& path,
+                          const std::vector<grid::Mask>& masks) {
+  grid::Solution sol;
+  grid::NetRoute r;
+  r.net = 0;
+  r.routed = true;
+  r.paths = {path};
+  sol.routes.push_back(r);
+  const auto verts = r.vertices();
+  std::vector<grid::Mask> sorted_masks(verts.size(), grid::kNoMask);
+  for (size_t i = 0; i < path.size(); ++i) {
+    const auto it = std::lower_bound(verts.begin(), verts.end(), path[i]);
+    sorted_masks[static_cast<size_t>(it - verts.begin())] = masks[i];
+  }
+  grid::commit_route(g, sol.routes[0], sorted_masks);
+  return sol;
+}
+
+TEST(Metrics, WirelengthAndVias) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  const std::vector<grid::VertexId> path = {
+      g.vertex(0, 2, 5), g.vertex(0, 3, 5), g.vertex(0, 4, 5),
+      g.vertex(1, 4, 5), g.vertex(1, 4, 6)};
+  const auto sol = route_with(g, path, {0, 0, 0, 0, 0});
+  const Metrics m = evaluate(g, sol, nullptr);
+  EXPECT_EQ(m.wirelength, 3);  // 2 planar on M1 + 1 planar on M2
+  EXPECT_EQ(m.vias, 1);
+  EXPECT_EQ(m.wrong_way, 0);  // all moves preferred
+  EXPECT_EQ(m.stitches, 0);
+  EXPECT_EQ(m.conflicts, 0);
+}
+
+TEST(Metrics, WrongWayCounted) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  // M1 is horizontal; a y-move on it is wrong-way.
+  const std::vector<grid::VertexId> path = {g.vertex(0, 2, 5), g.vertex(0, 2, 6)};
+  const auto sol = route_with(g, path, {0, 0});
+  const Metrics m = evaluate(g, sol, nullptr);
+  EXPECT_EQ(m.wirelength, 1);
+  EXPECT_EQ(m.wrong_way, 1);
+}
+
+TEST(Metrics, StitchCountsMaskChange) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  const std::vector<grid::VertexId> path = {
+      g.vertex(0, 2, 5), g.vertex(0, 3, 5), g.vertex(0, 4, 5)};
+  const auto sol = route_with(g, path, {0, 0, 1});  // mask change mid-wire
+  const Metrics m = evaluate(g, sol, nullptr);
+  EXPECT_EQ(m.stitches, 1);
+}
+
+TEST(Metrics, ViaMaskChangeIsFree) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  const std::vector<grid::VertexId> path = {g.vertex(0, 2, 5), g.vertex(1, 2, 5)};
+  const auto sol = route_with(g, path, {0, 2});
+  EXPECT_EQ(evaluate(g, sol, nullptr).stitches, 0);
+}
+
+TEST(Metrics, OutOfGuideCounted) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  const std::vector<grid::VertexId> path = {
+      g.vertex(0, 2, 5), g.vertex(0, 3, 5), g.vertex(0, 4, 5)};
+  const auto sol = route_with(g, path, {0, 0, 0});
+  global::GuideSet guides(1);
+  guides[0].net = 0;
+  guides[0].boxes = {{2, 5, 3, 5}};  // covers the first two vertices only
+  const Metrics m = evaluate(g, sol, &guides);
+  EXPECT_EQ(m.out_of_guide, 1);
+}
+
+TEST(Metrics, CostFormulaComposition) {
+  Metrics m;
+  m.wirelength = 100;
+  m.vias = 10;
+  m.wrong_way = 4;
+  m.out_of_guide = 6;
+  m.stitches = 2;
+  m.failed_nets = 0;
+  EXPECT_DOUBLE_EQ(ispd_cost(m), 50.0 + 40.0 + 4.0 + 6.0 + 1.0);
+  m.failed_nets = 1;
+  EXPECT_DOUBLE_EQ(ispd_cost(m), 101.0 + 5000.0);
+}
+
+TEST(Metrics, FailedNetCounted) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  grid::Solution sol;
+  grid::NetRoute r;
+  r.net = 0;
+  r.routed = false;
+  r.paths = {{g.vertex(0, 2, 5)}};
+  sol.routes.push_back(r);
+  grid::commit_route(g, sol.routes[0], {});
+  const Metrics m = evaluate(g, sol, nullptr);
+  EXPECT_EQ(m.failed_nets, 1);
+  EXPECT_GE(m.cost, 5000.0);
+}
+
+TEST(Report, TableFormatting) {
+  Table t({"case", "conflict", "imp."});
+  t.add_row({"test1", "0", "zero"});
+  t.add_row({"test10", "352", "22.16%"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("case"), std::string::npos);
+  EXPECT_NE(s.find("test10"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Columns aligned: "conflict" header starts at same offset in each line.
+  const auto header_pos = s.find("conflict");
+  const auto row_line = s.find("test10");
+  const auto row_val = s.find("352");
+  EXPECT_EQ((row_val - row_line), (header_pos - s.find("case")));
+}
+
+TEST(Report, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+}  // namespace
+}  // namespace mrtpl::eval

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+/// Design with one 4-pin net, the Fig. 3 setting.
+db::Design four_pin_design() {
+  db::Design d("f", db::Tech::make_default(2, 2), {0, 0, 19, 19});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  for (const auto& [x, y] : {std::pair{2, 2}, {16, 3}, {3, 15}, {15, 16}}) {
+    p.shapes = {{x, y, x, y}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  return d;
+}
+
+/// Check that a routed net's tree is connected and touches every pin.
+void expect_connected(const grid::RoutingGrid& g, const db::Net& net,
+                      const grid::NetRoute& route) {
+  ASSERT_TRUE(route.routed) << net.name;
+  const auto verts = route.vertices();
+  const std::set<grid::VertexId> vset(verts.begin(), verts.end());
+  // Union-find over tree edges.
+  std::unordered_map<grid::VertexId, grid::VertexId> parent;
+  for (const auto v : verts) parent[v] = v;
+  std::function<grid::VertexId(grid::VertexId)> find = [&](grid::VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const auto& [a, b] : route.edges()) parent[find(a)] = find(b);
+  // Same-net metal that is grid-adjacent is electrically connected even
+  // when no explicit path edge links it (pin metal abutting a wire).
+  for (const auto v : verts) {
+    for (int di = 0; di < grid::kNumDirs; ++di) {
+      const grid::VertexId n = g.neighbor(v, static_cast<grid::Dir>(di));
+      if (n != grid::kInvalidVertex && vset.count(n)) parent[find(v)] = find(n);
+    }
+  }
+  // At least one vertex of every pin must be in the tree.
+  for (const auto& pin : net.pins) {
+    bool covered = false;
+    for (const auto v : g.pin_vertices(pin))
+      if (vset.count(v)) covered = true;
+    EXPECT_TRUE(covered) << net.name << ": pin not in tree";
+  }
+  // The whole net is one electrical component.
+  std::set<grid::VertexId> roots;
+  for (const auto v : verts) roots.insert(find(v));
+  EXPECT_LE(roots.size(), 1u) << net.name << ": tree disconnected";
+}
+
+TEST(MrTplRouter, RoutesFourPinNet) {
+  const db::Design d = four_pin_design();
+  grid::RoutingGrid g(d);
+  MrTplRouter router(d, nullptr, RouterConfig{});
+  const grid::Solution sol = router.run(g);
+  ASSERT_EQ(sol.routes.size(), 1u);
+  expect_connected(g, d.net(0), sol.routes[0]);
+  // Solo net: no conflicts possible, and no stitches needed.
+  EXPECT_TRUE(detect_conflicts(g).empty());
+  EXPECT_EQ(eval::count_stitches(g, sol), 0);
+}
+
+TEST(MrTplRouter, AllVerticesColored) {
+  const db::Design d = four_pin_design();
+  grid::RoutingGrid g(d);
+  MrTplRouter router(d, nullptr, RouterConfig{});
+  const grid::Solution sol = router.run(g);
+  for (const auto v : sol.routes[0].vertices()) {
+    EXPECT_EQ(g.owner(v), 0);
+    EXPECT_NE(g.mask(v), grid::kNoMask) << "uncolored routed vertex";
+  }
+}
+
+TEST(MrTplRouter, PlainModeLeavesUncolored) {
+  const db::Design d = four_pin_design();
+  grid::RoutingGrid g(d);
+  RouterConfig cfg;
+  cfg.enable_coloring = false;
+  cfg.max_rrr_iterations = 0;
+  MrTplRouter router(d, nullptr, cfg);
+  const grid::Solution sol = router.run(g);
+  ASSERT_TRUE(sol.routes[0].routed);
+  for (const auto v : sol.routes[0].vertices())
+    EXPECT_EQ(g.mask(v), grid::kNoMask);
+}
+
+TEST(MrTplRouter, TwoCloseNetsGetDifferentMasksOrDistance) {
+  // Two parallel 2-pin nets one track apart: with TPL awareness they must
+  // end on different masks (or farther apart) — zero conflicts.
+  db::Design d("p", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  for (int i = 0; i < 2; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{2, 7 + i, 2, 7 + i}};
+    d.add_pin(n, p);
+    p.shapes = {{13, 7 + i, 13, 7 + i}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  grid::RoutingGrid g(d);
+  MrTplRouter router(d, nullptr, RouterConfig{});
+  const grid::Solution sol = router.run(g);
+  EXPECT_TRUE(sol.routes[0].routed);
+  EXPECT_TRUE(sol.routes[1].routed);
+  EXPECT_TRUE(detect_conflicts(g).empty());
+}
+
+TEST(MrTplRouter, UnroutablePinReportsFailure) {
+  db::Design d("u", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{2, 8, 2, 8}};
+  d.add_pin(n, p);
+  p.shapes = {{13, 8, 13, 8}};
+  d.add_pin(n, p);
+  d.validate();
+  grid::RoutingGrid g(d);
+  // Failure injection: wall off the right pin on both layers.
+  for (int l = 0; l < 2; ++l)
+    for (int x = 11; x <= 15; ++x)
+      for (int y = 0; y < 16; ++y)
+        if (!(x == 13 && y == 8)) g.inject_blockage(g.vertex(l, x, y));
+  MrTplRouter router(d, nullptr, RouterConfig{});
+  const grid::Solution sol = router.run(g);
+  EXPECT_FALSE(sol.routes[0].routed);
+  EXPECT_EQ(router.stats().failed_nets, 1);
+}
+
+TEST(MrTplRouter, TinyCaseEndToEnd) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid g(d);
+  global::GlobalRouter gr(d);
+  const global::GuideSet guides = gr.route_all();
+  MrTplRouter router(d, &guides, RouterConfig{});
+  const grid::Solution sol = router.run(g);
+  for (const auto& net : d.nets())
+    expect_connected(g, net, sol.routes[static_cast<size_t>(net.id)]);
+}
+
+TEST(MrTplRouter, DeterministicAcrossRuns) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  auto run_once = [&]() {
+    grid::RoutingGrid g(d);
+    MrTplRouter router(d, nullptr, RouterConfig{});
+    const grid::Solution sol = router.run(g);
+    std::vector<grid::VertexId> all;
+    for (const auto& r : sol.routes) {
+      const auto v = r.vertices();
+      all.insert(all.end(), v.begin(), v.end());
+    }
+    return all;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(MrTplRouter, RrrReducesConflictsMonotonicallyInTheEnd) {
+  const db::Design d = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid g(d);
+  RouterConfig cfg;
+  cfg.max_rrr_iterations = 4;
+  MrTplRouter router(d, nullptr, cfg);
+  router.run(g);
+  const auto& conf = router.stats().conflicts_per_iter;
+  ASSERT_FALSE(conf.empty());
+  // Final count never exceeds the initial count.
+  EXPECT_LE(conf.back(), conf.front());
+}
+
+TEST(MrTplRouter, StitchOnlyWhenColorChanges) {
+  const db::Design d = four_pin_design();
+  grid::RoutingGrid g(d);
+  MrTplRouter router(d, nullptr, RouterConfig{});
+  const grid::Solution sol = router.run(g);
+  // Count mask changes along planar edges manually; must equal metric.
+  int manual = 0;
+  for (const auto& [a, b] : sol.routes[0].edges()) {
+    if (g.loc(a).layer != g.loc(b).layer) continue;
+    if (g.mask(a) != g.mask(b)) ++manual;
+  }
+  EXPECT_EQ(manual, eval::count_stitches(g, sol));
+}
+
+}  // namespace
+}  // namespace mrtpl::core

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "db/design.hpp"
+#include "grid/route_result.hpp"
+
+namespace mrtpl::grid {
+namespace {
+
+db::Design two_net_design() {
+  db::Design d("r", db::Tech::make_default(2, 1), {0, 0, 9, 9});
+  for (int n = 0; n < 2; ++n) {
+    const db::NetId id = d.add_net("n" + std::to_string(n));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{n * 4, 0, n * 4, 0}};
+    d.add_pin(id, p);
+    p.shapes = {{n * 4, 5, n * 4, 5}};
+    d.add_pin(id, p);
+  }
+  d.validate();
+  return d;
+}
+
+TEST(NetRoute, VerticesDeduplicated) {
+  NetRoute r;
+  r.net = 0;
+  r.paths = {{5, 4, 3}, {3, 2, 1}};
+  const auto v = r.vertices();
+  EXPECT_EQ(v, (std::vector<VertexId>{1, 2, 3, 4, 5}));
+}
+
+TEST(NetRoute, EdgesNormalizedAndUnique) {
+  NetRoute r;
+  r.net = 0;
+  r.paths = {{5, 4, 3}, {3, 4}};  // the 3-4 edge appears in both paths
+  const auto e = r.edges();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], std::make_pair(VertexId{3}, VertexId{4}));
+  EXPECT_EQ(e[1], std::make_pair(VertexId{4}, VertexId{5}));
+}
+
+TEST(NetRoute, SingleVertexPathHasNoEdges) {
+  NetRoute r;
+  r.paths = {{7}};
+  EXPECT_TRUE(r.edges().empty());
+  EXPECT_EQ(r.vertices().size(), 1u);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Solution, RoutedCounts) {
+  Solution s;
+  s.routes.resize(3);
+  s.routes[0].routed = true;
+  s.routes[2].routed = true;
+  EXPECT_EQ(s.num_routed(), 2);
+  EXPECT_EQ(s.num_failed(), 1);
+}
+
+TEST(CommitRelease, RoundTrip) {
+  const db::Design d = two_net_design();
+  RoutingGrid g(d);
+  NetRoute r;
+  r.net = 0;
+  const VertexId a = g.vertex(0, 0, 0);  // pin vertex of net 0
+  const VertexId b = g.vertex(0, 1, 0);
+  const VertexId c = g.vertex(0, 2, 0);
+  r.paths = {{a, b, c}};
+  commit_route(g, r, {0, 0, 1});
+  EXPECT_EQ(g.owner(b), 0);
+  EXPECT_EQ(g.mask(c), 1);
+  release_route(g, r);
+  EXPECT_EQ(g.owner(b), db::kNoNet);
+  EXPECT_EQ(g.owner(a), 0);  // pin vertex retains pin ownership
+  EXPECT_EQ(g.mask(a), kNoMask);
+}
+
+TEST(CommitRelease, UncoloredCommit) {
+  const db::Design d = two_net_design();
+  RoutingGrid g(d);
+  NetRoute r;
+  r.net = 1;
+  const VertexId v = g.vertex(0, 6, 2);
+  r.paths = {{v}};
+  commit_route(g, r, {});
+  EXPECT_EQ(g.owner(v), 1);
+  EXPECT_EQ(g.mask(v), kNoMask);
+}
+
+}  // namespace
+}  // namespace mrtpl::grid

@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "db/design.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::grid {
+namespace {
+
+db::Design small_design() {
+  db::Design d("g", db::Tech::make_default(3, 2), {0, 0, 15, 15});
+  const db::NetId n0 = d.add_net("n0");
+  db::Pin p;
+  p.name = "a";
+  p.layer = 0;
+  p.shapes = {{1, 1, 2, 1}};
+  d.add_pin(n0, p);
+  p.name = "b";
+  p.shapes = {{10, 10, 10, 10}};
+  d.add_pin(n0, p);
+  d.add_obstacle({0, {5, 5, 6, 6}});
+  d.validate();
+  return d;
+}
+
+TEST(RoutingGrid, Dimensions) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  EXPECT_EQ(g.num_layers(), 3);
+  EXPECT_EQ(g.size_x(), 16);
+  EXPECT_EQ(g.size_y(), 16);
+  EXPECT_EQ(g.num_vertices(), 3u * 16u * 16u);
+}
+
+TEST(RoutingGrid, VertexLocRoundTrip) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  for (int l = 0; l < 3; ++l)
+    for (int y = 0; y < 16; y += 5)
+      for (int x = 0; x < 16; x += 3) {
+        const VertexId v = g.vertex(l, x, y);
+        const VertexLoc loc = g.loc(v);
+        EXPECT_EQ(loc.layer, l);
+        EXPECT_EQ(loc.x, x);
+        EXPECT_EQ(loc.y, y);
+      }
+}
+
+TEST(RoutingGrid, NeighborsAndBoundaries) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId corner = g.vertex(0, 0, 0);
+  EXPECT_EQ(g.neighbor(corner, Dir::West), kInvalidVertex);
+  EXPECT_EQ(g.neighbor(corner, Dir::South), kInvalidVertex);
+  EXPECT_EQ(g.neighbor(corner, Dir::Down), kInvalidVertex);
+  EXPECT_EQ(g.loc(g.neighbor(corner, Dir::East)).x, 1);
+  EXPECT_EQ(g.loc(g.neighbor(corner, Dir::North)).y, 1);
+  EXPECT_EQ(g.loc(g.neighbor(corner, Dir::Up)).layer, 1);
+  const VertexId top = g.vertex(2, 15, 15);
+  EXPECT_EQ(g.neighbor(top, Dir::East), kInvalidVertex);
+  EXPECT_EQ(g.neighbor(top, Dir::North), kInvalidVertex);
+  EXPECT_EQ(g.neighbor(top, Dir::Up), kInvalidVertex);
+}
+
+TEST(RoutingGrid, NeighborInverse) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId mid = g.vertex(1, 8, 8);
+  for (int di = 0; di < kNumDirs; ++di) {
+    const auto dir = static_cast<Dir>(di);
+    const VertexId n = g.neighbor(mid, dir);
+    ASSERT_NE(n, kInvalidVertex);
+    EXPECT_EQ(g.neighbor(n, opposite(dir)), mid);
+  }
+}
+
+TEST(RoutingGrid, PreferredDirections) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  // M1 horizontal: E/W preferred.
+  EXPECT_TRUE(g.is_preferred(0, Dir::East));
+  EXPECT_TRUE(g.is_preferred(0, Dir::West));
+  EXPECT_FALSE(g.is_preferred(0, Dir::North));
+  // M2 vertical.
+  EXPECT_TRUE(g.is_preferred(1, Dir::North));
+  EXPECT_FALSE(g.is_preferred(1, Dir::East));
+  // Vias are always "preferred".
+  EXPECT_TRUE(g.is_preferred(0, Dir::Up));
+}
+
+TEST(RoutingGrid, ObstaclesBlock) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  EXPECT_TRUE(g.blocked(g.vertex(0, 5, 5)));
+  EXPECT_TRUE(g.blocked(g.vertex(0, 6, 6)));
+  EXPECT_FALSE(g.blocked(g.vertex(0, 4, 5)));
+  EXPECT_FALSE(g.blocked(g.vertex(1, 5, 5)));  // only layer 0 blocked
+}
+
+TEST(RoutingGrid, PinOwnership) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId pv = g.vertex(0, 1, 1);
+  EXPECT_EQ(g.owner(pv), 0);
+  EXPECT_TRUE(g.is_pin_vertex(pv));
+  EXPECT_EQ(g.mask(pv), kNoMask);
+  EXPECT_EQ(g.owner(g.vertex(0, 3, 3)), db::kNoNet);
+}
+
+TEST(RoutingGrid, CommitSetMaskRelease) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId v = g.vertex(1, 3, 3);
+  g.commit(v, 0, 2);
+  EXPECT_EQ(g.owner(v), 0);
+  EXPECT_EQ(g.mask(v), 2);
+  g.set_mask(v, 1);
+  EXPECT_EQ(g.mask(v), 1);
+  g.release(v);
+  EXPECT_EQ(g.owner(v), db::kNoNet);
+  EXPECT_EQ(g.mask(v), kNoMask);
+}
+
+TEST(RoutingGrid, ReleasePinVertexKeepsPinOwnership) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId pv = g.vertex(0, 1, 1);
+  g.commit(pv, 0, 1);
+  EXPECT_EQ(g.mask(pv), 1);
+  g.release(pv);
+  EXPECT_EQ(g.owner(pv), 0);       // pin metal persists
+  EXPECT_EQ(g.mask(pv), kNoMask);  // color undone
+}
+
+TEST(RoutingGrid, SameMaskNeighborsWindow) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);  // dcolor = 2 by default
+  const VertexId center = g.vertex(0, 8, 8);
+  // Another net's wire 2 tracks away, same mask.
+  g.commit(g.vertex(0, 10, 8), 1, 0);
+  EXPECT_EQ(g.same_mask_neighbors(center, 0, 0), 1);
+  EXPECT_EQ(g.same_mask_neighbors(center, 1, 0), 0);
+  // Out of window (3 tracks).
+  g.commit(g.vertex(0, 8, 11), 1, 0);
+  EXPECT_EQ(g.same_mask_neighbors(center, 0, 0), 1);
+  // Own net never counts.
+  EXPECT_EQ(g.same_mask_neighbors(center, 0, 1), 0);
+  // Uncolored vertices never count.
+  g.commit(g.vertex(0, 7, 8), 2, kNoMask);
+  EXPECT_EQ(g.same_mask_neighbors(center, 0, 0), 1);
+}
+
+TEST(RoutingGrid, NonTplLayerHasNoColorNeighborhood) {
+  const db::Design d = small_design();  // layers 0,1 TPL; layer 2 not
+  RoutingGrid g(d);
+  const VertexId v = g.vertex(2, 8, 8);
+  g.commit(g.vertex(2, 9, 8), 1, 0);
+  EXPECT_EQ(g.same_mask_neighbors(v, 0, 0), 0);
+}
+
+TEST(RoutingGrid, ConflictMaskBits) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId v = g.vertex(0, 8, 8);
+  g.commit(g.vertex(0, 9, 8), 1, 0);
+  g.commit(g.vertex(0, 8, 9), 2, 2);
+  EXPECT_EQ(g.conflict_mask_bits(v, 0), 0b101);
+}
+
+TEST(RoutingGrid, HistoryAccumulatesAndClears) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId v = g.vertex(0, 3, 3);
+  EXPECT_DOUBLE_EQ(g.history(v), 0.0);
+  g.add_history(v, 30.0);
+  g.add_history(v, 12.5);
+  EXPECT_NEAR(g.history(v), 42.5, 1e-6);
+  g.clear_history();
+  EXPECT_DOUBLE_EQ(g.history(v), 0.0);
+}
+
+TEST(RoutingGrid, PinVerticesExcludeBlocked) {
+  db::Design d("g", db::Tech::make_default(2, 1), {0, 0, 7, 7});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{2, 2, 4, 2}};
+  d.add_pin(n, p);
+  d.add_obstacle({0, {3, 2, 3, 2}});  // blocks the middle access point
+  d.validate();
+  RoutingGrid g(d);
+  const auto verts = g.pin_vertices(d.net(n).pins[0]);
+  EXPECT_EQ(verts.size(), 2u);
+}
+
+TEST(RoutingGrid, InjectBlockage) {
+  const db::Design d = small_design();
+  RoutingGrid g(d);
+  const VertexId v = g.vertex(1, 7, 7);
+  EXPECT_FALSE(g.blocked(v));
+  g.inject_blockage(v);
+  EXPECT_TRUE(g.blocked(v));
+}
+
+}  // namespace
+}  // namespace mrtpl::grid

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "core/conflict.hpp"
+#include "db/design.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+db::Design three_nets() {
+  db::Design d("b", db::Tech::make_default(2, 2), {0, 0, 31, 31});
+  for (int i = 0; i < 3; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{2, 4 * i + 2, 2, 4 * i + 2}};
+    d.add_pin(n, p);
+    p.shapes = {{12, 4 * i + 2, 12, 4 * i + 2}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  return d;
+}
+
+TEST(BlockersOf, FindsNetsInsideWindow) {
+  const db::Design d = three_nets();
+  grid::RoutingGrid g(d);
+  // Net 1's wire crosses net 0's bbox region.
+  for (int x = 2; x <= 12; ++x) g.commit(g.vertex(0, x, 4), 1, 0);
+  const auto blockers = blockers_of(g, d, 0, 2);
+  // Window = net 0's bbox (y=2) inflated by 2 -> rows 0..4: net 1's wire
+  // at y=4 is inside; both other nets' pin metal (y=6, y=10) is not.
+  ASSERT_EQ(blockers.size(), 1u);
+  EXPECT_EQ(blockers[0], 1);
+}
+
+TEST(BlockersOf, IgnoresOwnMetalAndFarNets) {
+  const db::Design d = three_nets();
+  grid::RoutingGrid g(d);
+  // Net 0's own wire never blocks itself.
+  for (int x = 2; x <= 12; ++x) g.commit(g.vertex(0, x, 2), 0, 0);
+  // Net 2 wire far away (y=30, outside net 0's inflated bbox).
+  for (int x = 2; x <= 12; ++x) g.commit(g.vertex(0, x, 30), 2, 1);
+  const auto blockers = blockers_of(g, d, 0, 2);
+  for (const auto b : blockers) {
+    EXPECT_NE(b, 0);
+    EXPECT_NE(b, 2);
+  }
+}
+
+TEST(BlockersOf, MarginWidensTheWindow) {
+  const db::Design d = three_nets();
+  grid::RoutingGrid g(d);
+  // Net 2's pins are at y=10; net 0's bbox is y=2. With margin 2 they are
+  // outside; with margin 10 they are inside.
+  const auto narrow = blockers_of(g, d, 0, 2);
+  const auto wide = blockers_of(g, d, 0, 10);
+  EXPECT_LT(narrow.size(), wide.size());
+  bool has_net2 = false;
+  for (const auto b : wide) has_net2 |= (b == 2);
+  EXPECT_TRUE(has_net2);
+}
+
+TEST(BlockersOf, EachNetReportedOnce) {
+  const db::Design d = three_nets();
+  grid::RoutingGrid g(d);
+  for (int x = 2; x <= 12; ++x) g.commit(g.vertex(0, x, 3), 1, 0);
+  for (int x = 2; x <= 12; ++x) g.commit(g.vertex(0, x, 4), 1, 0);
+  const auto blockers = blockers_of(g, d, 0, 2);
+  int count_net1 = 0;
+  for (const auto b : blockers) count_net1 += (b == 1);
+  EXPECT_EQ(count_net1, 1);
+}
+
+}  // namespace
+}  // namespace mrtpl::core

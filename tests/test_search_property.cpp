@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "core/color_search.hpp"
+#include "util/rng.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+/// Reference Dijkstra over the same grid and cost model, colorless mode
+/// (no gamma/beta terms), used to check that ColorSearch finds true
+/// shortest paths when colors are out of the picture.
+double reference_shortest(const grid::RoutingGrid& g, grid::VertexId src,
+                          grid::VertexId dst) {
+  const auto& rules = g.tech().rules();
+  std::vector<double> dist(g.num_vertices(), std::numeric_limits<double>::infinity());
+  using Item = std::pair<double, grid::VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[src] = 0.0;
+  pq.push({0.0, src});
+  while (!pq.empty()) {
+    const auto [d, v] = pq.top();
+    pq.pop();
+    if (d > dist[v] + 1e-12) continue;
+    if (v == dst) return d;
+    for (int di = 0; di < grid::kNumDirs; ++di) {
+      const auto dir = static_cast<grid::Dir>(di);
+      const grid::VertexId u = g.neighbor(v, dir);
+      if (u == grid::kInvalidVertex || g.blocked(u)) continue;
+      double step;
+      if (grid::is_via(dir)) {
+        step = rules.via_cost;
+      } else {
+        step = rules.wire_cost;
+        if (!g.is_preferred(g.loc(v).layer, dir)) step += rules.wrong_way_cost;
+      }
+      if (d + step < dist[u] - 1e-12) {
+        dist[u] = d + step;
+        pq.push({dist[u], u});
+      }
+    }
+  }
+  return dist[dst];
+}
+
+class SearchOptimality : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchOptimality, MatchesReferenceDijkstraOnRandomMazes) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  db::Design d("maze", db::Tech::make_default(3, 2), {0, 0, 19, 19});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{0, 0, 0, 0}};
+  d.add_pin(n, p);
+  p.shapes = {{19, 19, 19, 19}};
+  d.add_pin(n, p);
+  d.validate();
+
+  grid::RoutingGrid g(d);
+  // Random blockages, avoiding the two terminals.
+  for (int i = 0; i < 140; ++i) {
+    const int layer = rng.next_int(0, 2);
+    const int x = rng.next_int(0, 19);
+    const int y = rng.next_int(0, 19);
+    if ((x <= 1 && y <= 1) || (x >= 18 && y >= 18)) continue;
+    g.inject_blockage(g.vertex(layer, x, y));
+  }
+  const grid::VertexId src = g.vertex(0, 0, 0);
+  const grid::VertexId dst = g.vertex(0, 19, 19);
+  if (g.blocked(src) || g.blocked(dst)) GTEST_SKIP();
+
+  RouterConfig cfg;
+  cfg.enable_coloring = false;  // isolate the traditional cost terms
+  ColorSearch search(g, cfg);
+  search.begin_net(0, nullptr, d.die());
+  search.add_source(src, ColorState::all());
+  search.add_target(dst, 1);
+  const grid::VertexId reached = search.search();
+
+  const double want = reference_shortest(g, src, dst);
+  if (reached == grid::kInvalidVertex) {
+    EXPECT_TRUE(std::isinf(want)) << "search failed but a path exists";
+  } else {
+    EXPECT_NEAR(search.cost(reached), want, 1e-6) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mazes, SearchOptimality, ::testing::Range(1, 25));
+
+/// With colors on and an empty neighborhood, the color terms are all zero
+/// — the search must still return reference-shortest paths.
+class SearchOptimalityColored : public ::testing::TestWithParam<int> {};
+
+TEST_P(SearchOptimalityColored, ColorTermsAreZeroOnEmptyGrid) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  db::Design d("maze2", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{0, 8, 0, 8}};
+  d.add_pin(n, p);
+  p.shapes = {{15, 8, 15, 8}};
+  d.add_pin(n, p);
+  d.validate();
+  grid::RoutingGrid g(d);
+  for (int i = 0; i < 60; ++i) {
+    const int layer = rng.next_int(0, 1);
+    const int x = rng.next_int(1, 14);
+    const int y = rng.next_int(0, 15);
+    g.inject_blockage(g.vertex(layer, x, y));
+  }
+  const grid::VertexId src = g.vertex(0, 0, 8);
+  const grid::VertexId dst = g.vertex(0, 15, 8);
+
+  ColorSearch search(g, RouterConfig{});
+  search.begin_net(0, nullptr, d.die());
+  search.add_source(src, ColorState::all());
+  search.add_target(dst, 1);
+  const grid::VertexId reached = search.search();
+  const double want = reference_shortest(g, src, dst);
+  if (reached == grid::kInvalidVertex) {
+    EXPECT_TRUE(std::isinf(want));
+  } else {
+    EXPECT_NEAR(search.cost(reached), want, 1e-6);
+    EXPECT_EQ(search.state(reached).to_string(), "111");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Mazes, SearchOptimalityColored, ::testing::Range(1, 15));
+
+}  // namespace
+}  // namespace mrtpl::core

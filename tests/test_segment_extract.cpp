@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "layout/segment_extract.hpp"
+#include "db/design.hpp"
+
+namespace mrtpl::layout {
+namespace {
+
+db::Design blank() {
+  db::Design d("s", db::Tech::make_default(2, 2), {0, 0, 31, 31});
+  const db::NetId n = d.add_net("n0");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{30, 30, 30, 30}};
+  d.add_pin(n, p);
+  p.shapes = {{30, 28, 30, 28}};
+  d.add_pin(n, p);
+  d.validate();
+  return d;
+}
+
+grid::Solution one_route(const grid::RoutingGrid& g,
+                         std::vector<std::vector<grid::VertexId>> paths) {
+  grid::Solution sol;
+  grid::NetRoute r;
+  r.net = 0;
+  r.routed = true;
+  r.paths = std::move(paths);
+  sol.routes.push_back(std::move(r));
+  (void)g;
+  return sol;
+}
+
+TEST(SegmentExtract, StraightRunIsOneSegment) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  std::vector<grid::VertexId> path;
+  for (int x = 2; x <= 8; ++x) path.push_back(g.vertex(0, x, 5));  // M1 horizontal
+  const auto sol = one_route(g, {path});
+  const SegmentGraph graph = extract_segments(g, sol);
+  ASSERT_EQ(graph.segments.size(), 1u);
+  EXPECT_EQ(graph.segments[0].vertices.size(), 7u);
+  EXPECT_EQ(graph.segments[0].net, 0);
+  EXPECT_EQ(graph.segments[0].layer, 0);
+  EXPECT_TRUE(graph.touches.empty());
+}
+
+TEST(SegmentExtract, BendSplitsIntoTwoSegmentsWithTouch) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  // L-shape on M1 (horizontal layer): run along x then a wrong-way jog
+  // along y. The jog vertices are separate (unit) segments.
+  std::vector<grid::VertexId> path;
+  for (int x = 2; x <= 5; ++x) path.push_back(g.vertex(0, x, 5));
+  path.push_back(g.vertex(0, 5, 6));
+  path.push_back(g.vertex(0, 5, 7));
+  const auto sol = one_route(g, {path});
+  const SegmentGraph graph = extract_segments(g, sol);
+  EXPECT_GE(graph.segments.size(), 2u);
+  EXPECT_FALSE(graph.touches.empty());
+  for (const auto& t : graph.touches) EXPECT_FALSE(t.via);
+}
+
+TEST(SegmentExtract, ViaTouchMarked) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  std::vector<grid::VertexId> path = {g.vertex(0, 4, 5), g.vertex(1, 4, 5),
+                                      g.vertex(1, 4, 6)};
+  const auto sol = one_route(g, {path});
+  const SegmentGraph graph = extract_segments(g, sol);
+  ASSERT_EQ(graph.segments.size(), 2u);
+  ASSERT_EQ(graph.touches.size(), 1u);
+  EXPECT_TRUE(graph.touches[0].via);
+}
+
+TEST(SegmentExtract, PartitionCoversEveryVertexExactlyOnce) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  std::vector<grid::VertexId> path;
+  for (int x = 2; x <= 9; ++x) path.push_back(g.vertex(0, x, 5));
+  path.push_back(g.vertex(1, 9, 5));
+  for (int y = 6; y <= 10; ++y) path.push_back(g.vertex(1, 9, y));
+  const auto sol = one_route(g, {path});
+  const SegmentGraph graph = extract_segments(g, sol);
+  size_t total = 0;
+  for (const auto& s : graph.segments) total += s.vertices.size();
+  EXPECT_EQ(total, path.size());
+  EXPECT_EQ(graph.segment_of.size(), path.size());
+  for (const auto v : path) EXPECT_TRUE(graph.segment_of.contains(v));
+}
+
+TEST(SegmentExtract, SplitSegment) {
+  const db::Design d = blank();
+  grid::RoutingGrid g(d);
+  std::vector<grid::VertexId> path;
+  for (int x = 2; x <= 9; ++x) path.push_back(g.vertex(0, x, 5));
+  const auto sol = one_route(g, {path});
+  SegmentGraph graph = extract_segments(g, sol);
+  ASSERT_EQ(graph.segments.size(), 1u);
+  const SegmentId tail = split_segment(graph, 0, 3);
+  ASSERT_EQ(graph.segments.size(), 2u);
+  EXPECT_EQ(graph.segments[0].vertices.size(), 3u);
+  EXPECT_EQ(graph.segments[static_cast<size_t>(tail)].vertices.size(), 5u);
+  // Stitch-candidate touch edge added between the halves, same layer.
+  bool found = false;
+  for (const auto& t : graph.touches)
+    if ((t.a == 0 && t.b == tail) || (t.a == tail && t.b == 0)) {
+      found = true;
+      EXPECT_FALSE(t.via);
+    }
+  EXPECT_TRUE(found);
+  // segment_of remapped.
+  for (const auto v : graph.segments[static_cast<size_t>(tail)].vertices)
+    EXPECT_EQ(graph.segment_of.at(v), tail);
+}
+
+TEST(SegmentExtract, MultipleNetsKeepSeparateSegments) {
+  db::Design d("m", db::Tech::make_default(2, 2), {0, 0, 31, 31});
+  for (int i = 0; i < 2; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{1, 20 + i, 1, 20 + i}};
+    d.add_pin(n, p);
+    p.shapes = {{3, 20 + i, 3, 20 + i}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  grid::RoutingGrid g(d);
+  grid::Solution sol;
+  for (int i = 0; i < 2; ++i) {
+    grid::NetRoute r;
+    r.net = i;
+    r.routed = true;
+    std::vector<grid::VertexId> path;
+    for (int x = 2; x <= 8; ++x) path.push_back(g.vertex(0, x, 5 + i));
+    r.paths = {path};
+    sol.routes.push_back(std::move(r));
+  }
+  const SegmentGraph graph = extract_segments(g, sol);
+  ASSERT_EQ(graph.segments.size(), 2u);
+  EXPECT_NE(graph.segments[0].net, graph.segments[1].net);
+  EXPECT_TRUE(graph.touches.empty());  // touches never cross nets
+}
+
+}  // namespace
+}  // namespace mrtpl::layout

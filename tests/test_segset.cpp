@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/segset.hpp"
+
+namespace mrtpl::core {
+namespace {
+
+TEST(SegSetPool, FreshVerSetCarriesState) {
+  SegSetPool pool;
+  const VerSetId vs = pool.make_verset(ColorState(0b101));
+  EXPECT_EQ(pool.state_of(vs).bits(), 0b101);
+  EXPECT_EQ(pool.verset_of(42), kNoVerSet);
+  pool.attach(42, vs);
+  EXPECT_EQ(pool.verset_of(42), vs);
+}
+
+TEST(SegSetPool, ChangeStateIntersects) {
+  SegSetPool pool;
+  const VerSetId vs = pool.make_verset(ColorState::all());
+  const SegSetId root = pool.segset_of(vs);
+  EXPECT_EQ(pool.change_state(root, ColorState(0b101)).bits(), 0b101);
+  EXPECT_EQ(pool.change_state(root, ColorState(0b100)).bits(), 0b100);
+  // Fig. 3's narrowing: 111 -> 101 -> 100.
+}
+
+TEST(SegSetPool, MergeIntersectsStates) {
+  SegSetPool pool;
+  const VerSetId a = pool.make_verset(ColorState(0b110));
+  const VerSetId b = pool.make_verset(ColorState(0b011));
+  const SegSetId root = pool.merge(a, b);
+  EXPECT_EQ(pool.state_of(a).bits(), 0b010);
+  EXPECT_EQ(pool.state_of(b).bits(), 0b010);
+  EXPECT_EQ(pool.segset_of(a), root);
+  EXPECT_EQ(pool.segset_of(b), root);
+}
+
+TEST(SegSetPool, MergeIsIdempotent) {
+  SegSetPool pool;
+  const VerSetId a = pool.make_verset(ColorState(0b111));
+  const VerSetId b = pool.make_verset(ColorState(0b110));
+  const SegSetId r1 = pool.merge(a, b);
+  const SegSetId r2 = pool.merge(a, b);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(pool.state_of(a).bits(), 0b110);
+}
+
+TEST(SegSetPool, ChainedMerges) {
+  SegSetPool pool;
+  std::vector<VerSetId> vs;
+  for (int i = 0; i < 5; ++i) vs.push_back(pool.make_verset(ColorState::all()));
+  for (int i = 1; i < 5; ++i) pool.merge(vs[0], vs[static_cast<size_t>(i)]);
+  const SegSetId root = pool.segset_of(vs[0]);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(pool.segset_of(vs[static_cast<size_t>(i)]), root);
+  EXPECT_EQ(pool.roots().size(), 1u);
+}
+
+TEST(SegSetPool, SeparateSegSetsStaySeparate) {
+  // Two verSets without a merge = stitch boundary (Definition 3).
+  SegSetPool pool;
+  const VerSetId a = pool.make_verset(ColorState(0b100));
+  const VerSetId b = pool.make_verset(ColorState(0b010));
+  EXPECT_NE(pool.segset_of(a), pool.segset_of(b));
+  EXPECT_EQ(pool.roots().size(), 2u);
+}
+
+TEST(SegSetPool, MembersOf) {
+  SegSetPool pool;
+  const VerSetId a = pool.make_verset(ColorState::all());
+  const VerSetId b = pool.make_verset(ColorState::all());
+  pool.attach(1, a);
+  pool.attach(2, a);
+  pool.attach(3, b);
+  pool.merge(a, b);
+  auto members = pool.members_of(pool.segset_of(a));
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<grid::VertexId>{1, 2, 3}));
+}
+
+TEST(SegSetPool, Clear) {
+  SegSetPool pool;
+  pool.attach(1, pool.make_verset(ColorState::all()));
+  pool.clear();
+  EXPECT_EQ(pool.verset_of(1), kNoVerSet);
+  EXPECT_TRUE(pool.roots().empty());
+}
+
+}  // namespace
+}  // namespace mrtpl::core

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+#include "io/solution_io.hpp"
+
+namespace mrtpl::io {
+namespace {
+
+TEST(SolutionIo, RoundTripPreservesMetrics) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  const grid::Solution solution = router.run(grid);
+  const eval::Metrics before = eval::evaluate(grid, solution, nullptr);
+
+  const std::string text = solution_to_string(grid, solution);
+  grid::RoutingGrid grid2(design);
+  const grid::Solution loaded = solution_from_string(text, grid2);
+  const eval::Metrics after = eval::evaluate(grid2, loaded, nullptr);
+
+  EXPECT_EQ(before.conflicts, after.conflicts);
+  EXPECT_EQ(before.stitches, after.stitches);
+  EXPECT_EQ(before.wirelength, after.wirelength);
+  EXPECT_EQ(before.vias, after.vias);
+  EXPECT_EQ(before.failed_nets, after.failed_nets);
+}
+
+TEST(SolutionIo, MasksRestoredExactly) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  const grid::Solution solution = router.run(grid);
+
+  grid::RoutingGrid grid2(design);
+  solution_from_string(solution_to_string(grid, solution), grid2);
+  for (grid::VertexId v = 0; v < grid.num_vertices(); ++v) {
+    EXPECT_EQ(grid.owner(v), grid2.owner(v));
+    EXPECT_EQ(grid.mask(v), grid2.mask(v));
+  }
+}
+
+TEST(SolutionIo, RejectsBadHeader) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  EXPECT_THROW(solution_from_string("nope\n", grid), std::runtime_error);
+}
+
+TEST(SolutionIo, RejectsOutOfGridVertex) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  EXPECT_THROW(solution_from_string(
+                   "mrtpl-solution 1\nroute 0 1 1\npath 1 0 999 999\nend\n", grid),
+               std::runtime_error);
+}
+
+TEST(SolutionIo, RejectsUnknownNet) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  EXPECT_THROW(
+      solution_from_string("mrtpl-solution 1\nroute 9999 1 0\nend\n", grid),
+      std::runtime_error);
+}
+
+TEST(GuideIo, RoundTrip) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+  const global::GuideSet loaded = guides_from_string(guides_to_string(guides));
+  ASSERT_EQ(loaded.size(), guides.size());
+  for (size_t i = 0; i < guides.size(); ++i) {
+    EXPECT_EQ(loaded[i].net, guides[i].net);
+    EXPECT_EQ(loaded[i].boxes, guides[i].boxes);
+  }
+}
+
+TEST(GuideIo, RejectsTruncated) {
+  EXPECT_THROW(guides_from_string("mrtpl-guides 1\nguide 0 2 1 1 2 2\n"),
+               std::runtime_error);
+  EXPECT_THROW(guides_from_string("wrong\n"), std::runtime_error);
+}
+
+TEST(SolutionIo, FileRoundTrip) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  const grid::Solution solution = router.run(grid);
+  const std::string path = testing::TempDir() + "/mrtpl_solution_io_test.sol";
+  save_solution(path, grid, solution);
+  grid::RoutingGrid grid2(design);
+  const grid::Solution loaded = load_solution(path, grid2);
+  EXPECT_EQ(solution_to_string(grid, solution), solution_to_string(grid2, loaded));
+}
+
+}  // namespace
+}  // namespace mrtpl::io

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/spatial_grid.hpp"
+#include "util/rng.hpp"
+
+namespace mrtpl::geom {
+namespace {
+
+TEST(SpatialGrid, EmptyQueries) {
+  SpatialGrid g({0, 0, 63, 63}, 8);
+  EXPECT_EQ(g.size(), 0u);
+  EXPECT_TRUE(g.query({0, 0, 63, 63}).empty());
+  EXPECT_FALSE(g.any_overlap({0, 0, 63, 63}));
+}
+
+TEST(SpatialGrid, SingleRect) {
+  SpatialGrid g({0, 0, 63, 63}, 8);
+  g.insert(7, {10, 10, 20, 20});
+  EXPECT_EQ(g.query({15, 15, 16, 16}), std::vector<std::uint32_t>{7});
+  EXPECT_TRUE(g.query({21, 21, 30, 30}).empty());
+  EXPECT_TRUE(g.any_overlap({20, 20, 25, 25}));  // closed rect corner
+  EXPECT_FALSE(g.any_overlap({0, 0, 9, 9}));
+}
+
+TEST(SpatialGrid, MultiBinSpanningRectReportedOnce) {
+  SpatialGrid g({0, 0, 63, 63}, 8);
+  g.insert(1, {0, 0, 40, 40});  // spans many bins
+  const auto result = g.query({0, 0, 63, 63});
+  EXPECT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], 1u);
+}
+
+TEST(SpatialGrid, QueryOutsideBoundsClamps) {
+  SpatialGrid g({0, 0, 31, 31}, 8);
+  g.insert(3, {30, 30, 31, 31});
+  EXPECT_EQ(g.query({28, 28, 100, 100}).size(), 1u);
+}
+
+TEST(SpatialGrid, InvalidQueryRect) {
+  SpatialGrid g({0, 0, 31, 31}, 8);
+  g.insert(3, {0, 0, 1, 1});
+  EXPECT_TRUE(g.query({5, 5, 2, 2}).empty());
+  EXPECT_FALSE(g.any_overlap({5, 5, 2, 2}));
+}
+
+TEST(SpatialGrid, BinSizeOne) {
+  SpatialGrid g({0, 0, 15, 15}, 1);
+  g.insert(0, {3, 3, 3, 3});
+  g.insert(1, {4, 3, 4, 3});
+  EXPECT_EQ(g.query({3, 3, 4, 3}).size(), 2u);
+  EXPECT_EQ(g.query({3, 3, 3, 3}).size(), 1u);
+}
+
+// Property test: results always match a brute-force scan.
+class SpatialGridRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpatialGridRandom, MatchesBruteForce) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const Rect bounds{0, 0, 99, 99};
+  SpatialGrid g(bounds, 1 + GetParam() % 13);
+  std::vector<Rect> rects;
+  for (int i = 0; i < 60; ++i) {
+    const int x = rng.next_int(0, 90);
+    const int y = rng.next_int(0, 90);
+    const Rect r{x, y, x + rng.next_int(0, 9), y + rng.next_int(0, 9)};
+    rects.push_back(r);
+    g.insert(static_cast<std::uint32_t>(i), r);
+  }
+  for (int q = 0; q < 30; ++q) {
+    const int x = rng.next_int(0, 95);
+    const int y = rng.next_int(0, 95);
+    const Rect query{x, y, x + rng.next_int(0, 20), y + rng.next_int(0, 20)};
+    auto got = g.query(query);
+    std::sort(got.begin(), got.end());
+    std::vector<std::uint32_t> want;
+    for (size_t i = 0; i < rects.size(); ++i)
+      if (rects[i].overlaps(query)) want.push_back(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(got, want) << "seed=" << GetParam() << " query " << q;
+    EXPECT_EQ(g.any_overlap(query), !want.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpatialGridRandom, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace mrtpl::geom

@@ -1,0 +1,201 @@
+/// \file test_steiner.cpp
+/// Unit and property tests for src/topo: RMST exactness on small inputs,
+/// RSMT improvement bounds, tree validity, and decomposition order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "topo/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace mrtpl::topo {
+namespace {
+
+TEST(Hpwl, EmptyIsZero) { EXPECT_EQ(hpwl({}), 0); }
+
+TEST(Hpwl, SinglePointIsZero) {
+  const std::vector<geom::Point> pts{{5, 7}};
+  EXPECT_EQ(hpwl(pts), 0);
+}
+
+TEST(Hpwl, TwoPointsIsManhattan) {
+  const std::vector<geom::Point> pts{{0, 0}, {3, 4}};
+  EXPECT_EQ(hpwl(pts), 7);
+}
+
+TEST(Hpwl, BoundingBoxPerimeterHalf) {
+  const std::vector<geom::Point> pts{{0, 0}, {10, 0}, {5, 6}, {2, 3}};
+  EXPECT_EQ(hpwl(pts), 10 + 6);
+}
+
+TEST(Rmst, SinglePoint) {
+  const std::vector<geom::Point> pts{{1, 1}};
+  const Topology t = rmst(pts);
+  EXPECT_EQ(t.num_points(), 1);
+  EXPECT_TRUE(t.edges.empty());
+  EXPECT_TRUE(is_tree(t));
+  EXPECT_EQ(wirelength(t), 0);
+}
+
+TEST(Rmst, TwoPoints) {
+  const std::vector<geom::Point> pts{{0, 0}, {4, 2}};
+  const Topology t = rmst(pts);
+  ASSERT_EQ(t.edges.size(), 1u);
+  EXPECT_EQ(wirelength(t), 6);
+  EXPECT_TRUE(is_tree(t));
+}
+
+TEST(Rmst, CollinearChain) {
+  // Points on a line: MST is the chain, total length = span.
+  const std::vector<geom::Point> pts{{0, 0}, {10, 0}, {4, 0}, {7, 0}, {2, 0}};
+  const Topology t = rmst(pts);
+  EXPECT_EQ(wirelength(t), 10);
+  EXPECT_TRUE(is_tree(t));
+}
+
+TEST(Rmst, DuplicatePointsZeroLengthEdges) {
+  const std::vector<geom::Point> pts{{3, 3}, {3, 3}, {3, 3}};
+  const Topology t = rmst(pts);
+  EXPECT_EQ(wirelength(t), 0);
+  EXPECT_TRUE(is_tree(t));
+}
+
+TEST(Rmst, KnownSquarePlusCenter) {
+  // Unit square corners + center: MST connects center to two corners and
+  // chains the rest; total length is 2+2+2 = 6 for side 2.
+  const std::vector<geom::Point> pts{{0, 0}, {2, 0}, {0, 2}, {2, 2}, {1, 1}};
+  const Topology t = rmst(pts);
+  EXPECT_EQ(wirelength(t), 8);  // center to each corner is 2; MST = 4 edges of 2
+  EXPECT_TRUE(is_tree(t));
+}
+
+TEST(Rsmt, NeverLongerThanRmst) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<geom::Point> pts;
+    const int n = 2 + static_cast<int>(rng.next_below(10));
+    for (int i = 0; i < n; ++i)
+      pts.push_back({static_cast<int>(rng.next_below(100)),
+                     static_cast<int>(rng.next_below(100))});
+    const Topology mst = rmst(pts);
+    const Topology smt = rsmt(pts);
+    EXPECT_LE(wirelength(smt), wirelength(mst)) << "trial " << trial;
+    EXPECT_TRUE(is_tree(smt)) << "trial " << trial;
+  }
+}
+
+TEST(Rsmt, NeverShorterThanHpwlForSmallNets) {
+  // For <= 3 terminals, RSMT length equals the HPWL lower bound exactly.
+  util::Rng rng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<geom::Point> pts;
+    for (int i = 0; i < 3; ++i)
+      pts.push_back({static_cast<int>(rng.next_below(60)),
+                     static_cast<int>(rng.next_below(60))});
+    const Topology smt = rsmt(pts);
+    EXPECT_EQ(wirelength(smt), hpwl(pts)) << "trial " << trial;
+  }
+}
+
+TEST(Rsmt, LShapedTripleGetsSteinerPoint) {
+  // Three corners of an L: the Hanan point (5,0) shortens MST 15 -> 10.
+  const std::vector<geom::Point> pts{{0, 0}, {10, 0}, {5, 5}};
+  const Topology mst = rmst(pts);
+  const Topology smt = rsmt(pts);
+  EXPECT_EQ(wirelength(mst), 20);
+  EXPECT_EQ(wirelength(smt), 15);
+  EXPECT_EQ(smt.num_points(), 4);
+  EXPECT_TRUE(smt.is_steiner(3));
+  EXPECT_EQ(smt.points[3], (geom::Point{5, 0}));
+}
+
+TEST(Rsmt, CrossGetsOneSteinerPoint) {
+  // Plus-sign terminals around (5,5).
+  const std::vector<geom::Point> pts{{5, 0}, {5, 10}, {0, 5}, {10, 5}};
+  const Topology smt = rsmt(pts);
+  EXPECT_EQ(wirelength(smt), 20);
+  EXPECT_TRUE(is_tree(smt));
+}
+
+TEST(Rsmt, TerminalsPreserved) {
+  const std::vector<geom::Point> pts{{0, 0}, {9, 1}, {3, 8}, {7, 7}};
+  const Topology smt = rsmt(pts);
+  ASSERT_GE(smt.num_points(), 4);
+  EXPECT_EQ(smt.num_terminals, 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(smt.points[static_cast<size_t>(i)], pts[static_cast<size_t>(i)]);
+}
+
+TEST(IsTree, RejectsCycle) {
+  Topology t;
+  t.points = {{0, 0}, {1, 0}, {0, 1}};
+  t.num_terminals = 3;
+  t.edges = {{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_FALSE(is_tree(t));
+}
+
+TEST(IsTree, RejectsDisconnected) {
+  Topology t;
+  t.points = {{0, 0}, {1, 0}, {5, 5}, {6, 5}};
+  t.num_terminals = 4;
+  t.edges = {{0, 1}, {2, 3}, {0, 1}};  // duplicate edge forms a 2-cycle
+  EXPECT_FALSE(is_tree(t));
+}
+
+TEST(IsTree, RejectsOutOfRangeIndices) {
+  Topology t;
+  t.points = {{0, 0}, {1, 0}};
+  t.num_terminals = 2;
+  t.edges = {{0, 5}};
+  EXPECT_FALSE(is_tree(t));
+}
+
+TEST(MstEdgeOrder, SequentiallyConnected) {
+  // Every edge after the first must touch a previously-connected vertex.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<geom::Point> pts;
+    const int n = 2 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n; ++i)
+      pts.push_back({static_cast<int>(rng.next_below(50)),
+                     static_cast<int>(rng.next_below(50))});
+    const auto order = mst_edge_order(pts);
+    ASSERT_EQ(order.size(), pts.size() - 1);
+    std::set<int> connected{order.front().first};
+    for (const auto& [a, b] : order) {
+      EXPECT_TRUE(connected.contains(a) || connected.contains(b))
+          << "trial " << trial;
+      connected.insert(a);
+      connected.insert(b);
+    }
+    EXPECT_EQ(connected.size(), pts.size());
+  }
+}
+
+/// Property sweep: random nets of growing degree keep the invariant chain
+/// hpwl <= rsmt <= rmst, with both trees valid.
+class SteinerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SteinerSweep, LengthInvariants) {
+  const int degree = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(1000 + degree));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<geom::Point> pts;
+    for (int i = 0; i < degree; ++i)
+      pts.push_back({static_cast<int>(rng.next_below(200)),
+                     static_cast<int>(rng.next_below(200))});
+    const Topology mst = rmst(pts);
+    const Topology smt = rsmt(pts);
+    EXPECT_TRUE(is_tree(mst));
+    EXPECT_TRUE(is_tree(smt));
+    EXPECT_LE(hpwl(pts), wirelength(smt));
+    EXPECT_LE(wirelength(smt), wirelength(mst));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, SteinerSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 12, 16, 24, 40));
+
+}  // namespace
+}  // namespace mrtpl::topo

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "db/tech.hpp"
+
+namespace mrtpl::db {
+namespace {
+
+TEST(Tech, DefaultStack) {
+  const Tech t = Tech::make_default(4, 2);
+  EXPECT_EQ(t.num_layers(), 4);
+  EXPECT_EQ(t.layer(0).name, "M1");
+  EXPECT_EQ(t.layer(3).name, "M4");
+  // M1 horizontal, alternating.
+  EXPECT_TRUE(t.is_horizontal(0));
+  EXPECT_FALSE(t.is_horizontal(1));
+  EXPECT_TRUE(t.is_horizontal(2));
+  EXPECT_FALSE(t.is_horizontal(3));
+}
+
+TEST(Tech, TplLayerFlag) {
+  const Tech t = Tech::make_default(5, 3);
+  EXPECT_TRUE(t.is_tpl_layer(0));
+  EXPECT_TRUE(t.is_tpl_layer(1));
+  EXPECT_TRUE(t.is_tpl_layer(2));
+  EXPECT_FALSE(t.is_tpl_layer(3));
+  EXPECT_FALSE(t.is_tpl_layer(4));
+}
+
+TEST(Tech, RulesCarriedThrough) {
+  TechRules r;
+  r.dcolor = 3;
+  r.beta = 123.0;
+  const Tech t = Tech::make_default(2, 1, r);
+  EXPECT_EQ(t.rules().dcolor, 3);
+  EXPECT_DOUBLE_EQ(t.rules().beta, 123.0);
+}
+
+TEST(Tech, RulesValidation) {
+  TechRules bad;
+  bad.dcolor = 0;
+  EXPECT_FALSE(bad.valid());
+  EXPECT_THROW(Tech::make_default(2, 1, bad), std::invalid_argument);
+  TechRules good;
+  EXPECT_TRUE(good.valid());
+}
+
+TEST(Tech, EmptyStackRejected) {
+  EXPECT_THROW(Tech({}, TechRules{}), std::invalid_argument);
+}
+
+TEST(Tech, SingleLayer) {
+  const Tech t = Tech::make_default(1, 1);
+  EXPECT_EQ(t.num_layers(), 1);
+  EXPECT_TRUE(t.is_tpl_layer(0));
+}
+
+}  // namespace
+}  // namespace mrtpl::db

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace mrtpl::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, IntRangeInclusive) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.next_int(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, DegenerateSingletonRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_int(5, 5), 5);
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(format("%05.1f", 3.25), "003.2");
+  EXPECT_EQ(format("empty"), "empty");
+}
+
+TEST(Strings, Sci) {
+  EXPECT_EQ(sci(295450.0), "2.9545E+05");
+  EXPECT_EQ(sci(43454000.0), "4.3454E+07");
+}
+
+TEST(Strings, Fixed) {
+  EXPECT_EQ(fixed(5.41234, 2), "5.41");
+  EXPECT_EQ(fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, ImprovementColumn) {
+  // The exact semantics of Table II's improvement cells.
+  EXPECT_EQ(improvement(100.0, 18.83), "81.17%");
+  EXPECT_EQ(improvement(0.0, 0.0), "zero");     // footnote a
+  EXPECT_EQ(improvement(-1.0, 5.0), "-");       // missing baseline data
+  EXPECT_EQ(improvement(50.0, 75.0), "-50.00%");  // regression
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ", "), "");
+  EXPECT_EQ(join({"solo"}, "|"), "solo");
+}
+
+TEST(ImprovementAvg, PaperTableIIArithmetic) {
+  // Reproduces the paper's Table II conflict "avg." exactly: the mean of
+  // the per-case improvement percentages, zero-baseline cases excluded.
+  ImprovementAvg avg;
+  avg.add(0, 0);      // test1-3: "zero", excluded
+  avg.add(0, 0);
+  avg.add(0, 0);
+  avg.add(2, 0);      // test5: 100%
+  avg.add(17, 1);     // test6: 94.12%
+  avg.add(21, 3);     // test7: 85.71%
+  avg.add(42, 0);     // test8: 100%
+  avg.add(20, 3);     // test9: 85%
+  avg.add(352, 274);  // test10: 22.16%
+  EXPECT_EQ(avg.count(), 6);
+  EXPECT_NEAR(avg.mean(), 81.17, 0.01);
+  EXPECT_EQ(avg.str(), "81.17%");
+}
+
+TEST(ImprovementAvg, EmptyIsDash) {
+  ImprovementAvg avg;
+  EXPECT_EQ(avg.count(), 0);
+  EXPECT_EQ(avg.str(), "-");
+  EXPECT_DOUBLE_EQ(avg.mean(), 0.0);
+}
+
+TEST(ImprovementAvg, NegativeBaseIgnored) {
+  ImprovementAvg avg;
+  avg.add(-1, 5);
+  EXPECT_EQ(avg.count(), 0);
+  avg.add(10, 5);
+  EXPECT_EQ(avg.count(), 1);
+  EXPECT_NEAR(avg.mean(), 50.0, 1e-9);
+}
+
+TEST(ImprovementAvg, RegressionsGoNegative) {
+  ImprovementAvg avg;
+  avg.add(100, 150);
+  EXPECT_EQ(avg.str(), "-50.00%");
+}
+
+TEST(SpeedupAvg, PaperTableIIArithmetic) {
+  // The paper's 5.41x is the mean of the nine per-case speedups (test4
+  // excluded: the baseline timed out).
+  SpeedupAvg avg;
+  for (const auto& [base, ours] :
+       {std::pair{59.93, 14.98}, {605.34, 156.76}, {1932.20, 518.25},
+        {14188.33, 1110.10}, {4097.95, 886.12}, {14944.13, 2272.81},
+        {12584.58, 2143.91}, {5385.06, 1335.92}, {20931.53, 6498.20}}) {
+    avg.add(base, ours);
+  }
+  EXPECT_EQ(avg.count(), 9);
+  EXPECT_NEAR(avg.mean(), 5.41, 0.01);
+  EXPECT_EQ(avg.str(), "5.41x");
+}
+
+TEST(SpeedupAvg, ZeroDenominatorIgnored) {
+  SpeedupAvg avg;
+  avg.add(10.0, 0.0);
+  EXPECT_EQ(avg.count(), 0);
+  EXPECT_EQ(avg.str(), "-");
+}
+
+TEST(Timer, MeasuresForwardTime) {
+  Timer t;
+  volatile long sink = 0;
+  for (long i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(t.elapsed_s(), 0.0);
+  EXPECT_EQ(t.elapsed_ms() >= t.elapsed_s(), true);
+  t.reset();
+  EXPECT_LT(t.elapsed_s(), 1.0);
+}
+
+}  // namespace
+}  // namespace mrtpl::util
