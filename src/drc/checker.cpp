@@ -12,6 +12,7 @@ namespace mrtpl::drc {
 
 const char* to_string(ViolationKind kind) {
   switch (kind) {
+    case ViolationKind::kOutOfGrid: return "out-of-grid";
     case ViolationKind::kOpenNet: return "open-net";
     case ViolationKind::kNonAdjacentStep: return "non-adjacent-step";
     case ViolationKind::kOwnershipMismatch: return "ownership-mismatch";
@@ -77,6 +78,19 @@ class Verifier {
   }
 
   void check_route(const grid::NetRoute& route) {
+    // Solutions are untrusted input (they may come off disk): a vertex id
+    // outside the grid would index out of bounds in every check below, so
+    // gate on id validity first and stop checking a corrupt route.
+    bool ids_in_grid = true;
+    for (const auto& path : route.paths)
+      for (const grid::VertexId v : path)
+        if (v >= grid_.num_vertices()) {
+          add(ViolationKind::kOutOfGrid, route.net, v,
+              util::format("vertex id %u outside grid", v));
+          ids_in_grid = false;
+        }
+    if (!ids_in_grid) return;
+
     const auto verts = route.vertices();
 
     for (const auto& path : route.paths) {

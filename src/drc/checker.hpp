@@ -33,6 +33,7 @@
 namespace mrtpl::drc {
 
 enum class ViolationKind {
+  kOutOfGrid,        ///< path vertex id is not a vertex of the grid at all
   kOpenNet,          ///< routed net's tree is disconnected or misses a pin
   kNonAdjacentStep,  ///< consecutive path vertices are not grid neighbors
   kOwnershipMismatch,///< path vertex not committed to the net in the grid

@@ -1,0 +1,87 @@
+#include "support/builders.hpp"
+
+#include <string>
+#include <utility>
+
+#include "benchgen/generator.hpp"
+#include "db/tech.hpp"
+
+namespace mrtpl::test {
+
+db::Design four_pin_design() {
+  db::Design d("f", db::Tech::make_default(2, 2), {0, 0, 19, 19});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  for (const auto& [x, y] : {std::pair{2, 2}, {16, 3}, {3, 15}, {15, 16}}) {
+    p.shapes = {{x, y, x, y}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  return d;
+}
+
+db::Design corridor_design() {
+  db::Design d("s", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{1, 8, 1, 8}};
+  d.add_pin(n, p);
+  p.shapes = {{14, 8, 14, 8}};
+  d.add_pin(n, p);
+  d.validate();
+  return d;
+}
+
+db::Design parallel_nets_design(int count) {
+  db::Design d("p", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  for (int i = 0; i < count; ++i) {
+    const db::NetId n = d.add_net("n" + std::to_string(i));
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{2, 7 + i, 2, 7 + i}};
+    d.add_pin(n, p);
+    p.shapes = {{13, 7 + i, 13, 7 + i}};
+    d.add_pin(n, p);
+  }
+  d.validate();
+  return d;
+}
+
+db::Design grid_fixture_design() {
+  db::Design d("g", db::Tech::make_default(3, 2), {0, 0, 15, 15});
+  const db::NetId n0 = d.add_net("n0");
+  db::Pin p;
+  p.name = "a";
+  p.layer = 0;
+  p.shapes = {{1, 1, 2, 1}};
+  d.add_pin(n0, p);
+  p.name = "b";
+  p.shapes = {{10, 10, 10, 10}};
+  d.add_pin(n0, p);
+  d.add_obstacle({0, {5, 5, 6, 6}});
+  d.validate();
+  return d;
+}
+
+db::Design single_pin_design(int layers, int w, int h) {
+  db::Design d("g", db::Tech::make_default(layers, 2), {0, 0, w - 1, h - 1});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{0, 0, 0, 0}};
+  d.add_pin(n, p);
+  d.validate();
+  return d;
+}
+
+benchgen::CaseSpec sized_case(int edge, int num_nets, std::uint64_t seed) {
+  benchgen::CaseSpec spec = benchgen::tiny_case();
+  spec.width = spec.height = edge;
+  spec.num_nets = num_nets;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace mrtpl::test

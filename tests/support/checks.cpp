@@ -1,0 +1,75 @@
+#include "support/checks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "core/conflict.hpp"
+#include "drc/checker.hpp"
+
+namespace mrtpl::test {
+
+void expect_connected(const grid::RoutingGrid& g, const db::Net& net,
+                      const grid::NetRoute& route) {
+  ASSERT_TRUE(route.routed) << net.name;
+  const auto verts = route.vertices();
+  const std::set<grid::VertexId> vset(verts.begin(), verts.end());
+  // Union-find over tree edges.
+  std::unordered_map<grid::VertexId, grid::VertexId> parent;
+  for (const auto v : verts) parent[v] = v;
+  std::function<grid::VertexId(grid::VertexId)> find = [&](grid::VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (const auto& [a, b] : route.edges()) parent[find(a)] = find(b);
+  // Same-net metal that is grid-adjacent is electrically connected even
+  // when no explicit path edge links it (pin metal abutting a wire).
+  for (const auto v : verts) {
+    for (int di = 0; di < grid::kNumDirs; ++di) {
+      const grid::VertexId n = g.neighbor(v, static_cast<grid::Dir>(di));
+      if (n != grid::kInvalidVertex && vset.count(n)) parent[find(v)] = find(n);
+    }
+  }
+  // At least one vertex of every pin must be in the tree.
+  for (const auto& pin : net.pins) {
+    bool covered = false;
+    for (const auto v : g.pin_vertices(pin))
+      if (vset.count(v)) covered = true;
+    EXPECT_TRUE(covered) << net.name << ": pin not in tree";
+  }
+  // The whole net is one electrical component.
+  std::set<grid::VertexId> roots;
+  for (const auto v : verts) roots.insert(find(v));
+  EXPECT_LE(roots.size(), 1u) << net.name << ": tree disconnected";
+}
+
+void expect_all_connected(const grid::RoutingGrid& grid, const db::Design& design,
+                          const grid::Solution& solution) {
+  ASSERT_EQ(solution.routes.size(), static_cast<size_t>(design.num_nets()));
+  for (const auto& net : design.nets())
+    expect_connected(grid, net, solution.routes[static_cast<size_t>(net.id)]);
+}
+
+void expect_conflict_free(const grid::RoutingGrid& grid) {
+  const auto conflicts = core::detect_conflicts(grid);
+  EXPECT_TRUE(conflicts.empty()) << conflicts.size() << " color conflict(s)";
+  for (const auto& c : conflicts)
+    ADD_FAILURE() << "conflict between net " << c.net_a << " and net " << c.net_b
+                  << " (" << c.pairs.size() << " violating pair(s))";
+}
+
+void expect_drc_clean(const grid::RoutingGrid& grid, const db::Design& design,
+                      const grid::Solution& solution, bool check_coloring) {
+  drc::DrcOptions options;
+  options.check_coloring = check_coloring;
+  const drc::DrcReport report = drc::verify(grid, design, solution, options);
+  EXPECT_TRUE(report.clean())
+      << report.violations.size() << " DRC violation(s):\n" << report.summary();
+}
+
+}  // namespace mrtpl::test

@@ -1,0 +1,35 @@
+#pragma once
+/// \file checks.hpp
+/// Shared structural assertions over routed grids. Each helper reports
+/// failures through gtest's non-fatal EXPECT stream so callers see every
+/// broken property at once; wrap calls in ASSERT_NO_FATAL_FAILURE only
+/// when a later step cannot survive a failure.
+
+#include "db/design.hpp"
+#include "grid/route_result.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::test {
+
+/// Assert a routed net's tree is one electrical component touching every
+/// pin. Same-net metal that is grid-adjacent counts as connected even
+/// without an explicit path edge (pin metal abutting a wire). Fatal if
+/// the net is not routed at all.
+void expect_connected(const grid::RoutingGrid& grid, const db::Net& net,
+                      const grid::NetRoute& route);
+
+/// expect_connected over every net of the design.
+void expect_all_connected(const grid::RoutingGrid& grid, const db::Design& design,
+                          const grid::Solution& solution);
+
+/// Assert the committed layout has zero clustered color conflicts; on
+/// failure prints the offending net pairs.
+void expect_conflict_free(const grid::RoutingGrid& grid);
+
+/// Assert the independent DRC checker finds nothing (connectivity,
+/// adjacency, ownership, blockage, coloring, overlap); on failure prints
+/// the checker's summary. `check_coloring=false` for colorless flows.
+void expect_drc_clean(const grid::RoutingGrid& grid, const db::Design& design,
+                      const grid::Solution& solution, bool check_coloring = true);
+
+}  // namespace mrtpl::test

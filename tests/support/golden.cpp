@@ -1,0 +1,75 @@
+#include "support/golden.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#ifndef MRTPL_GOLDEN_DIR
+#error "MRTPL_GOLDEN_DIR must be defined by the build (see tests/support/CMakeLists.txt)"
+#endif
+
+namespace mrtpl::test {
+namespace {
+
+bool update_requested() {
+  const char* env = std::getenv("MRTPL_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0';
+}
+
+/// 1-based line number and text of the first line where a and b differ.
+struct FirstDiff {
+  int line = 0;
+  std::string expected, actual;
+};
+
+FirstDiff first_diff(const std::string& expected, const std::string& actual) {
+  std::istringstream ea(expected), aa(actual);
+  FirstDiff d;
+  std::string el, al;
+  while (true) {
+    ++d.line;
+    const bool have_e = static_cast<bool>(std::getline(ea, el));
+    const bool have_a = static_cast<bool>(std::getline(aa, al));
+    if (!have_e && !have_a) break;
+    d.expected = have_e ? el : "<end of file>";
+    d.actual = have_a ? al : "<end of file>";
+    if (!have_e || !have_a || el != al) return d;
+  }
+  d.line = 0;
+  return d;
+}
+
+}  // namespace
+
+std::string golden_path(const std::string& name) {
+  return std::string(MRTPL_GOLDEN_DIR) + "/" + name;
+}
+
+void expect_matches_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (update_requested()) {
+    std::ofstream os(path, std::ios::binary);
+    ASSERT_TRUE(os) << "cannot write golden file " << path;
+    os << actual;
+    GTEST_LOG_(INFO) << "updated golden file " << path;
+    return;
+  }
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    FAIL() << "missing golden file " << path
+           << "\nrun with MRTPL_UPDATE_GOLDEN=1 to create it";
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return;
+  const FirstDiff d = first_diff(expected, actual);
+  ADD_FAILURE() << "snapshot mismatch vs " << path << " at line " << d.line
+                << "\n  expected: " << d.expected << "\n  actual:   " << d.actual
+                << "\nif intentional, rerun with MRTPL_UPDATE_GOLDEN=1 and review "
+                   "the golden diff";
+}
+
+}  // namespace mrtpl::test

@@ -1,0 +1,23 @@
+#pragma once
+/// \file golden.hpp
+/// Golden-file snapshot assertions for the io/ round-trip suites. Golden
+/// files live in tests/golden/ (compiled in as MRTPL_GOLDEN_DIR).
+///
+/// To regenerate after an intentional format change:
+///   MRTPL_UPDATE_GOLDEN=1 ctest -R <suite>
+/// then review the diff of tests/golden/ like any other code change.
+
+#include <string>
+
+namespace mrtpl::test {
+
+/// Absolute path of a golden file by its name within tests/golden/.
+[[nodiscard]] std::string golden_path(const std::string& name);
+
+/// Assert `actual` equals the content of tests/golden/<name>. When the
+/// MRTPL_UPDATE_GOLDEN environment variable is set (non-empty), rewrites
+/// the golden file instead and passes. A missing golden file fails with a
+/// regeneration hint. On mismatch, prints the first differing line.
+void expect_matches_golden(const std::string& name, const std::string& actual);
+
+}  // namespace mrtpl::test

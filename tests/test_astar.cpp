@@ -12,6 +12,7 @@
 #include "drc/checker.hpp"
 #include "eval/metrics.hpp"
 #include "global/global_router.hpp"
+#include "support/builders.hpp"
 
 namespace mrtpl::core {
 namespace {
@@ -37,11 +38,8 @@ FlowMetrics run_flow(const db::Design& design, const global::GuideSet& guides,
 class AstarEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(AstarEquivalence, QualityPreservedWorkReduced) {
-  benchgen::CaseSpec spec = benchgen::tiny_case();
-  spec.width = spec.height = 48;
-  spec.num_nets = 70;
-  spec.seed = GetParam();
-  const db::Design design = benchgen::generate(spec);
+  const db::Design design =
+      benchgen::generate(test::sized_case(48, 70, GetParam()));
   global::GlobalRouter gr(design);
   const global::GuideSet guides = gr.route_all();
 

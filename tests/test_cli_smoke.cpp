@@ -1,0 +1,111 @@
+/// \file test_cli_smoke.cpp
+/// End-to-end smoke of the mrtpl_cli front end, driven in-process through
+/// the library entry point (mrtpl::cli::run) that the binary wraps:
+/// generate a tiny case, route it, then re-evaluate / DRC-verify /
+/// report on the saved artifacts — the full artifact round trip a user
+/// would run from a shell.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "cli.hpp"
+#include "io/design_io.hpp"
+#include "io/solution_io.hpp"
+#include "support/checks.hpp"
+
+namespace mrtpl {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return testing::TempDir() + "/cli_smoke_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is) << path;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+TEST(CliSmoke, UsageAndUnknownCommand) {
+  EXPECT_EQ(cli::run({}), 2);
+  EXPECT_EQ(cli::run({"frobnicate"}), 2);
+  EXPECT_EQ(cli::run({"generate"}), 2);  // missing --case
+  EXPECT_EQ(cli::run({"generate", "--case", "no_such_case"}), 2);
+  EXPECT_EQ(cli::run({"list-cases"}), 0);
+}
+
+TEST(CliSmoke, GenerateRouteEvalVerifyRoundTrip) {
+  const std::string design_path = tmp_path("tiny.design");
+  const std::string solution_path = tmp_path("tiny.sol");
+  const std::string svg_path = tmp_path("tiny.svg");
+
+  ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);
+
+  // Route with the full Mr.TPL flow and dump every artifact. Exit code 0
+  // already implies the flow ran; the assertions below re-open the files
+  // and check the solution is genuinely routed and conflict-scored.
+  ASSERT_EQ(cli::run({"route", "--design", design_path, "--solution",
+                      solution_path, "--svg", svg_path}),
+            0);
+
+  const db::Design design = io::load_design(design_path);
+  grid::RoutingGrid grid(design);
+  const grid::Solution solution = io::load_solution(solution_path, grid);
+  ASSERT_EQ(solution.routes.size(), static_cast<size_t>(design.num_nets()));
+  EXPECT_EQ(solution.num_failed(), 0);
+  test::expect_all_connected(grid, design, solution);
+  test::expect_conflict_free(grid);
+
+  // The offline re-evaluation agrees: exit 0 means zero conflicts.
+  EXPECT_EQ(cli::run({"eval", "--design", design_path, "--solution",
+                      solution_path}),
+            0);
+  // The independent DRC checker agrees.
+  EXPECT_EQ(cli::run({"verify", "--design", design_path, "--solution",
+                      solution_path}),
+            0);
+
+  const std::string svg = slurp(svg_path);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+}
+
+TEST(CliSmoke, RefineAndReportRunOnSavedSolution) {
+  const std::string design_path = tmp_path("refine.design");
+  const std::string solution_path = tmp_path("refine.sol");
+  const std::string refined_path = tmp_path("refine.out.sol");
+
+  ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);
+  ASSERT_EQ(cli::run({"route", "--design", design_path, "--solution",
+                      solution_path}),
+            0);
+  EXPECT_EQ(cli::run({"refine", "--design", design_path, "--solution",
+                      solution_path, "--out", refined_path}),
+            0);
+  EXPECT_FALSE(slurp(refined_path).empty());
+
+  testing::internal::CaptureStdout();
+  EXPECT_EQ(cli::run({"report", "--design", design_path, "--solution",
+                      solution_path, "--flow", "smoke"}),
+            0);
+  const std::string json = testing::internal::GetCapturedStdout();
+  EXPECT_NE(json.find("\"flow\":\"smoke\""), std::string::npos);
+  EXPECT_NE(json.find("\"conflicts\":"), std::string::npos);
+}
+
+TEST(CliSmoke, BaselineRoutersRunToCompletion) {
+  const std::string design_path = tmp_path("baseline.design");
+  ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--router", "dac12"}), 0);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--router", "decompose",
+                      "--no-guides"}),
+            0);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--router", "bogus"}), 2);
+}
+
+}  // namespace
+}  // namespace mrtpl

@@ -1,27 +1,15 @@
 #include <gtest/gtest.h>
 
 #include "core/color_search.hpp"
-#include "db/design.hpp"
+#include "support/builders.hpp"
 
 namespace mrtpl::core {
 namespace {
 
-/// 16x16, 2 layers (M1 horizontal TPL, M2 vertical TPL).
-db::Design open_design() {
-  db::Design d("s", db::Tech::make_default(2, 2), {0, 0, 15, 15});
-  const db::NetId n = d.add_net("n");
-  db::Pin p;
-  p.layer = 0;
-  p.shapes = {{1, 8, 1, 8}};
-  d.add_pin(n, p);
-  p.shapes = {{14, 8, 14, 8}};
-  d.add_pin(n, p);
-  d.validate();
-  return d;
-}
+using test::corridor_design;
 
 TEST(ColorSearch, StraightPreferredPath) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   ColorSearch search(g, RouterConfig{});
   search.begin_net(0, nullptr, d.die());
@@ -47,7 +35,7 @@ TEST(ColorSearch, StraightPreferredPath) {
 }
 
 TEST(ColorSearch, AvoidsBlockedVertices) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   // Wall across the straight path, full column except one gap at y=2.
   for (int y = 0; y < 16; ++y)
@@ -64,7 +52,7 @@ TEST(ColorSearch, AvoidsBlockedVertices) {
 }
 
 TEST(ColorSearch, UnreachableReturnsInvalid) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   for (int y = 0; y < 16; ++y)
     for (int l = 0; l < 2; ++l) g.inject_blockage(g.vertex(l, 7, y));
@@ -76,7 +64,7 @@ TEST(ColorSearch, UnreachableReturnsInvalid) {
 }
 
 TEST(ColorSearch, OtherNetWireIsHardBlocked) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   for (int y = 0; y < 16; ++y)
     for (int l = 0; l < 2; ++l) g.commit(g.vertex(l, 7, y), 1, 0);
@@ -88,7 +76,7 @@ TEST(ColorSearch, OtherNetWireIsHardBlocked) {
 }
 
 TEST(ColorSearch, StateExcludesConflictingColor) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   // A red wire of another net runs parallel one track away along the
   // entire straight path: red costs gamma per step, so the argmin set at
@@ -104,7 +92,7 @@ TEST(ColorSearch, StateExcludesConflictingColor) {
 }
 
 TEST(ColorSearch, SingleColorModeCollapsesState) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   RouterConfig cfg;
   cfg.set_based_states = false;  // ablation A1
@@ -118,7 +106,7 @@ TEST(ColorSearch, SingleColorModeCollapsesState) {
 }
 
 TEST(ColorSearch, PlainModeKeepsAllState) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   for (int x = 0; x <= 15; ++x) g.commit(g.vertex(0, x, 10), 1, 0);
   RouterConfig cfg;
@@ -134,7 +122,7 @@ TEST(ColorSearch, PlainModeKeepsAllState) {
 }
 
 TEST(ColorSearch, GuidePenaltySteersPath) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   global::NetGuide guide;
   guide.net = 0;
@@ -154,7 +142,7 @@ TEST(ColorSearch, GuidePenaltySteersPath) {
 }
 
 TEST(ColorSearch, WindowClampsExpansion) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   ColorSearch search(g, RouterConfig{});
   search.begin_net(0, nullptr, {0, 7, 15, 9});  // 3-row window
@@ -166,7 +154,7 @@ TEST(ColorSearch, WindowClampsExpansion) {
 }
 
 TEST(ColorSearch, HistoryMakesVerticesExpensive) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   // Huge history on the straight corridor: the router detours.
   for (int x = 3; x <= 12; ++x) g.add_history(g.vertex(0, x, 8), 100.0);
@@ -185,7 +173,7 @@ TEST(ColorSearch, HistoryMakesVerticesExpensive) {
 }
 
 TEST(ColorSearch, MakeSourceReseedsTree) {
-  const db::Design d = open_design();
+  const db::Design d = corridor_design();
   grid::RoutingGrid g(d);
   ColorSearch search(g, RouterConfig{});
   search.begin_net(0, nullptr, d.die());

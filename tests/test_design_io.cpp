@@ -4,9 +4,20 @@
 
 #include "benchgen/generator.hpp"
 #include "io/design_io.hpp"
+#include "support/builders.hpp"
+#include "support/golden.hpp"
 
 namespace mrtpl::io {
 namespace {
+
+// The on-disk design format is a compatibility surface: saved .design
+// files must stay loadable across releases. Snapshot the canonical
+// fixture's serialization; regenerate with MRTPL_UPDATE_GOLDEN=1 only on
+// an intentional format change.
+TEST(DesignIo, FormatSnapshot) {
+  test::expect_matches_golden("four_pin.design",
+                              design_to_string(test::four_pin_design()));
+}
 
 TEST(DesignIo, RoundTripTinyCase) {
   const db::Design original = benchgen::generate(benchgen::tiny_case());

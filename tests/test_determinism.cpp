@@ -14,16 +14,13 @@
 #include "global/global_router.hpp"
 #include "io/design_io.hpp"
 #include "io/solution_io.hpp"
+#include "support/builders.hpp"
 
 namespace mrtpl {
 namespace {
 
 benchgen::CaseSpec spec_of(std::uint64_t seed) {
-  benchgen::CaseSpec spec = benchgen::tiny_case();
-  spec.width = spec.height = 40;
-  spec.num_nets = 55;
-  spec.seed = seed;
-  return spec;
+  return test::sized_case(40, 55, seed);
 }
 
 class DeterminismSweep : public ::testing::TestWithParam<std::uint64_t> {};
@@ -80,6 +77,44 @@ TEST_P(DeterminismSweep, DifferentSeedsDiffer) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Values(10, 20, 30));
+
+/// Every ablation toggle of RouterConfig, and every combination of the
+/// boolean ones, must leave the router fully deterministic: two
+/// back-to-back runs on fresh grids serialize byte-identically.
+class ConfigDeterminism : public ::testing::TestWithParam<int> {
+ protected:
+  static core::RouterConfig config_of(int bits) {
+    core::RouterConfig cfg;
+    cfg.rrr_on_color_conflicts = (bits & 1) != 0;
+    cfg.set_based_states = (bits & 2) != 0;
+    cfg.enable_coloring = (bits & 4) != 0;
+    cfg.use_astar = (bits & 8) != 0;
+    if ((bits & 16) != 0) {  // the A2 weight-override sweep
+      cfg.beta_override = 0.5;
+      cfg.gamma_override = 3.0;
+    }
+    if ((bits & 32) != 0) cfg.max_rrr_iterations = 1;
+    return cfg;
+  }
+};
+
+TEST_P(ConfigDeterminism, MrTplRunIsByteIdentical) {
+  const core::RouterConfig cfg = config_of(GetParam());
+  const db::Design design = benchgen::generate(spec_of(77));
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+  auto run_once = [&] {
+    grid::RoutingGrid grid(design);
+    core::MrTplRouter router(design, &guides, cfg);
+    const grid::Solution sol = router.run(grid);
+    return io::solution_to_string(grid, sol);
+  };
+  EXPECT_EQ(run_once(), run_once()) << "config bits " << GetParam();
+}
+
+// Bits 0-15 cover every combination of the four boolean toggles; 16-47
+// repeat them under the weight overrides and a single-iteration RRR cap.
+INSTANTIATE_TEST_SUITE_P(AllToggles, ConfigDeterminism, ::testing::Range(0, 48));
 
 }  // namespace
 }  // namespace mrtpl

@@ -65,15 +65,17 @@ TEST(Drc, PlainFlowCleanWithColoringCheckOff) {
 
 TEST(Drc, CatchesNonAdjacentStep) {
   Routed r = route_tiny();
-  // Corrupt: teleport within some wire path by inserting a distant vertex
-  // (pin metal enters as singleton paths, so search for a real wire path).
+  // Corrupt: teleport within some wire path by inserting a distant — but
+  // in-grid — vertex (pin metal enters as singleton paths, so search for
+  // a real wire path). The far die corner cannot neighbor both endpoints
+  // of any path step, so at least one step becomes a non-grid move.
+  const grid::VertexId distant = r.grid.vertex(
+      r.grid.num_layers() - 1, r.grid.size_x() - 1, r.grid.size_y() - 1);
   bool corrupted = false;
   for (auto& route : r.solution.routes) {
     for (auto& path : route.paths) {
-      if (path.size() < 2) continue;
-      const grid::VertexId distant = path.front() >= 5000
-                                         ? path.front() - 5000
-                                         : path.front() + 5000;
+      if (path.size() < 2 || path.front() == distant || path[1] == distant)
+        continue;
       path.insert(path.begin() + 1, distant);
       corrupted = true;
       break;
@@ -85,6 +87,26 @@ TEST(Drc, CatchesNonAdjacentStep) {
   opt.check_connectivity = false;  // the graft also changes connectivity
   const DrcReport report = verify(r.grid, r.design, r.solution, opt);
   EXPECT_GT(report.count(ViolationKind::kNonAdjacentStep), 0);
+}
+
+TEST(Drc, CatchesOutOfGridVertex) {
+  Routed r = route_tiny();
+  // Corrupt: splice a vertex id past the end of the grid into a wire
+  // path. The checker must flag it as out-of-grid (and nothing may index
+  // the grid state with it — this is the ASan regression case).
+  bool corrupted = false;
+  for (auto& route : r.solution.routes) {
+    for (auto& path : route.paths) {
+      if (path.size() < 2) continue;
+      path.insert(path.begin() + 1, r.grid.num_vertices() + 7);
+      corrupted = true;
+      break;
+    }
+    if (corrupted) break;
+  }
+  ASSERT_TRUE(corrupted) << "no wire path to corrupt";
+  const DrcReport report = verify(r.grid, r.design, r.solution);
+  EXPECT_GT(report.count(ViolationKind::kOutOfGrid), 0);
 }
 
 TEST(Drc, CatchesOwnershipMismatch) {

@@ -9,6 +9,7 @@
 
 #include "benchgen/generator.hpp"
 #include "grid/routing_grid.hpp"
+#include "support/builders.hpp"
 
 namespace mrtpl::grid {
 namespace {
@@ -21,15 +22,7 @@ struct Shape {
 class GridShapes : public ::testing::TestWithParam<Shape> {
  protected:
   static db::Design make_design(const Shape& s) {
-    db::Design d("g", db::Tech::make_default(s.layers, 2),
-                 {0, 0, s.w - 1, s.h - 1});
-    const db::NetId n = d.add_net("n");
-    db::Pin p;
-    p.layer = 0;
-    p.shapes = {{0, 0, 0, 0}};
-    d.add_pin(n, p);
-    d.validate();
-    return d;
+    return test::single_pin_design(s.layers, s.w, s.h);
   }
 };
 

@@ -1,66 +1,17 @@
 #include <gtest/gtest.h>
 
-#include <set>
-
 #include "benchgen/generator.hpp"
 #include "core/mrtpl_router.hpp"
 #include "eval/metrics.hpp"
 #include "global/global_router.hpp"
+#include "support/builders.hpp"
+#include "support/checks.hpp"
 
 namespace mrtpl::core {
 namespace {
 
-/// Design with one 4-pin net, the Fig. 3 setting.
-db::Design four_pin_design() {
-  db::Design d("f", db::Tech::make_default(2, 2), {0, 0, 19, 19});
-  const db::NetId n = d.add_net("n");
-  db::Pin p;
-  p.layer = 0;
-  for (const auto& [x, y] : {std::pair{2, 2}, {16, 3}, {3, 15}, {15, 16}}) {
-    p.shapes = {{x, y, x, y}};
-    d.add_pin(n, p);
-  }
-  d.validate();
-  return d;
-}
-
-/// Check that a routed net's tree is connected and touches every pin.
-void expect_connected(const grid::RoutingGrid& g, const db::Net& net,
-                      const grid::NetRoute& route) {
-  ASSERT_TRUE(route.routed) << net.name;
-  const auto verts = route.vertices();
-  const std::set<grid::VertexId> vset(verts.begin(), verts.end());
-  // Union-find over tree edges.
-  std::unordered_map<grid::VertexId, grid::VertexId> parent;
-  for (const auto v : verts) parent[v] = v;
-  std::function<grid::VertexId(grid::VertexId)> find = [&](grid::VertexId v) {
-    while (parent[v] != v) {
-      parent[v] = parent[parent[v]];
-      v = parent[v];
-    }
-    return v;
-  };
-  for (const auto& [a, b] : route.edges()) parent[find(a)] = find(b);
-  // Same-net metal that is grid-adjacent is electrically connected even
-  // when no explicit path edge links it (pin metal abutting a wire).
-  for (const auto v : verts) {
-    for (int di = 0; di < grid::kNumDirs; ++di) {
-      const grid::VertexId n = g.neighbor(v, static_cast<grid::Dir>(di));
-      if (n != grid::kInvalidVertex && vset.count(n)) parent[find(v)] = find(n);
-    }
-  }
-  // At least one vertex of every pin must be in the tree.
-  for (const auto& pin : net.pins) {
-    bool covered = false;
-    for (const auto v : g.pin_vertices(pin))
-      if (vset.count(v)) covered = true;
-    EXPECT_TRUE(covered) << net.name << ": pin not in tree";
-  }
-  // The whole net is one electrical component.
-  std::set<grid::VertexId> roots;
-  for (const auto v : verts) roots.insert(find(v));
-  EXPECT_LE(roots.size(), 1u) << net.name << ": tree disconnected";
-}
+using test::expect_connected;
+using test::four_pin_design;
 
 TEST(MrTplRouter, RoutesFourPinNet) {
   const db::Design d = four_pin_design();
@@ -70,7 +21,7 @@ TEST(MrTplRouter, RoutesFourPinNet) {
   ASSERT_EQ(sol.routes.size(), 1u);
   expect_connected(g, d.net(0), sol.routes[0]);
   // Solo net: no conflicts possible, and no stitches needed.
-  EXPECT_TRUE(detect_conflicts(g).empty());
+  test::expect_conflict_free(g);
   EXPECT_EQ(eval::count_stitches(g, sol), 0);
 }
 
@@ -101,23 +52,13 @@ TEST(MrTplRouter, PlainModeLeavesUncolored) {
 TEST(MrTplRouter, TwoCloseNetsGetDifferentMasksOrDistance) {
   // Two parallel 2-pin nets one track apart: with TPL awareness they must
   // end on different masks (or farther apart) — zero conflicts.
-  db::Design d("p", db::Tech::make_default(2, 2), {0, 0, 15, 15});
-  for (int i = 0; i < 2; ++i) {
-    const db::NetId n = d.add_net("n" + std::to_string(i));
-    db::Pin p;
-    p.layer = 0;
-    p.shapes = {{2, 7 + i, 2, 7 + i}};
-    d.add_pin(n, p);
-    p.shapes = {{13, 7 + i, 13, 7 + i}};
-    d.add_pin(n, p);
-  }
-  d.validate();
+  const db::Design d = test::parallel_nets_design(2);
   grid::RoutingGrid g(d);
   MrTplRouter router(d, nullptr, RouterConfig{});
   const grid::Solution sol = router.run(g);
   EXPECT_TRUE(sol.routes[0].routed);
   EXPECT_TRUE(sol.routes[1].routed);
-  EXPECT_TRUE(detect_conflicts(g).empty());
+  test::expect_conflict_free(g);
 }
 
 TEST(MrTplRouter, UnroutablePinReportsFailure) {

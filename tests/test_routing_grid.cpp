@@ -1,29 +1,15 @@
 #include <gtest/gtest.h>
 
-#include "db/design.hpp"
 #include "grid/routing_grid.hpp"
+#include "support/builders.hpp"
 
 namespace mrtpl::grid {
 namespace {
 
-db::Design small_design() {
-  db::Design d("g", db::Tech::make_default(3, 2), {0, 0, 15, 15});
-  const db::NetId n0 = d.add_net("n0");
-  db::Pin p;
-  p.name = "a";
-  p.layer = 0;
-  p.shapes = {{1, 1, 2, 1}};
-  d.add_pin(n0, p);
-  p.name = "b";
-  p.shapes = {{10, 10, 10, 10}};
-  d.add_pin(n0, p);
-  d.add_obstacle({0, {5, 5, 6, 6}});
-  d.validate();
-  return d;
-}
+using test::grid_fixture_design;
 
 TEST(RoutingGrid, Dimensions) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   EXPECT_EQ(g.num_layers(), 3);
   EXPECT_EQ(g.size_x(), 16);
@@ -32,7 +18,7 @@ TEST(RoutingGrid, Dimensions) {
 }
 
 TEST(RoutingGrid, VertexLocRoundTrip) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   for (int l = 0; l < 3; ++l)
     for (int y = 0; y < 16; y += 5)
@@ -46,7 +32,7 @@ TEST(RoutingGrid, VertexLocRoundTrip) {
 }
 
 TEST(RoutingGrid, NeighborsAndBoundaries) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId corner = g.vertex(0, 0, 0);
   EXPECT_EQ(g.neighbor(corner, Dir::West), kInvalidVertex);
@@ -62,7 +48,7 @@ TEST(RoutingGrid, NeighborsAndBoundaries) {
 }
 
 TEST(RoutingGrid, NeighborInverse) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId mid = g.vertex(1, 8, 8);
   for (int di = 0; di < kNumDirs; ++di) {
@@ -74,7 +60,7 @@ TEST(RoutingGrid, NeighborInverse) {
 }
 
 TEST(RoutingGrid, PreferredDirections) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   // M1 horizontal: E/W preferred.
   EXPECT_TRUE(g.is_preferred(0, Dir::East));
@@ -88,7 +74,7 @@ TEST(RoutingGrid, PreferredDirections) {
 }
 
 TEST(RoutingGrid, ObstaclesBlock) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   EXPECT_TRUE(g.blocked(g.vertex(0, 5, 5)));
   EXPECT_TRUE(g.blocked(g.vertex(0, 6, 6)));
@@ -97,7 +83,7 @@ TEST(RoutingGrid, ObstaclesBlock) {
 }
 
 TEST(RoutingGrid, PinOwnership) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId pv = g.vertex(0, 1, 1);
   EXPECT_EQ(g.owner(pv), 0);
@@ -107,7 +93,7 @@ TEST(RoutingGrid, PinOwnership) {
 }
 
 TEST(RoutingGrid, CommitSetMaskRelease) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId v = g.vertex(1, 3, 3);
   g.commit(v, 0, 2);
@@ -121,7 +107,7 @@ TEST(RoutingGrid, CommitSetMaskRelease) {
 }
 
 TEST(RoutingGrid, ReleasePinVertexKeepsPinOwnership) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId pv = g.vertex(0, 1, 1);
   g.commit(pv, 0, 1);
@@ -132,7 +118,7 @@ TEST(RoutingGrid, ReleasePinVertexKeepsPinOwnership) {
 }
 
 TEST(RoutingGrid, SameMaskNeighborsWindow) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);  // dcolor = 2 by default
   const VertexId center = g.vertex(0, 8, 8);
   // Another net's wire 2 tracks away, same mask.
@@ -150,7 +136,7 @@ TEST(RoutingGrid, SameMaskNeighborsWindow) {
 }
 
 TEST(RoutingGrid, NonTplLayerHasNoColorNeighborhood) {
-  const db::Design d = small_design();  // layers 0,1 TPL; layer 2 not
+  const db::Design d = grid_fixture_design();  // layers 0,1 TPL; layer 2 not
   RoutingGrid g(d);
   const VertexId v = g.vertex(2, 8, 8);
   g.commit(g.vertex(2, 9, 8), 1, 0);
@@ -158,7 +144,7 @@ TEST(RoutingGrid, NonTplLayerHasNoColorNeighborhood) {
 }
 
 TEST(RoutingGrid, ConflictMaskBits) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId v = g.vertex(0, 8, 8);
   g.commit(g.vertex(0, 9, 8), 1, 0);
@@ -167,7 +153,7 @@ TEST(RoutingGrid, ConflictMaskBits) {
 }
 
 TEST(RoutingGrid, HistoryAccumulatesAndClears) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId v = g.vertex(0, 3, 3);
   EXPECT_DOUBLE_EQ(g.history(v), 0.0);
@@ -193,7 +179,7 @@ TEST(RoutingGrid, PinVerticesExcludeBlocked) {
 }
 
 TEST(RoutingGrid, InjectBlockage) {
-  const db::Design d = small_design();
+  const db::Design d = grid_fixture_design();
   RoutingGrid g(d);
   const VertexId v = g.vertex(1, 7, 7);
   EXPECT_FALSE(g.blocked(v));

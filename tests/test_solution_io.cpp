@@ -5,9 +5,26 @@
 #include "eval/metrics.hpp"
 #include "global/global_router.hpp"
 #include "io/solution_io.hpp"
+#include "support/builders.hpp"
+#include "support/golden.hpp"
 
 namespace mrtpl::io {
 namespace {
+
+// Like the design format, the .sol format is a compatibility surface,
+// and the router is fully deterministic — so the routed canonical
+// fixture has exactly one correct serialization. Determinism is only
+// guaranteed per platform (FP tie-breaks may differ across
+// architectures); the committed golden is the x86-64 reference — if it
+// mismatches on another target with an equally valid route, regenerate
+// locally rather than treating it as a regression.
+TEST(SolutionIo, FormatSnapshot) {
+  const db::Design design = test::four_pin_design();
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  const grid::Solution solution = router.run(grid);
+  test::expect_matches_golden("four_pin.sol", solution_to_string(grid, solution));
+}
 
 TEST(SolutionIo, RoundTripPreservesMetrics) {
   const db::Design design = benchgen::generate(benchgen::tiny_case());

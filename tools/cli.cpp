@@ -1,0 +1,312 @@
+/// \file cli.cpp
+/// Implementation of the mrtpl CLI subcommands. See cli.hpp for the
+/// entry points and mrtpl_cli.cpp for the binary wrapper. Subcommands:
+///
+///   list-cases
+///       Print every named benchmark case of both suites.
+///   generate --case <name> [--out design.txt]
+///       Generate a synthetic case and save it.
+///   route --design <file> [--router mrtpl|dac12|decompose]
+///       [--solution out.sol] [--svg out.svg] [--no-guides] [--rrr N]
+///       Route a saved design, print metrics, optionally dump artifacts.
+///   eval --design <file> --solution <file>
+///       Re-verify a saved solution (conflicts/stitches/cost) offline.
+///   verify --design <file> --solution <file> [--no-color-check]
+///       Run the independent DRC/connectivity checker on a saved solution.
+///   refine --design <file> --solution <file> [--out file]
+///       Apply the post-hoc recoloring repair pass and report the delta.
+///   report --design <file> --solution <file> [--flow name]
+///       Emit the evaluation as JSON (metrics + per-layer/degree breakdowns).
+
+#include "cli.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "baseline/dac12_router.hpp"
+#include "baseline/decomposer.hpp"
+#include "baseline/plain_router.hpp"
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "eval/metrics.hpp"
+#include "global/global_router.hpp"
+#include "drc/checker.hpp"
+#include "eval/breakdown.hpp"
+#include "io/design_io.hpp"
+#include "io/json_report.hpp"
+#include "io/solution_io.hpp"
+#include "layout/recolor.hpp"
+#include "util/timer.hpp"
+#include "viz/svg_render.hpp"
+
+namespace mrtpl::cli {
+namespace {
+
+/// Minimal --flag/value option parser; positional[0] is the subcommand.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  static Args parse(const std::vector<std::string>& argv) {
+    Args args;
+    if (!argv.empty()) args.command = argv[0];
+    for (size_t i = 1; i < argv.size(); ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) != 0) continue;
+      a = a.substr(2);
+      if (i + 1 < argv.size() && argv[i + 1].rfind("--", 0) != 0) {
+        args.options[a] = argv[++i];
+      } else {
+        args.flags[a] = true;
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const {
+    const auto it = options.find(key);
+    return it == options.end() ? std::nullopt : std::make_optional(it->second);
+  }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return flags.contains(key) || options.contains(key);
+  }
+};
+
+std::optional<benchgen::CaseSpec> find_case(const std::string& name) {
+  for (const auto& s : benchgen::ispd2018_suite())
+    if (s.name == name) return s;
+  for (const auto& s : benchgen::ispd2019_suite())
+    if (s.name == name) return s;
+  if (name == "tiny") return benchgen::tiny_case();
+  if (name == "ablation_mid") return benchgen::ablation_case();
+  return std::nullopt;
+}
+
+int cmd_list_cases() {
+  std::printf("%-16s %-9s %-6s %-6s %s\n", "case", "die", "nets", "dcolor", "seed");
+  auto print_suite = [](const std::vector<benchgen::CaseSpec>& suite) {
+    for (const auto& s : suite)
+      std::printf("%-16s %dx%-5d %-6d %-6d %llu\n", s.name.c_str(), s.width,
+                  s.height, s.num_nets, s.dcolor,
+                  static_cast<unsigned long long>(s.seed));
+  };
+  print_suite(benchgen::ispd2018_suite());
+  print_suite(benchgen::ispd2019_suite());
+  std::printf("%-16s (unit-test scale)\n", "tiny");
+  std::printf("%-16s (ablation benches)\n", "ablation_mid");
+  return 0;
+}
+
+int cmd_generate(const Args& args) {
+  const auto name = args.get("case");
+  if (!name) {
+    std::fprintf(stderr, "generate: missing --case <name>\n");
+    return 2;
+  }
+  const auto spec = find_case(*name);
+  if (!spec) {
+    std::fprintf(stderr, "generate: unknown case '%s' (see list-cases)\n",
+                 name->c_str());
+    return 2;
+  }
+  const db::Design design = benchgen::generate(*spec);
+  const std::string out = args.get("out").value_or(*name + ".design");
+  io::save_design(out, design);
+  std::printf("wrote %s: %d nets, %d pins, %zu obstacles\n", out.c_str(),
+              design.num_nets(), design.total_pins(), design.obstacles().size());
+  return 0;
+}
+
+void print_metrics(const char* label, const eval::Metrics& m, double seconds) {
+  std::printf("%s: conflicts=%d stitches=%d wirelength=%ld vias=%ld wrong_way=%ld "
+              "out_of_guide=%ld failed=%d cost=%.4E time=%.2fs\n",
+              label, m.conflicts, m.stitches, m.wirelength, m.vias, m.wrong_way,
+              m.out_of_guide, m.failed_nets, m.cost, seconds);
+}
+
+int cmd_route(const Args& args) {
+  const auto design_path = args.get("design");
+  if (!design_path) {
+    std::fprintf(stderr, "route: missing --design <file>\n");
+    return 2;
+  }
+  const db::Design design = io::load_design(*design_path);
+  const std::string router_name = args.get("router").value_or("mrtpl");
+
+  global::GuideSet guides;
+  const global::GuideSet* guides_ptr = nullptr;
+  if (!args.has("no-guides")) {
+    global::GlobalRouter gr(design);
+    guides = gr.route_all();
+    guides_ptr = &guides;
+  }
+
+  core::RouterConfig config;
+  if (const auto rrr = args.get("rrr")) config.max_rrr_iterations = std::stoi(*rrr);
+
+  grid::RoutingGrid grid(design);
+  util::Timer timer;
+  grid::Solution solution;
+  if (router_name == "mrtpl") {
+    core::MrTplRouter router(design, guides_ptr, config);
+    solution = router.run(grid);
+  } else if (router_name == "dac12") {
+    baseline::Dac12Router router(design, guides_ptr, config);
+    solution = router.run(grid);
+  } else if (router_name == "decompose") {
+    solution = baseline::route_plain(design, guides_ptr, grid, config);
+    baseline::decompose(grid, solution);
+  } else {
+    std::fprintf(stderr, "route: unknown --router '%s'\n", router_name.c_str());
+    return 2;
+  }
+  const double seconds = timer.elapsed_s();
+  const eval::Metrics m = eval::evaluate(grid, solution, guides_ptr);
+  print_metrics(router_name.c_str(), m, seconds);
+
+  if (const auto sol_path = args.get("solution")) {
+    io::save_solution(*sol_path, grid, solution);
+    std::printf("solution written to %s\n", sol_path->c_str());
+  }
+  if (const auto svg_path = args.get("svg")) {
+    viz::save_svg(*svg_path, grid);
+    std::printf("svg written to %s\n", svg_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const auto design_path = args.get("design");
+  const auto solution_path = args.get("solution");
+  if (!design_path || !solution_path) {
+    std::fprintf(stderr, "eval: need --design <file> and --solution <file>\n");
+    return 2;
+  }
+  const db::Design design = io::load_design(*design_path);
+  grid::RoutingGrid grid(design);
+  std::ifstream is(*solution_path);
+  if (!is) {
+    std::fprintf(stderr, "eval: cannot open %s\n", solution_path->c_str());
+    return 2;
+  }
+  const grid::Solution solution = io::read_solution(is, grid);
+  const eval::Metrics m = eval::evaluate(grid, solution, nullptr);
+  print_metrics("eval", m, 0.0);
+  return m.conflicts == 0 ? 0 : 1;
+}
+
+/// Shared loader for the solution-consuming subcommands.
+struct Loaded {
+  db::Design design;
+  grid::RoutingGrid grid;
+  grid::Solution solution;
+
+  explicit Loaded(const std::string& design_path, const std::string& solution_path)
+      : design(io::load_design(design_path)), grid(design) {
+    std::ifstream is(solution_path);
+    if (!is) throw std::runtime_error("cannot open " + solution_path);
+    solution = io::read_solution(is, grid);
+  }
+};
+
+int cmd_verify(const Args& args) {
+  const auto design_path = args.get("design");
+  const auto solution_path = args.get("solution");
+  if (!design_path || !solution_path) {
+    std::fprintf(stderr, "verify: need --design <file> and --solution <file>\n");
+    return 2;
+  }
+  Loaded l(*design_path, *solution_path);
+  drc::DrcOptions options;
+  if (args.has("no-color-check")) options.check_coloring = false;
+  const drc::DrcReport report = drc::verify(l.grid, l.design, l.solution, options);
+  if (report.clean()) {
+    std::printf("verify: clean (%d nets)\n", l.design.num_nets());
+    return 0;
+  }
+  std::printf("verify: %zu violation(s)\n%s", report.violations.size(),
+              report.summary().c_str());
+  return 1;
+}
+
+int cmd_refine(const Args& args) {
+  const auto design_path = args.get("design");
+  const auto solution_path = args.get("solution");
+  if (!design_path || !solution_path) {
+    std::fprintf(stderr, "refine: need --design <file> and --solution <file>\n");
+    return 2;
+  }
+  Loaded l(*design_path, *solution_path);
+  const eval::Metrics before = eval::evaluate(l.grid, l.solution, nullptr);
+  const layout::RecolorStats stats = layout::recolor_refine(l.grid, l.solution);
+  const eval::Metrics after = eval::evaluate(l.grid, l.solution, nullptr);
+  std::printf("refine: %d move(s) in %d pass(es)\n", stats.moves, stats.passes);
+  print_metrics("before", before, 0.0);
+  print_metrics("after ", after, 0.0);
+  if (const auto out = args.get("out")) {
+    io::save_solution(*out, l.grid, l.solution);
+    std::printf("refined solution written to %s\n", out->c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const Args& args) {
+  const auto design_path = args.get("design");
+  const auto solution_path = args.get("solution");
+  if (!design_path || !solution_path) {
+    std::fprintf(stderr, "report: need --design <file> and --solution <file>\n");
+    return 2;
+  }
+  Loaded l(*design_path, *solution_path);
+  io::CaseReport report;
+  report.case_name = l.design.name();
+  report.flow = args.get("flow").value_or("saved");
+  report.metrics = eval::evaluate(l.grid, l.solution, nullptr);
+  report.layers = eval::per_layer(l.grid, l.solution);
+  report.degrees = eval::per_degree(l.grid, l.design, l.solution);
+  io::write_report_array(std::cout, {report});
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& argv) {
+  const Args args = Args::parse(argv);
+  try {
+    if (args.command == "list-cases") return cmd_list_cases();
+    if (args.command == "generate") return cmd_generate(args);
+    if (args.command == "route") return cmd_route(args);
+    if (args.command == "eval") return cmd_eval(args);
+    if (args.command == "verify") return cmd_verify(args);
+    if (args.command == "refine") return cmd_refine(args);
+    if (args.command == "report") return cmd_report(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage: mrtpl_cli "
+               "<list-cases|generate|route|eval|verify|refine|report> [options]\n"
+               "  generate --case <name> [--out file]\n"
+               "  route    --design <file> [--router mrtpl|dac12|decompose]\n"
+               "           [--solution file] [--svg file] [--no-guides] [--rrr N]\n"
+               "  eval     --design <file> --solution <file>\n"
+               "  verify   --design <file> --solution <file> [--no-color-check]\n"
+               "  refine   --design <file> --solution <file> [--out file]\n"
+               "  report   --design <file> --solution <file> [--flow name]\n");
+  return 2;
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(argc > 1 ? static_cast<size_t>(argc - 1) : 0);
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return run(args);
+}
+
+}  // namespace mrtpl::cli
