@@ -1,0 +1,114 @@
+/// \file bench_rrr_parallel.cpp
+/// Perf trajectory of the batched parallel RRR executor + incremental
+/// conflict engine: sweeps thread counts × die sizes (the bench_scaling
+/// recipe) × conflict-engine choice and emits ONE JSON OBJECT PER LINE on
+/// stdout, so runs can be appended to BENCH_*.json files and diffed
+/// across commits. Human-oriented notes go to stderr.
+///
+///   {"bench":"rrr_parallel","die":112,"nets":330,"threads":8,
+///    "incremental":true,"total_s":...,"reroute_s":...,"detect_s":...,
+///    "rrr_iterations":..,"route_batches":..,"conflicts":..,"failed":..,
+///    "relaxations":..,"identical_to_serial":true}
+///
+/// `identical_to_serial` re-checks the determinism contract on every
+/// config: the serialized solution must byte-match the serial reference
+/// (threads=1, full-rescan oracle) for the same die.
+///
+/// Usage: bench_rrr_parallel [--quick]
+///   --quick   smallest die + threads {1,2} only — the CI smoke mode.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "flow.hpp"
+#include "io/solution_io.hpp"
+
+namespace {
+
+struct RunResult {
+  mrtpl::core::RouterStats stats;
+  mrtpl::eval::Metrics metrics;
+  double total_s = 0.0;
+  std::string serialized;
+};
+
+RunResult run_config(const mrtpl::bench::CaseContext& ctx,
+                     const mrtpl::core::RouterConfig& config) {
+  using namespace mrtpl;
+  grid::RoutingGrid grid(ctx.design);
+  util::Timer timer;
+  core::MrTplRouter router(ctx.design, &ctx.guides, config);
+  const grid::Solution sol = router.run(grid);
+  RunResult r;
+  r.total_s = timer.elapsed_s();
+  r.stats = router.stats();
+  r.metrics = eval::evaluate(grid, sol, &ctx.guides);
+  r.serialized = io::solution_to_string(grid, sol);
+  return r;
+}
+
+void emit_json(int die, int nets, int threads, bool incremental,
+               const RunResult& r, bool identical) {
+  std::printf(
+      "{\"bench\":\"rrr_parallel\",\"die\":%d,\"nets\":%d,\"threads\":%d,"
+      "\"incremental\":%s,\"total_s\":%.6f,\"reroute_s\":%.6f,"
+      "\"detect_s\":%.6f,\"rrr_iterations\":%d,\"route_batches\":%d,"
+      "\"conflicts\":%d,\"failed\":%d,\"relaxations\":%llu,"
+      "\"identical_to_serial\":%s}\n",
+      die, nets, threads, incremental ? "true" : "false", r.total_s,
+      r.stats.reroute_s, r.stats.detect_s, r.stats.rrr_iterations,
+      r.stats.route_batches, r.metrics.conflicts, r.metrics.failed_nets,
+      static_cast<unsigned long long>(r.stats.relaxations),
+      identical ? "true" : "false");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mrtpl;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+
+  const std::vector<int> edges = quick ? std::vector<int>{48}
+                                       : std::vector<int>{48, 80, 112};
+  const std::vector<int> thread_counts = quick ? std::vector<int>{1, 2}
+                                               : std::vector<int>{1, 2, 4, 8};
+
+  for (const int edge : edges) {
+    // The bench_scaling recipe: fixed density, nets scale with area.
+    benchgen::CaseSpec spec;
+    spec.name = "rrr" + std::to_string(edge);
+    spec.width = spec.height = edge;
+    spec.num_nets = edge * edge / 38;
+    spec.num_macros = edge / 24;
+    spec.seed = 9000u + static_cast<std::uint64_t>(edge);
+
+    std::fprintf(stderr, "[rrr_parallel] die %dx%d, %d nets ...\n", edge, edge,
+                 spec.num_nets);
+    const bench::CaseContext ctx = bench::prepare_case(spec);
+
+    // Serial seed-path reference: one worker, full-rescan oracle.
+    core::RouterConfig serial_cfg;
+    serial_cfg.rrr_threads = 1;
+    serial_cfg.incremental_conflicts = false;
+    const RunResult reference = run_config(ctx, serial_cfg);
+    emit_json(edge, spec.num_nets, 1, false, reference, true);
+
+    for (const bool incremental : {false, true}) {
+      for (const int threads : thread_counts) {
+        if (threads == 1 && !incremental) continue;  // the reference above
+        core::RouterConfig cfg;
+        cfg.rrr_threads = threads;
+        cfg.incremental_conflicts = incremental;
+        const RunResult r = run_config(ctx, cfg);
+        emit_json(edge, spec.num_nets, threads, incremental, r,
+                  r.serialized == reference.serialized);
+      }
+    }
+  }
+  return 0;
+}

@@ -23,8 +23,20 @@ struct Conflict {
   std::vector<std::pair<grid::VertexId, grid::VertexId>> pairs;
 };
 
-/// Detect and cluster all conflicts in the committed grid state.
+/// Detect and cluster all conflicts in the committed grid state by full
+/// rescan. This is the debug oracle; the RRR loop uses ConflictIndex
+/// (conflict_index.hpp), which produces the identical grouped view from
+/// an incrementally-maintained pair set.
 [[nodiscard]] std::vector<Conflict> detect_conflicts(const grid::RoutingGrid& grid);
+
+/// Group raw violating pairs by unordered net pair and cluster each group
+/// into connected violating regions — the shared back half of both
+/// detect_conflicts and ConflictIndex::conflicts. `pairs` may arrive in
+/// any order and either endpoint orientation; output is ordered by
+/// ascending (net_a, net_b) and deterministic for a given pair *set*.
+[[nodiscard]] std::vector<Conflict> cluster_conflicts(
+    const grid::RoutingGrid& grid,
+    const std::vector<std::pair<grid::VertexId, grid::VertexId>>& pairs);
 
 /// Same-net self-conflicts are impossible by construction (a net may touch
 /// itself); this checks the invariant and returns the count of raw

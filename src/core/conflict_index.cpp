@@ -1,0 +1,128 @@
+#include "core/conflict_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrtpl::core {
+
+ConflictIndex::ConflictIndex(grid::RoutingGrid& grid) : grid_(&grid) {
+  // A second consumer would silently starve the first of deltas — fail
+  // loudly instead of returning stale conflicts later.
+  assert(!grid.has_dirty_log() && "grid already has a dirty-log consumer");
+  partners_.resize(grid.num_vertices());
+  dirty_stamp_.assign(grid.num_vertices(), 0);
+  in_active_.assign(grid.num_vertices(), 0);
+  build_full();
+  grid_->set_dirty_log(&dirty_);
+}
+
+ConflictIndex::~ConflictIndex() { grid_->clear_dirty_log(&dirty_); }
+
+void ConflictIndex::note_partner(grid::VertexId v, grid::VertexId u) {
+  partners_[v].push_back(u);
+  partners_[u].push_back(v);
+  ++pair_count_;
+  for (const grid::VertexId w : {v, u}) {
+    if (!in_active_[w]) {
+      in_active_[w] = 1;
+      active_.push_back(w);
+    }
+  }
+}
+
+void ConflictIndex::build_full() {
+  const auto n = grid_->num_vertices();
+  for (grid::VertexId v = 0; v < n; ++v) {
+    const db::NetId a = grid_->owner(v);
+    if (a == db::kNoNet) continue;
+    const grid::Mask m = grid_->mask(v);
+    if (m == grid::kNoMask) continue;
+    grid_->for_each_colored_neighbor(
+        v, a, [&](grid::VertexId u, db::NetId, grid::Mask other) {
+          if (u > v && other == m) note_partner(v, u);
+        });
+  }
+}
+
+void ConflictIndex::refresh() {
+  if (dirty_.empty()) return;
+  ++epoch_;
+  std::vector<grid::VertexId> changed;
+  changed.reserve(dirty_.size());
+  for (const grid::VertexId v : dirty_) {
+    if (dirty_stamp_[v] != epoch_) {
+      dirty_stamp_[v] = epoch_;
+      changed.push_back(v);
+    }
+  }
+  dirty_.clear();
+  std::sort(changed.begin(), changed.end());
+  processed_ += changed.size();
+
+  // Phase 1: drop every pair incident to a changed vertex. A pair whose
+  // both sides changed lives in two soon-cleared lists; count it once.
+  for (const grid::VertexId v : changed) {
+    for (const grid::VertexId u : partners_[v]) {
+      if (dirty_stamp_[u] == epoch_) {
+        if (v < u) --pair_count_;
+      } else {
+        auto& plist = partners_[u];
+        plist.erase(std::find(plist.begin(), plist.end(), v));
+        --pair_count_;
+      }
+    }
+    partners_[v].clear();
+  }
+
+  // Phase 2: re-derive each changed vertex's pairs from its current
+  // window. A changed partner u < v already added the (u, v) pair when it
+  // was processed (the window relation is symmetric), so skip it here.
+  for (const grid::VertexId v : changed) {
+    const db::NetId a = grid_->owner(v);
+    if (a == db::kNoNet) continue;
+    const grid::Mask m = grid_->mask(v);
+    if (m == grid::kNoMask) continue;
+    grid_->for_each_colored_neighbor(
+        v, a, [&](grid::VertexId u, db::NetId, grid::Mask other) {
+          if (other != m) return;
+          if (dirty_stamp_[u] == epoch_ && u < v) return;
+          note_partner(v, u);
+        });
+  }
+}
+
+std::vector<std::pair<grid::VertexId, grid::VertexId>> ConflictIndex::flat_pairs() {
+  refresh();
+  std::vector<std::pair<grid::VertexId, grid::VertexId>> out;
+  out.reserve(pair_count_);
+  // Compact the active list in passing: vertices whose lists emptied drop
+  // out so enumeration stays proportional to the violating set.
+  size_t kept = 0;
+  for (const grid::VertexId v : active_) {
+    if (partners_[v].empty()) {
+      in_active_[v] = 0;
+      continue;
+    }
+    active_[kept++] = v;
+    for (const grid::VertexId u : partners_[v])
+      if (v < u) out.emplace_back(v, u);
+  }
+  active_.resize(kept);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<grid::VertexId, grid::VertexId>> ConflictIndex::pairs() {
+  return flat_pairs();
+}
+
+std::vector<Conflict> ConflictIndex::conflicts() {
+  return cluster_conflicts(*grid_, flat_pairs());
+}
+
+std::size_t ConflictIndex::num_pairs() {
+  refresh();
+  return pair_count_;
+}
+
+}  // namespace mrtpl::core

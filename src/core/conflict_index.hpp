@@ -1,0 +1,75 @@
+#pragma once
+/// \file conflict_index.hpp
+/// Incremental color-conflict engine. detect_conflicts (conflict.hpp)
+/// rescans every grid vertex; on a large die that full O(die × window)
+/// sweep dominates each RRR iteration even when only a handful of nets
+/// moved. ConflictIndex instead subscribes to the grid's dirty log
+/// (RoutingGrid::set_dirty_log) and repairs the violating-pair set in
+/// O(changed vertices × dcolor-window) per refresh, then feeds the exact
+/// same clustering (cluster_conflicts) the oracle uses — so the grouped
+/// Conflict view is identical, just cheaper to keep current.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/conflict.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::core {
+
+/// Incrementally-maintained set of violating pairs over one grid.
+///
+/// Attaches itself as the grid's (single) dirty-log consumer on
+/// construction, seeds the pair set with a full scan, and detaches on
+/// destruction. Every commit/release/set_mask between queries lands in
+/// the dirty log; queries first drain it via refresh(). Not thread-safe:
+/// the parallel RRR executor funnels all grid mutation through the main
+/// thread, which is also the only caller.
+class ConflictIndex {
+ public:
+  explicit ConflictIndex(grid::RoutingGrid& grid);
+  ~ConflictIndex();
+  ConflictIndex(const ConflictIndex&) = delete;
+  ConflictIndex& operator=(const ConflictIndex&) = delete;
+
+  /// Drain the dirty log and repair the pair set: for every changed
+  /// vertex, drop its incident pairs and re-derive them from its current
+  /// dcolor window.
+  void refresh();
+
+  /// Grouped, clustered conflicts — same content as
+  /// detect_conflicts(grid), built from the incremental pair set.
+  [[nodiscard]] std::vector<Conflict> conflicts();
+
+  /// Raw violating pairs normalized to (v < u) and sorted — the
+  /// incremental counterpart of violation_pairs, used by the oracle test.
+  [[nodiscard]] std::vector<std::pair<grid::VertexId, grid::VertexId>> pairs();
+
+  /// Violating-pair count (refreshes first).
+  [[nodiscard]] std::size_t num_pairs();
+
+  /// Changed vertices processed by refresh() so far; the bench uses this
+  /// to show detection cost tracking the rip delta, not the die.
+  [[nodiscard]] std::uint64_t vertices_processed() const { return processed_; }
+
+ private:
+  grid::RoutingGrid* grid_;
+  std::vector<grid::VertexId> dirty_;  ///< log the grid appends to
+  std::vector<std::vector<grid::VertexId>> partners_;  ///< per-vertex pair partners
+  std::vector<std::uint32_t> dirty_stamp_;  ///< epoch marks of the current refresh
+  std::uint32_t epoch_ = 0;
+  std::size_t pair_count_ = 0;
+  std::uint64_t processed_ = 0;
+
+  /// Vertices that may have a non-empty partner list (lazily compacted),
+  /// so pair enumeration costs O(violating vertices), not O(die).
+  std::vector<grid::VertexId> active_;
+  std::vector<std::uint8_t> in_active_;
+
+  void build_full();
+  void note_partner(grid::VertexId v, grid::VertexId u);
+  [[nodiscard]] std::vector<std::pair<grid::VertexId, grid::VertexId>> flat_pairs();
+};
+
+}  // namespace mrtpl::core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/conflict_index.hpp"
 #include "util/logger.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -87,10 +88,27 @@ std::vector<grid::VertexId> MrTplRouter::backtrace(const grid::RoutingGrid& grid
   return path;
 }
 
-grid::NetRoute MrTplRouter::route_net(grid::RoutingGrid& grid, ColorSearch& search,
-                                      db::NetId net_id) {
+MrTplRouter::SearchScope MrTplRouter::net_scope(db::NetId net_id) const {
+  SearchScope scope;
+  scope.window = design_.net(net_id).bbox();
+  if (guides_ != nullptr && net_id < static_cast<db::NetId>(guides_->size())) {
+    const global::NetGuide& guide = (*guides_)[static_cast<size_t>(net_id)];
+    if (!guide.boxes.empty()) {
+      scope.guide = &guide;
+      scope.window = scope.window.united(guide.bbox());
+    }
+  }
+  scope.window =
+      scope.window.inflated(config_.search_margin).intersected(design_.die());
+  return scope;
+}
+
+MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& grid,
+                                                     ColorSearch& search,
+                                                     db::NetId net_id) const {
   const db::Net& net = design_.net(net_id);
-  grid::NetRoute route;
+  RouteOutcome outcome;
+  grid::NetRoute& route = outcome.route;
   route.net = net_id;
 
   // Pin access vertices.
@@ -101,20 +119,15 @@ grid::NetRoute MrTplRouter::route_net(grid::RoutingGrid& grid, ColorSearch& sear
     if (verts.empty()) {
       util::warn("mrtpl", util::format("net %s: pin with no accessible vertices",
                                        net.name.c_str()));
-      return route;  // unroutable by construction
+      return outcome;  // unroutable by construction
     }
   }
 
   // Search window: net bbox ∪ guide bbox, inflated.
-  const global::NetGuide* guide = nullptr;
-  geom::Rect window = net.bbox();
-  if (guides_ != nullptr && net_id < static_cast<db::NetId>(guides_->size())) {
-    guide = &(*guides_)[static_cast<size_t>(net_id)];
-    if (!guide->boxes.empty()) window = window.united(guide->bbox());
-  }
-  window = window.inflated(config_.search_margin).intersected(design_.die());
+  const SearchScope scope = net_scope(net_id);
+  const global::NetGuide* guide = scope.guide;
 
-  search.begin_net(net_id, guide, window);
+  search.begin_net(net_id, guide, scope.window);
 
   // Algorithm 1 lines 1–8: pin 0's vertices are the initial sources with
   // color state 111.
@@ -132,12 +145,12 @@ grid::NetRoute MrTplRouter::route_net(grid::RoutingGrid& grid, ColorSearch& sear
     if (dst == grid::kInvalidVertex) {
       util::warn("mrtpl", util::format("net %s: %d pin(s) unreachable",
                                        net.name.c_str(), remaining));
-      stats_.relaxations += search.relaxations();
+      outcome.relaxations = search.relaxations();
       route.routed = false;
-      // Keep the partial tree: commit what exists so the layout stays
-      // consistent for other nets.
-      color_and_commit(grid, pool, net_id, route);
-      return route;
+      // Keep the partial tree: choose colors for what exists so the
+      // layout stays consistent for other nets once committed.
+      choose_colors(grid, pool, net_id, route, outcome.colors);
+      return outcome;
     }
     const int pin = search.target_pin(dst);
     assert(pin >= 0 && !reached[static_cast<size_t>(pin)]);
@@ -180,21 +193,38 @@ grid::NetRoute MrTplRouter::route_net(grid::RoutingGrid& grid, ColorSearch& sear
     route.paths.push_back({v});
   }
 
-  stats_.relaxations += search.relaxations();
+  outcome.relaxations = search.relaxations();
   route.routed = true;
-  color_and_commit(grid, pool, net_id, route);
-  return route;
+  choose_colors(grid, pool, net_id, route, outcome.colors);
+  return outcome;
 }
 
-void MrTplRouter::color_and_commit(grid::RoutingGrid& grid, SegSetPool& pool,
-                                   db::NetId net_id,
-                                   const grid::NetRoute& route) {
-  last_colors_.clear();
+grid::NetRoute MrTplRouter::route_net(grid::RoutingGrid& grid, ColorSearch& search,
+                                      db::NetId net_id) {
+  RouteOutcome outcome = compute_route(grid, search, net_id);
+  apply_outcome(grid, outcome);
+  set_last_colors(outcome);
+  return std::move(outcome.route);
+}
+
+void MrTplRouter::apply_outcome(grid::RoutingGrid& grid, const RouteOutcome& outcome) {
+  for (const auto& [v, m] : outcome.colors) grid.commit(v, outcome.route.net, m);
+  stats_.relaxations += outcome.relaxations;
+}
+
+void MrTplRouter::set_last_colors(const RouteOutcome& outcome) {
+  last_colors_ = outcome.colors;
+  if (config_.enable_coloring)
+    std::sort(last_colors_.begin(), last_colors_.end());
+}
+
+void MrTplRouter::choose_colors(
+    const grid::RoutingGrid& grid, SegSetPool& pool, db::NetId net_id,
+    const grid::NetRoute& route,
+    std::vector<std::pair<grid::VertexId, grid::Mask>>& colors) const {
   if (!config_.enable_coloring) {
-    for (const auto& [v, vs] : pool.attachments()) {
-      grid.commit(v, net_id, grid::kNoMask);
-      last_colors_.emplace_back(v, grid::kNoMask);
-    }
+    for (const auto& [v, vs] : pool.attachments())
+      colors.emplace_back(v, grid::kNoMask);
     return;
   }
   // Group attachments by segSet root.
@@ -277,11 +307,9 @@ void MrTplRouter::color_and_commit(grid::RoutingGrid& grid, SegSetPool& pool,
       // Upper (single-patterned) layers carry no mask.
       const grid::Mask m =
           grid.tech().is_tpl_layer(grid.loc(v).layer) ? best : grid::kNoMask;
-      grid.commit(v, net_id, m);
-      last_colors_.emplace_back(v, m);
+      colors.emplace_back(v, m);
     }
   }
-  std::sort(last_colors_.begin(), last_colors_.end());
 }
 
 namespace {
@@ -332,6 +360,72 @@ double iterate_score(int conflicts, int stitches, int failed) {
 
 }  // namespace
 
+void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
+                             util::ThreadPool* pool,
+                             std::vector<std::unique_ptr<ColorSearch>>& worker_searches,
+                             const std::vector<db::NetId>& nets,
+                             grid::Solution& solution) {
+  util::Timer timer;
+  if (pool == nullptr || nets.size() <= 1) {
+    for (const db::NetId id : nets)
+      solution.routes[static_cast<size_t>(id)] = route_net(grid, search, id);
+    stats_.route_batches += nets.empty() ? 0 : 1;
+    stats_.reroute_s += timer.elapsed_s();
+    return;
+  }
+
+  // Deterministic dependency-preserving batching. Two nets *interact*
+  // when their read footprints (search window + dcolor halo) overlap the
+  // other's write window; inflating each window by the halo and testing
+  // rectangle overlap is a symmetric, conservative bound. A net lands in
+  // the batch right after the last earlier net it interacts with, so any
+  // interacting pair keeps its serial relative order and every compute
+  // sees exactly the grid state the serial loop would have shown it —
+  // which is why the output is byte-identical for every thread count.
+  const int halo = std::max(grid.dcolor(), 1);
+  std::vector<geom::Rect> footprint(nets.size());
+  for (size_t i = 0; i < nets.size(); ++i)
+    footprint[i] = net_scope(nets[i]).window.inflated(halo);
+  std::vector<int> batch_of(nets.size(), 0);
+  int num_batches = 1;
+  for (size_t i = 1; i < nets.size(); ++i) {
+    for (size_t j = 0; j < i; ++j)
+      if (footprint[i].overlaps(footprint[j]) && batch_of[j] >= batch_of[i])
+        batch_of[i] = batch_of[j] + 1;
+    num_batches = std::max(num_batches, batch_of[i] + 1);
+  }
+  std::vector<std::vector<size_t>> batches(static_cast<size_t>(num_batches));
+  for (size_t i = 0; i < nets.size(); ++i)
+    batches[static_cast<size_t>(batch_of[i])].push_back(i);
+
+  // last_colors() must track the final net of `nets` no matter which
+  // batch it landed in, so the accessor stays thread-count-independent.
+  RouteOutcome final_net_outcome;
+  for (const auto& batch : batches) {
+    // Workers only read the grid (compute_route is const); every member's
+    // read footprint is disjoint from every other member's write window,
+    // so the shared grid *is* the read snapshot of the batch start.
+    std::vector<RouteOutcome> outcomes(batch.size());
+    pool->for_each(batch.size(), [&](size_t k, int worker) {
+      outcomes[k] = compute_route(grid, *worker_searches[static_cast<size_t>(worker)],
+                                  nets[batch[k]]);
+    });
+    // Commit on the main thread, batches in order and members in ripped
+    // order within each batch — a fixed sequence derived from the ripped
+    // list alone, so no observable state depends on the thread count
+    // (cross-batch member writes are disjoint and commute anyway).
+    for (size_t k = 0; k < batch.size(); ++k) {
+      apply_outcome(grid, outcomes[k]);
+      if (batch[k] == nets.size() - 1) final_net_outcome = outcomes[k];
+      solution.routes[static_cast<size_t>(nets[batch[k]])] =
+          std::move(outcomes[k].route);
+    }
+  }
+  set_last_colors(final_net_outcome);
+  stats_.route_batches += num_batches;
+  stats_.reroute_s += timer.elapsed_s();
+}
+
 grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
   util::Timer timer;
   stats_ = RouterStats{};
@@ -341,9 +435,31 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
   ColorSearch search(grid, config_);
   const auto order = net_order();
 
+  // Incremental conflict engine: subscribes to the grid's dirty log so
+  // each detection pass costs O(rip delta × window), not O(die). The
+  // full-rescan oracle remains behind the toggle.
+  std::unique_ptr<ConflictIndex> index;
+  if (config_.incremental_conflicts) index = std::make_unique<ConflictIndex>(grid);
+  auto detect = [&] {
+    util::Timer t;
+    auto conflicts = index ? index->conflicts() : detect_conflicts(grid);
+    stats_.detect_s += t.elapsed_s();
+    return conflicts;
+  };
+
+  // Batched executor state: one pool + one ColorSearch scratch per worker
+  // for the whole run.
+  std::unique_ptr<util::ThreadPool> pool;
+  std::vector<std::unique_ptr<ColorSearch>> worker_searches;
+  if (config_.rrr_threads > 1) {
+    pool = std::make_unique<util::ThreadPool>(config_.rrr_threads);
+    worker_searches.reserve(static_cast<size_t>(pool->size()));
+    for (int i = 0; i < pool->size(); ++i)
+      worker_searches.push_back(std::make_unique<ColorSearch>(grid, config_));
+  }
+
   // Fig. 2 middle column: route every net once.
-  for (const db::NetId id : order)
-    solution.routes[static_cast<size_t>(id)] = route_net(grid, search, id);
+  route_list(grid, search, pool.get(), worker_searches, order, solution);
 
   auto current_score = [&](const std::vector<Conflict>& conflicts) {
     int failed = 0;
@@ -359,7 +475,7 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
   // walled in by earlier nets) are handled the same way: the blockers in
   // the failed net's window are ripped and the failed net retries first.
   for (int iter = 0; iter < config_.max_rrr_iterations; ++iter) {
-    const auto conflicts = detect_conflicts(grid);
+    const auto conflicts = detect();
     stats_.conflicts_per_iter.push_back(static_cast<int>(conflicts.size()));
     if (const double score = current_score(conflicts); score < best.score)
       best = LayoutSnapshot::capture(grid, solution, score);
@@ -395,14 +511,13 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
     if (ripped.empty()) break;
     for (const db::NetId id : ripped)
       grid::release_route(grid, solution.routes[static_cast<size_t>(id)]);
-    for (const db::NetId id : ripped)
-      solution.routes[static_cast<size_t>(id)] = route_net(grid, search, id);
+    route_list(grid, search, pool.get(), worker_searches, ripped, solution);
   }
   // Score the state the loop ended on (the per-iteration scoring above
   // sees each state *before* its reroute, so the last reroute's result is
   // still unscored), then keep whichever iterate was best.
   {
-    const auto conflicts = detect_conflicts(grid);
+    const auto conflicts = detect();
     if (static_cast<int>(stats_.conflicts_per_iter.size()) == config_.max_rrr_iterations)
       stats_.conflicts_per_iter.push_back(static_cast<int>(conflicts.size()));
     if (const double score = current_score(conflicts); score < best.score)

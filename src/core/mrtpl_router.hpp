@@ -5,6 +5,7 @@
 /// Fig. 2 outer loop (route all nets → detect conflicts → rip-up & update
 /// history → reroute).
 
+#include <memory>
 #include <vector>
 
 #include "core/color_search.hpp"
@@ -14,6 +15,7 @@
 #include "global/guide.hpp"
 #include "grid/route_result.hpp"
 #include "grid/routing_grid.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mrtpl::core {
 
@@ -24,6 +26,9 @@ struct RouterStats {
   int failed_nets = 0;                ///< nets with unreachable pins
   std::uint64_t relaxations = 0;      ///< total search relaxations
   double runtime_s = 0.0;
+  double detect_s = 0.0;              ///< wall time in conflict detection
+  double reroute_s = 0.0;             ///< wall time routing nets (all passes)
+  int route_batches = 0;              ///< disjoint-window batches executed
 };
 
 /// Mr.TPL router. Construct once per design; `run` routes every net into
@@ -54,20 +59,66 @@ class MrTplRouter {
   }
 
  private:
+  /// Everything one net's routing produces, computed against a read-only
+  /// grid: the tree, the chosen (vertex, mask) commits in commit order,
+  /// and the search-effort counter. Committing an outcome is the only
+  /// grid mutation — which is what lets a batch of disjoint-window nets
+  /// compute concurrently and commit serially.
+  struct RouteOutcome {
+    grid::NetRoute route;
+    std::vector<std::pair<grid::VertexId, grid::Mask>> colors;
+    std::uint64_t relaxations = 0;
+  };
+
   /// Net routing order: short, low-degree nets first.
   [[nodiscard]] std::vector<db::NetId> net_order() const;
 
+  /// A net's search scope: the guide actually applied (null when absent
+  /// or empty) and the window (bbox ∪ guide bbox, inflated by
+  /// search_margin, clamped to the die). The single source of truth
+  /// shared by compute_route and the batch scheduler, so the scheduler's
+  /// disjointness footprint can never desynchronize from the search.
+  struct SearchScope {
+    const global::NetGuide* guide = nullptr;
+    geom::Rect window;
+  };
+  [[nodiscard]] SearchScope net_scope(db::NetId net_id) const;
+
   /// Algorithm 3. Walks prev pointers from `dst` to the routed tree,
   /// attaching vertices to verSets/segSets and re-seeding the tree.
-  std::vector<grid::VertexId> backtrace(const grid::RoutingGrid& grid,
-                                        ColorSearch& search, SegSetPool& pool,
-                                        grid::VertexId dst);
+  static std::vector<grid::VertexId> backtrace(const grid::RoutingGrid& grid,
+                                               ColorSearch& search, SegSetPool& pool,
+                                               grid::VertexId dst);
 
-  /// Final per-segSet mask selection + grid commit for a routed net.
-  /// `route` supplies the tree edges used to align colors across segSet
-  /// boundaries (each unaligned same-layer boundary is a stitch).
-  void color_and_commit(grid::RoutingGrid& grid, SegSetPool& pool,
-                        db::NetId net_id, const grid::NetRoute& route);
+  /// Algorithms 1–3 for one net without touching the grid. Thread-safe
+  /// for nets whose read footprints (window + dcolor halo) are disjoint
+  /// from every concurrent commit.
+  [[nodiscard]] RouteOutcome compute_route(const grid::RoutingGrid& grid,
+                                           ColorSearch& search,
+                                           db::NetId net_id) const;
+
+  /// Final per-segSet mask selection for a routed net (the commit half of
+  /// the old color_and_commit, minus the commits): fills outcome.colors.
+  void choose_colors(const grid::RoutingGrid& grid, SegSetPool& pool,
+                     db::NetId net_id, const grid::NetRoute& route,
+                     std::vector<std::pair<grid::VertexId, grid::Mask>>& colors) const;
+
+  /// Commit an outcome's colors and fold its counters into stats_.
+  void apply_outcome(grid::RoutingGrid& grid, const RouteOutcome& outcome);
+
+  /// Refresh the last_colors() accessor from an outcome. Kept separate
+  /// from apply_outcome so the batched executor can pin last_colors() to
+  /// the final net of the list regardless of which batch it landed in —
+  /// the accessor must not depend on the thread count either.
+  void set_last_colors(const RouteOutcome& outcome);
+
+  /// Route `nets` in order, serially (pool == nullptr) or via the
+  /// deterministic disjoint-window batch executor, storing results in
+  /// `solution`.
+  void route_list(grid::RoutingGrid& grid, ColorSearch& search,
+                  util::ThreadPool* pool,
+                  std::vector<std::unique_ptr<ColorSearch>>& worker_searches,
+                  const std::vector<db::NetId>& nets, grid::Solution& solution);
 
   const db::Design& design_;
   const global::GuideSet* guides_;

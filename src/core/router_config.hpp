@@ -21,6 +21,22 @@ struct RouterConfig {
   /// `bench_ablation_rrr` "negotiated baseline" ablation.
   bool rrr_on_color_conflicts = true;
 
+  /// Worker threads of the batched rip-up-and-reroute executor. With
+  /// N >= 2 the loop groups ripped nets whose inflated search windows
+  /// (bbox ∪ guide, + search_margin + dcolor halo) are pairwise disjoint
+  /// and routes each batch concurrently against a read-snapshot of the
+  /// grid, committing results on the main thread in a fixed sequence
+  /// derived from the ripped list alone. Batch assignment preserves the
+  /// serial dependency order, so output is byte-identical for every
+  /// thread count; 1 runs the reference serial path.
+  int rrr_threads = 1;
+
+  /// Maintain the violating-pair set incrementally (core::ConflictIndex,
+  /// fed by the grid's dirty log) instead of rescanning the whole die
+  /// every RRR iteration. Identical conflicts; detection cost scales with
+  /// the rip delta. Off falls back to the detect_conflicts debug oracle.
+  bool incremental_conflicts = true;
+
   // ---- search window ---------------------------------------------------
   /// Hard clamp: search stays within the net bbox united with its guide
   /// bbox, inflated by this many tracks. Keeps per-net search local, as a

@@ -75,20 +75,25 @@ bool RoutingGrid::is_preferred(int layer, Dir d) const {
 void RoutingGrid::commit(VertexId v, db::NetId net, Mask m) {
   assert(net != db::kNoNet);
   assert(owner_[v] == db::kNoNet || owner_[v] == net);
+  note_change(v, net, m);
   owner_[v] = net;
   mask_[v] = m;
 }
 
 void RoutingGrid::set_mask(VertexId v, Mask m) {
   assert(owner_[v] != db::kNoNet);
+  note_change(v, owner_[v], m);
   mask_[v] = m;
 }
 
 void RoutingGrid::release(VertexId v) {
   if (pin_vertex_[v]) {
-    owner_[v] = pin_owner_[v];  // pin metal stays; only wire color is undone
+    // Pin metal stays; only the wire color is undone.
+    note_change(v, pin_owner_[v], kNoMask);
+    owner_[v] = pin_owner_[v];
     mask_[v] = kNoMask;
   } else {
+    note_change(v, db::kNoNet, kNoMask);
     owner_[v] = db::kNoNet;
     mask_[v] = kNoMask;
   }

@@ -137,6 +137,20 @@ class RoutingGrid {
   /// congested instances deterministically.
   void inject_blockage(VertexId v) { blocked_[v] = 1; }
 
+  // ---- change notification --------------------------------------------
+  /// Attach a dirty log: every commit/set_mask/release that actually
+  /// changes a vertex's (owner, mask) appends the vertex id. Duplicates
+  /// are possible — consumers dedupe. One consumer at a time (pass
+  /// nullptr to detach); core::ConflictIndex uses this to keep the
+  /// violating-pair set incremental instead of rescanning the die.
+  void set_dirty_log(std::vector<VertexId>* log) { dirty_log_ = log; }
+  /// Detach, but only if `log` is still the attached consumer — so a
+  /// consumer's destructor can't rip out a successor's log.
+  void clear_dirty_log(const std::vector<VertexId>* log) {
+    if (dirty_log_ == log) dirty_log_ = nullptr;
+  }
+  [[nodiscard]] bool has_dirty_log() const { return dirty_log_ != nullptr; }
+
  private:
   const db::Design* design_;
   int nl_, nx_, ny_;
@@ -147,6 +161,12 @@ class RoutingGrid {
   std::vector<std::uint8_t> pin_vertex_;  ///< vertex belongs to a pin shape
   std::vector<db::NetId> pin_owner_;      ///< pin net (survives release())
   std::vector<float> history_;
+  std::vector<VertexId>* dirty_log_ = nullptr;  ///< change log, may be null
+
+  void note_change(VertexId v, db::NetId new_owner, Mask new_mask) {
+    if (dirty_log_ != nullptr && (owner_[v] != new_owner || mask_[v] != new_mask))
+      dirty_log_->push_back(v);
+  }
 };
 
 template <typename Fn>

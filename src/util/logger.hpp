@@ -12,9 +12,10 @@ namespace mrtpl::util {
 
 enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
 
-/// Process-wide logger. Not thread-safe by design: all routers in this
-/// project are single-threaded (the paper's runtimes are single-run wall
-/// clock), so a mutex would be dead weight.
+/// Process-wide logger. Emission is a single fprintf per message, which
+/// stdio serializes, so the parallel RRR workers may log concurrently
+/// (lines never interleave mid-message). set_level is configuration-time
+/// only — call it before spinning up routing threads.
 class Logger {
  public:
   static LogLevel level() { return level_; }

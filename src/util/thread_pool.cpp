@@ -1,0 +1,63 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mrtpl::util {
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::for_each(std::size_t count,
+                          const std::function<void(std::size_t, int)>& fn) {
+  if (count == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  next_ = 0;
+  count_ = count;
+  remaining_ = count;
+  first_error_ = nullptr;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::worker_loop(int id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || (job_ != nullptr && next_ < count_); });
+    if (stop_) return;
+    while (job_ != nullptr && next_ < count_) {
+      const std::size_t item = next_++;
+      const auto* fn = job_;
+      lock.unlock();
+      std::exception_ptr err;
+      try {
+        (*fn)(item, id);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      lock.lock();
+      if (err && !first_error_) first_error_ = err;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace mrtpl::util

@@ -74,6 +74,28 @@ TEST(CliSmoke, GenerateRouteEvalVerifyRoundTrip) {
   EXPECT_NE(svg.find("<svg"), std::string::npos);
 }
 
+TEST(CliSmoke, ThreadedRouteMatchesSerialAndRejectsBadCount) {
+  const std::string design_path = tmp_path("threads.design");
+  const std::string serial_path = tmp_path("threads_serial.sol");
+  const std::string parallel_path = tmp_path("threads_parallel.sol");
+
+  ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);
+  ASSERT_EQ(cli::run({"route", "--design", design_path, "--solution",
+                      serial_path, "--threads", "1", "--rescan-conflicts"}),
+            0);
+  ASSERT_EQ(cli::run({"route", "--design", design_path, "--solution",
+                      parallel_path, "--threads", "4"}),
+            0);
+  EXPECT_EQ(slurp(serial_path), slurp(parallel_path));
+
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--threads", "0"}), 2);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--threads", "x"}), 2);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--threads",
+                      "99999999999"}),
+            2);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--rrr", "nope"}), 2);
+}
+
 TEST(CliSmoke, RefineAndReportRunOnSavedSolution) {
   const std::string design_path = tmp_path("refine.design");
   const std::string solution_path = tmp_path("refine.sol");

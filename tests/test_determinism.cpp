@@ -78,6 +78,40 @@ TEST_P(DeterminismSweep, DifferentSeedsDiffer) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Values(10, 20, 30));
 
+/// The batched parallel RRR executor pins a bar stronger than
+/// run-to-run stability: for ANY worker count the serialized solution
+/// must be byte-identical to the serial reference path (rrr_threads = 1,
+/// full-rescan conflict detection). Batches only group nets whose
+/// inflated windows are pairwise disjoint and commit in ripped order, so
+/// thread scheduling must never be observable in the output.
+class ThreadSweepDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ThreadSweepDeterminism, AnyThreadCountMatchesSerialReference) {
+  const db::Design design = benchgen::generate(spec_of(GetParam()));
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+  auto run_with = [&](int threads, bool incremental) {
+    grid::RoutingGrid grid(design);
+    core::RouterConfig cfg;
+    cfg.rrr_threads = threads;
+    cfg.incremental_conflicts = incremental;
+    core::MrTplRouter router(design, &guides, cfg);
+    const grid::Solution sol = router.run(grid);
+    return io::solution_to_string(grid, sol);
+  };
+  const std::string reference = run_with(1, false);
+  for (const int threads : {1, 2, 8}) {
+    for (const bool incremental : {false, true}) {
+      EXPECT_EQ(run_with(threads, incremental), reference)
+          << "threads " << threads << " incremental " << incremental << " seed "
+          << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreadSweepDeterminism,
+                         ::testing::Values(10, 20, 30));
+
 /// Every ablation toggle of RouterConfig, and every combination of the
 /// boolean ones, must leave the router fully deterministic: two
 /// back-to-back runs on fresh grids serialize byte-identically.
@@ -99,17 +133,21 @@ class ConfigDeterminism : public ::testing::TestWithParam<int> {
 };
 
 TEST_P(ConfigDeterminism, MrTplRunIsByteIdentical) {
-  const core::RouterConfig cfg = config_of(GetParam());
   const db::Design design = benchgen::generate(spec_of(77));
   global::GlobalRouter gr(design);
   const global::GuideSet guides = gr.route_all();
-  auto run_once = [&] {
+  auto run_once = [&](int threads) {
+    core::RouterConfig cfg = config_of(GetParam());
+    cfg.rrr_threads = threads;
     grid::RoutingGrid grid(design);
     core::MrTplRouter router(design, &guides, cfg);
     const grid::Solution sol = router.run(grid);
     return io::solution_to_string(grid, sol);
   };
-  EXPECT_EQ(run_once(), run_once()) << "config bits " << GetParam();
+  const std::string serial = run_once(1);
+  EXPECT_EQ(serial, run_once(1)) << "config bits " << GetParam();
+  // The batched executor must be invisible under every toggle combo.
+  EXPECT_EQ(serial, run_once(8)) << "config bits " << GetParam() << " threads 8";
 }
 
 // Bits 0-15 cover every combination of the four boolean toggles; 16-47

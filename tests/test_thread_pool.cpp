@@ -1,0 +1,84 @@
+/// \file test_thread_pool.cpp
+/// util::ThreadPool: the batched-RRR executor's substrate. Checks item
+/// coverage (each item exactly once), worker-id bounds, reuse across
+/// many batches, exception propagation, and clean teardown.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace mrtpl::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryItemExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each(hits.size(), [&](std::size_t i, int worker) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, pool.size());
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t count = static_cast<std::size_t>(round % 7);
+    pool.for_each(count, [&](std::size_t, int) { total.fetch_add(1); });
+  }
+  int expected = 0;
+  for (int round = 0; round < 50; ++round) expected += round % 7;
+  EXPECT_EQ(total.load(), expected);
+}
+
+TEST(ThreadPool, ZeroItemsIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.for_each(0, [&](std::size_t, int) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleThreadStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.for_each(5, [&](std::size_t i, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(static_cast<int>(i));  // one worker: no race
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(pool.for_each(64,
+                             [&](std::size_t i, int) {
+                               if (i == 13) throw std::runtime_error("boom");
+                               completed.fetch_add(1);
+                             }),
+               std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);  // batch drains before the rethrow
+
+  // The pool stays usable after an exceptional batch.
+  std::atomic<int> after{0};
+  pool.for_each(8, [&](std::size_t, int) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> n{0};
+  pool.for_each(3, [&](std::size_t, int) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 3);
+}
+
+}  // namespace
+}  // namespace mrtpl::util

@@ -8,7 +8,12 @@
 ///       Generate a synthetic case and save it.
 ///   route --design <file> [--router mrtpl|dac12|decompose]
 ///       [--solution out.sol] [--svg out.svg] [--no-guides] [--rrr N]
+///       [--threads N] [--rescan-conflicts]
 ///       Route a saved design, print metrics, optionally dump artifacts.
+///       --threads N routes RRR batches of disjoint-window nets on N
+///       workers (output is byte-identical to --threads 1);
+///       --rescan-conflicts swaps the incremental conflict engine for the
+///       full-rescan debug oracle.
 ///   eval --design <file> --solution <file>
 ///       Re-verify a saved solution (conflicts/stitches/cost) offline.
 ///   verify --design <file> --solution <file> [--no-color-check]
@@ -76,6 +81,20 @@ struct Args {
     return flags.contains(key) || options.contains(key);
   }
 };
+
+/// Strict integer flag parser: the whole word must be a number that fits
+/// an int, otherwise nullopt (std::stoi alone would throw out of main and
+/// abort on e.g. `--threads x`).
+std::optional<int> parse_int(const std::string& word) {
+  try {
+    size_t used = 0;
+    const int value = std::stoi(word, &used);
+    if (used != word.size()) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
 
 std::optional<benchgen::CaseSpec> find_case(const std::string& name) {
   for (const auto& s : benchgen::ispd2018_suite())
@@ -147,7 +166,23 @@ int cmd_route(const Args& args) {
   }
 
   core::RouterConfig config;
-  if (const auto rrr = args.get("rrr")) config.max_rrr_iterations = std::stoi(*rrr);
+  if (const auto rrr = args.get("rrr")) {
+    const auto n = parse_int(*rrr);
+    if (!n || *n < 0) {
+      std::fprintf(stderr, "route: --rrr wants a non-negative integer\n");
+      return 2;
+    }
+    config.max_rrr_iterations = *n;
+  }
+  if (const auto threads = args.get("threads")) {
+    const auto n = parse_int(*threads);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "route: --threads must be >= 1\n");
+      return 2;
+    }
+    config.rrr_threads = *n;
+  }
+  if (args.has("rescan-conflicts")) config.incremental_conflicts = false;
 
   grid::RoutingGrid grid(design);
   util::Timer timer;
@@ -295,6 +330,7 @@ int run(const std::vector<std::string>& argv) {
                "  generate --case <name> [--out file]\n"
                "  route    --design <file> [--router mrtpl|dac12|decompose]\n"
                "           [--solution file] [--svg file] [--no-guides] [--rrr N]\n"
+               "           [--threads N] [--rescan-conflicts]\n"
                "  eval     --design <file> --solution <file>\n"
                "  verify   --design <file> --solution <file> [--no-color-check]\n"
                "  refine   --design <file> --solution <file> [--out file]\n"
