@@ -1,14 +1,55 @@
 #include "benchgen/case_spec.hpp"
 
+#include <algorithm>
+
+#include "util/strings.hpp"
+
 namespace mrtpl::benchgen {
 
-bool CaseSpec::valid() const {
-  if (pin_keepout < 1) return false;
-  return width >= 8 && height >= 8 && num_layers >= 2 && tpl_layers >= 1 &&
-         tpl_layers <= num_layers && dcolor >= 1 && num_nets >= 1 &&
-         min_pins >= 1 && max_pins >= min_pins && local_net_fraction >= 0.0 &&
-         local_net_fraction <= 1.0 && local_span >= 2 && num_macros >= 0 &&
-         macro_min >= 1 && macro_max >= macro_min;
+std::string CaseSpec::validation_error() const {
+  using util::format;
+  // The degenerate checks come first so a broken spec names its actual
+  // disease ("zero-area die") rather than a generic bound violation.
+  if (width <= 0 || height <= 0)
+    return format("zero-area die (%dx%d)", width, height);
+  if (track_pitch <= 0)
+    return format("track pitch %d must be positive", track_pitch);
+  if (num_masks > kMaxMasks)
+    return format("color count %d exceeds the %d-mask capacity", num_masks,
+                  kMaxMasks);
+  if (num_masks < 2)
+    return format("color count %d below the 2-mask minimum", num_masks);
+  if (width < 8 || height < 8)
+    return format("die %dx%d below the generator's 8x8 minimum", width, height);
+  const int usable_rows = (height - 1) / track_pitch + 1;
+  const int usable_cols = (width - 1) / track_pitch + 1;
+  if (std::min(usable_rows, usable_cols) < 4)
+    return format("track pitch %d leaves fewer than 4 usable tracks on a %dx%d die",
+                  track_pitch, width, height);
+  if (num_layers < 2 || tpl_layers < 1 || tpl_layers > num_layers)
+    return format("bad layer stack (%d layers, %d TPL)", num_layers, tpl_layers);
+  if (dcolor < 1) return format("dcolor %d must be >= 1", dcolor);
+  if (num_nets < 1) return format("num_nets %d must be >= 1", num_nets);
+  if (min_pins < 1 || max_pins < min_pins)
+    return format("bad pin-degree range [%d, %d]", min_pins, max_pins);
+  if (local_net_fraction < 0.0 || local_net_fraction > 1.0)
+    return format("local_net_fraction %.3f outside [0, 1]", local_net_fraction);
+  if (local_span < 2) return format("local_span %d must be >= 2", local_span);
+  if (pin_keepout < 1) return format("pin_keepout %d must be >= 1", pin_keepout);
+  if (num_macros < 0 || macro_min < 1 || macro_max < macro_min)
+    return format("bad macro parameters (%d macros, edge [%d, %d])", num_macros,
+                  macro_min, macro_max);
+  if (hotspot_count < 0)
+    return format("hotspot_count %d must be >= 0", hotspot_count);
+  if (maze_walls < 0) return format("maze_walls %d must be >= 0", maze_walls);
+  if (maze_walls > 0) {
+    if (maze_gap < 1 || maze_gap >= width)
+      return format("maze gap %d outside [1, die width)", maze_gap);
+    if (height / (maze_walls + 1) < 3)
+      return format("%d maze walls don't fit a %d-track-tall die", maze_walls,
+                    height);
+  }
+  return {};
 }
 
 namespace {

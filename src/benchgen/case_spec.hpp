@@ -11,6 +11,10 @@
 
 namespace mrtpl::benchgen {
 
+/// Hard mask capacity of the routing stack (mirrors grid::kNumMasks;
+/// benchgen layers below grid, so the bound is restated here).
+constexpr int kMaxMasks = 3;
+
 struct CaseSpec {
   std::string name;
 
@@ -38,9 +42,39 @@ struct CaseSpec {
   int macro_min = 4;       ///< macro edge range (tracks)
   int macro_max = 10;
 
+  // ---- Stress-family knobs (src/scenario suites). ----------------------
+  /// >0: local nets draw their cluster box from this many fixed hotspot
+  /// regions instead of a fresh random box per net, piling pin demand onto
+  /// a handful of windows until it exceeds the local track supply.
+  int hotspot_count = 0;
+
+  /// >0: that many serpentine 1-track-thick blockage walls span the die on
+  /// every TPL layer, each open only through a maze_gap-wide slot at
+  /// alternating ends. Upper single-patterned layers can still fly over,
+  /// so maze specs set num_layers == tpl_layers to force the detour.
+  int maze_walls = 0;
+  int maze_gap = 2;        ///< open-slot width of each maze wall (tracks)
+
+  /// Routing pitch: with pitch p > 1 only every p-th row (horizontal
+  /// layers) / column (vertical layers) is a usable track; the generator
+  /// blocks the rest, leaving 1-track-wide routing channels. Pins snap
+  /// onto usable tracks.
+  int track_pitch = 1;
+
+  /// Masks the TPL layers decompose into: 3 = triple patterning (the
+  /// paper), 2 = double patterning. Bounded by the grid's mask capacity.
+  int num_masks = 3;
+
   std::uint64_t seed = 1;
 
-  [[nodiscard]] bool valid() const;
+  /// Empty when the spec is generatable; otherwise a human-readable
+  /// description of the first violated constraint — the message
+  /// generate() throws with. Degenerate parameterisations (zero-area
+  /// dies, non-positive track pitch, more colors than masks) are rejected
+  /// here instead of silently producing broken grids.
+  [[nodiscard]] std::string validation_error() const;
+
+  [[nodiscard]] bool valid() const { return validation_error().empty(); }
 };
 
 /// The ten ISPD-2018-like cases used by Table II.

@@ -28,19 +28,57 @@ int sample_degree(util::Rng& rng, int min_pins, int max_pins) {
 }  // namespace
 
 db::Design generate(const CaseSpec& spec) {
-  if (!spec.valid()) throw std::invalid_argument("benchgen: invalid CaseSpec");
+  if (const std::string err = spec.validation_error(); !err.empty())
+    throw std::invalid_argument("benchgen: " + err);
 
   db::TechRules rules;
   rules.dcolor = spec.dcolor;
+  rules.num_masks = spec.num_masks;
   db::Tech tech = db::Tech::make_default(spec.num_layers, spec.tpl_layers, rules);
   const geom::Rect die{0, 0, spec.width - 1, spec.height - 1};
   db::Design design(spec.name, std::move(tech), die);
 
   util::Rng rng(spec.seed);
+  geom::SpatialGrid occupied(die, 8);
+  std::uint32_t next_wall_id = 1u << 24;  // disjoint from macro and pin ids
+
+  // ---- Maze walls: serpentine blockages on the TPL layers. -------------
+  // Wall i is a 1-track-thick full-width bar at y = (i+1)·H/(walls+1),
+  // open only through a maze_gap-wide slot hugging alternating die edges,
+  // so every crossing net snakes through the labyrinth. Walls land in
+  // `occupied` before macros and pins so both keep clear of them.
+  for (int i = 0; i < spec.maze_walls; ++i) {
+    const int y = (i + 1) * spec.height / (spec.maze_walls + 1);
+    const bool gap_on_left = (i % 2 == 0);
+    const geom::Rect wall = gap_on_left
+                                ? geom::Rect{spec.maze_gap, y, spec.width - 1, y}
+                                : geom::Rect{0, y, spec.width - 1 - spec.maze_gap, y};
+    occupied.insert(next_wall_id++, wall);
+    for (int layer = 0; layer < spec.tpl_layers; ++layer)
+      design.add_obstacle({layer, wall});
+  }
+
+  // ---- Track thinning: with pitch p > 1 only every p-th row (horizontal
+  // layers) / column (vertical layers) is routable; the rest of the die is
+  // blocked, leaving 1-track channels. These strips deliberately stay out
+  // of `occupied`: pins snap onto usable tracks instead (every shape would
+  // otherwise neighbor a blocked strip and no pin could ever place).
+  if (spec.track_pitch > 1) {
+    for (int layer = 0; layer < spec.num_layers; ++layer) {
+      if (design.tech().is_horizontal(layer)) {
+        for (int y = 0; y < spec.height; ++y)
+          if (y % spec.track_pitch != 0)
+            design.add_obstacle({layer, {0, y, spec.width - 1, y}});
+      } else {
+        for (int x = 0; x < spec.width; ++x)
+          if (x % spec.track_pitch != 0)
+            design.add_obstacle({layer, {x, 0, x, spec.height - 1}});
+      }
+    }
+  }
 
   // ---- Macros: blocked rectangles spanning the TPL layers. -------------
   // The inflate(2) keep-out ensures pins remain accessible next to macros.
-  geom::SpatialGrid occupied(die, 8);
   int placed_macros = 0;
   for (int attempt = 0; attempt < spec.num_macros * 20 && placed_macros < spec.num_macros;
        ++attempt) {
@@ -73,7 +111,14 @@ db::Design generate(const CaseSpec& spec) {
       const geom::Rect r = region.intersected(die.inflated(-1));
       if (!r.valid() || r.width() < pw) continue;
       const int x = rng.next_int(r.lo.x, r.hi.x - (pw - 1));
-      const int y = rng.next_int(r.lo.y, r.hi.y);
+      int y = rng.next_int(r.lo.y, r.hi.y);
+      // Thinned-track dies: the pin must sit on a usable row of its
+      // (horizontal) layer — snap down to the pitch grid, retrying when
+      // the snapped row falls out of the region.
+      if (spec.track_pitch > 1) {
+        y -= y % spec.track_pitch;
+        if (y < r.lo.y) continue;
+      }
       const geom::Rect shape{x, y, x + pw - 1, y};
       // Keep-outs: `pin_keepout` tracks to other pins (escape room + no
       // trivially forced pin-pin conflicts), 1 track to macros.
@@ -85,6 +130,18 @@ db::Design generate(const CaseSpec& spec) {
     return std::nullopt;
   };
 
+  // ---- Hotspot centers. --------------------------------------------------
+  // With hotspot_count > 0 every local net draws its cluster box from this
+  // fixed set instead of a fresh random window per net, concentrating pin
+  // demand on a few regions until it exceeds the local track supply.
+  std::vector<geom::Rect> hotspots;
+  const int hot_span = std::min(spec.local_span, std::min(spec.width, spec.height) - 2);
+  for (int i = 0; i < spec.hotspot_count; ++i) {
+    const int cx = rng.next_int(1, spec.width - hot_span - 1);
+    const int cy = rng.next_int(1, spec.height - hot_span - 1);
+    hotspots.push_back({cx, cy, cx + hot_span - 1, cy + hot_span - 1});
+  }
+
   // ---- Nets. -------------------------------------------------------------
   int created = 0;
   for (int n = 0; n < spec.num_nets; ++n) {
@@ -92,7 +149,9 @@ db::Design generate(const CaseSpec& spec) {
     const bool local = rng.next_bool(spec.local_net_fraction);
 
     geom::Rect region = die;
-    if (local) {
+    if (local && !hotspots.empty()) {
+      region = hotspots[rng.next_below(static_cast<std::uint32_t>(hotspots.size()))];
+    } else if (local) {
       const int span = std::min(spec.local_span, std::min(spec.width, spec.height) - 2);
       const int cx = rng.next_int(1, spec.width - span - 1);
       const int cy = rng.next_int(1, spec.height - span - 1);

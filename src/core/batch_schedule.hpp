@@ -1,0 +1,34 @@
+#pragma once
+/// \file batch_schedule.hpp
+/// Deterministic dependency-preserving batch assignment for the parallel
+/// RRR executor. Window i lands in the batch right after the deepest
+/// earlier window it overlaps:
+///
+///   batch_of[i] = max over j < i with windows[j] ∩ windows[i] ≠ ∅
+///                 of batch_of[j] + 1, else 0.
+///
+/// Any interacting pair keeps its serial relative order, so every batch's
+/// members are pairwise disjoint and the executor's output is
+/// byte-identical for every thread count (see MrTplRouter::route_list).
+
+#include <vector>
+
+#include "geom/rect.hpp"
+
+namespace mrtpl::core {
+
+/// Production path: a geom::SpatialGrid answers the "earlier overlapping
+/// windows" query, so cost is O(k · local overlap) instead of the O(k²)
+/// pairwise rectangle tests — the initial route-all pass feeds the
+/// scheduler *every* net, which is where the quadratic sweep hurt
+/// (ROADMAP "Batch-scheduler locality").
+[[nodiscard]] std::vector<int> schedule_batches(
+    const std::vector<geom::Rect>& windows);
+
+/// Reference O(k²) implementation. Kept as the debug oracle:
+/// test_determinism pins schedule_batches to be element-identical to it
+/// on every routed list shape.
+[[nodiscard]] std::vector<int> schedule_batches_quadratic(
+    const std::vector<geom::Rect>& windows);
+
+}  // namespace mrtpl::core

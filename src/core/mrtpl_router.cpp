@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "core/batch_schedule.hpp"
 #include "core/conflict_index.hpp"
 #include "util/logger.hpp"
 #include "util/strings.hpp"
@@ -98,8 +99,10 @@ MrTplRouter::SearchScope MrTplRouter::net_scope(db::NetId net_id) const {
       scope.window = scope.window.united(guide.bbox());
     }
   }
-  scope.window =
-      scope.window.inflated(config_.search_margin).intersected(design_.die());
+  int margin = config_.search_margin;
+  if (net_id < static_cast<db::NetId>(extra_margin_.size()))
+    margin += extra_margin_[static_cast<size_t>(net_id)];
+  scope.window = scope.window.inflated(margin).intersected(design_.die());
   return scope;
 }
 
@@ -382,18 +385,16 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
   // interacting pair keeps its serial relative order and every compute
   // sees exactly the grid state the serial loop would have shown it —
   // which is why the output is byte-identical for every thread count.
+  // The overlap query runs on a spatial grid (see batch_schedule.hpp);
+  // test_determinism pins it element-identical to the O(k²) oracle.
   const int halo = std::max(grid.dcolor(), 1);
   std::vector<geom::Rect> footprint(nets.size());
   for (size_t i = 0; i < nets.size(); ++i)
     footprint[i] = net_scope(nets[i]).window.inflated(halo);
-  std::vector<int> batch_of(nets.size(), 0);
+  const std::vector<int> batch_of = schedule_batches(footprint);
   int num_batches = 1;
-  for (size_t i = 1; i < nets.size(); ++i) {
-    for (size_t j = 0; j < i; ++j)
-      if (footprint[i].overlaps(footprint[j]) && batch_of[j] >= batch_of[i])
-        batch_of[i] = batch_of[j] + 1;
+  for (size_t i = 0; i < nets.size(); ++i)
     num_batches = std::max(num_batches, batch_of[i] + 1);
-  }
   std::vector<std::vector<size_t>> batches(static_cast<size_t>(num_batches));
   for (size_t i = 0; i < nets.size(); ++i)
     batches[static_cast<size_t>(batch_of[i])].push_back(i);
@@ -429,6 +430,7 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
 grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
   util::Timer timer;
   stats_ = RouterStats{};
+  extra_margin_.assign(static_cast<size_t>(design_.num_nets()), 0);
   grid::Solution solution;
   solution.routes.resize(static_cast<size_t>(design_.num_nets()));
 
@@ -496,9 +498,24 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
         grid.add_history(u, hist);
       }
     }
+    // Progressive window widening: a net that failed inside its clamped
+    // window retries with double the margin, up to the whole die — the
+    // escape valve for blockage labyrinths whose only opening lies far
+    // outside the bbox. Deterministic (depends only on the failure
+    // history), so the thread-count invariance is unaffected.
+    const int margin_cap =
+        std::max(design_.die().width(), design_.die().height());
     for (const db::NetId id : failed) {
+      int& extra = extra_margin_[static_cast<size_t>(id)];
+      extra = std::min(margin_cap,
+                       extra == 0 ? config_.search_margin : 2 * extra);
       rip[static_cast<size_t>(id)] = 1;
-      for (const db::NetId b : blockers_of(grid, design_, id, config_.search_margin))
+      // The blocker sweep must cover the same widened window the retry
+      // will search: a narrow choke point (maze slot) plugged by earlier
+      // nets can sit far outside the original margin, and unless those
+      // owners are ripped the retry finds it hard-blocked forever.
+      for (const db::NetId b :
+           blockers_of(grid, design_, id, config_.search_margin + extra))
         rip[static_cast<size_t>(b)] = 1;
     }
     std::vector<db::NetId> ripped;

@@ -125,6 +125,14 @@ class MrTplRouter {
   RouterConfig config_;
   RouterStats stats_;
   std::vector<std::pair<grid::VertexId, grid::Mask>> last_colors_;
+
+  /// Extra search margin per net, beyond config_.search_margin. Starts at
+  /// zero and doubles every RRR iteration a net fails to route: the
+  /// escape valve for labyrinth-style blockages whose only opening lies
+  /// far outside the net's bbox (scenario macro mazes). Mutated only
+  /// between route passes on the main thread; net_scope reads it, so the
+  /// batch scheduler's footprints track the widened windows automatically.
+  std::vector<int> extra_margin_;
 };
 
 }  // namespace mrtpl::core

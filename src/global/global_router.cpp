@@ -20,9 +20,17 @@ GlobalRouter::GlobalRouter(const db::Design& design, GlobalConfig config)
     const auto lo = cell_of(obs.shape.lo);
     const auto hi = cell_of(obs.shape.hi);
     for (int cy = lo.cy; cy <= hi.cy; ++cy)
-      for (int cx = lo.cx; cx <= hi.cx; ++cx)
-        obstacle_penalty_[static_cast<size_t>(cell_index(cx, cy))] +=
-            config_.gcell_size;
+      for (int cx = lo.cx; cx <= hi.cx; ++cx) {
+        const size_t ci = static_cast<size_t>(cell_index(cx, cy));
+        const geom::Rect cell = cell_rect(cx, cy);
+        const bool spans = obs.shape.lo.x <= cell.lo.x && obs.shape.hi.x >= cell.hi.x;
+        const bool spans_y = obs.shape.lo.y <= cell.lo.y && obs.shape.hi.y >= cell.hi.y;
+        if (config_.hard_spanning_blockages && (spans || spans_y)) {
+          obstacle_penalty_[ci] += 3 * config_.capacity_per_gcell;
+        } else {
+          obstacle_penalty_[ci] += config_.gcell_size;
+        }
+      }
   }
 }
 

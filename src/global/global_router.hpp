@@ -19,6 +19,15 @@ struct GlobalConfig {
   double congestion_weight = 2.0;
   int capacity_per_gcell = 24;  ///< track segments a GCell can host
   int guide_inflation = 1;   ///< GCells added around the used region
+
+  /// Blockage penalty model. The default charges a flat gcell_size per
+  /// overlapping low-layer obstacle rect — enough to steer guides around
+  /// macro farms. Wall-like blockages (the scenario subsystem's macro
+  /// mazes, thinned-track strips) need the stronger model: an obstacle
+  /// spanning a GCell's full width or height makes the cell nearly
+  /// impassable, so guides thread the labyrinth's slots instead of
+  /// punching through a wall the detailed router can never cross.
+  bool hard_spanning_blockages = false;
 };
 
 /// Stateless facade: route the whole design, return guides per net.

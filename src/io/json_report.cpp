@@ -65,6 +65,27 @@ void write_degrees(std::ostream& os,
 
 }  // namespace
 
+void write_scenario_line(std::ostream& os, const ScenarioReport& r) {
+  os << "{\"scenario\":" << json_escape(r.scenario)
+     << ",\"family\":" << json_escape(r.family)
+     << ",\"status\":" << json_escape(r.status) << ",\"nets\":" << r.nets
+     << ",\"conflicts\":" << r.metrics.conflicts
+     << ",\"stitches\":" << r.metrics.stitches
+     << ",\"wirelength\":" << r.metrics.wirelength
+     << ",\"vias\":" << r.metrics.vias
+     << ",\"failed_nets\":" << r.metrics.failed_nets
+     << ",\"drc_clean\":" << (r.drc_clean ? "true" : "false")
+     << ",\"detect_s\":" << r.detect_s << ",\"route_s\":" << r.route_s
+     << ",\"total_s\":" << r.total_s << ",\"note\":" << json_escape(r.note)
+     << "}\n";
+}
+
+std::string scenario_line_to_string(const ScenarioReport& report) {
+  std::ostringstream os;
+  write_scenario_line(os, report);
+  return os.str();
+}
+
 void write_case_report(std::ostream& os, const CaseReport& report) {
   os << "{\"case\":" << json_escape(report.case_name)
      << ",\"flow\":" << json_escape(report.flow)

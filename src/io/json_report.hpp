@@ -27,6 +27,28 @@ struct CaseReport {
   std::vector<eval::DegreeBreakdown> degrees;  ///< optional (may be empty)
 };
 
+/// One stress scenario's end-to-end outcome, emitted as a single JSON
+/// line by the scenario runner (`mrtpl_cli suite`, bench_scenarios) so
+/// runs can be appended to BENCH_scenarios.json and diffed across
+/// commits.
+struct ScenarioReport {
+  std::string scenario;
+  std::string family;   ///< "congestion" | "macro_maze" | ...
+  std::string status;   ///< "pass" | "fail" | "timeout" | "skip"
+  std::string note;     ///< failure/skip reason, empty on pass
+  int nets = 0;         ///< nets the generated design ended up with
+  bool drc_clean = false;
+  eval::Metrics metrics;
+  double detect_s = 0.0;  ///< conflict-detection wall time
+  double route_s = 0.0;   ///< detailed-routing wall time
+  double total_s = 0.0;   ///< whole scenario: generate through DRC verify
+};
+
+/// Serialize one scenario report as a single JSON line (trailing newline
+/// included).
+void write_scenario_line(std::ostream& os, const ScenarioReport& report);
+std::string scenario_line_to_string(const ScenarioReport& report);
+
 /// Serialize one report as a JSON object.
 void write_case_report(std::ostream& os, const CaseReport& report);
 

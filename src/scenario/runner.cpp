@@ -1,0 +1,120 @@
+#include "scenario/runner.hpp"
+
+#include <exception>
+
+#include "benchgen/generator.hpp"
+#include "core/mrtpl_router.hpp"
+#include "drc/checker.hpp"
+#include "global/global_router.hpp"
+#include "grid/routing_grid.hpp"
+#include "util/strings.hpp"
+#include "util/timer.hpp"
+
+namespace mrtpl::scenario {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kPass: return "pass";
+    case Status::kFail: return "fail";
+    case Status::kTimeout: return "timeout";
+    case Status::kSkip: return "skip";
+  }
+  return "unknown";
+}
+
+ScenarioRunner::ScenarioRunner(RunnerOptions options) : options_(options) {}
+
+ScenarioResult ScenarioRunner::run(const ScenarioSpec& scenario) const {
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.family = to_string(scenario.family);
+
+  const benchgen::CaseSpec& spec = scenario.spec(options_.quick);
+  if (const std::string err = spec.validation_error(); !err.empty()) {
+    result.status = Status::kSkip;
+    result.note = "invalid spec: " + err;
+    return result;
+  }
+
+  util::Timer total;
+  try {
+    const db::Design design = benchgen::generate(spec);
+    result.nets = design.num_nets();
+
+    // Maze walls and thinned-track strips are impassable for the detailed
+    // router, so guides must respect them (see GlobalConfig).
+    global::GlobalConfig gconfig;
+    gconfig.hard_spanning_blockages = true;
+    global::GlobalRouter gr(design, gconfig);
+    const global::GuideSet guides = gr.route_all();
+
+    grid::RoutingGrid grid(design);
+    util::Timer route_timer;
+    core::MrTplRouter router(design, &guides, options_.config);
+    const grid::Solution solution = router.run(grid);
+    result.route_s = route_timer.elapsed_s();
+    result.detect_s = router.stats().detect_s;
+
+    result.metrics = eval::evaluate(grid, solution, &guides);
+    const drc::DrcReport drc_report = drc::verify(grid, design, solution);
+    result.drc_clean = drc_report.clean();
+    result.total_s = total.elapsed_s();
+
+    if (result.metrics.failed_nets > 0)
+      result.note = util::format("%d net(s) failed to route", result.metrics.failed_nets);
+    else if (result.metrics.conflicts > 0)
+      result.note = util::format("%d color conflict(s) remain", result.metrics.conflicts);
+    else if (!result.drc_clean)
+      result.note = "DRC: " + drc_report.summary();
+
+    if (!result.note.empty()) {
+      result.status = Status::kFail;
+    } else if (options_.timeout_s > 0 && result.total_s > options_.timeout_s) {
+      result.status = Status::kTimeout;
+      result.note = util::format("%.2fs over the %.2fs budget", result.total_s,
+                                 options_.timeout_s);
+    } else {
+      result.status = Status::kPass;
+    }
+  } catch (const std::exception& e) {
+    result.status = Status::kFail;
+    result.note = e.what();
+    result.total_s = total.elapsed_s();
+  }
+  return result;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run_all(
+    const std::vector<const ScenarioSpec*>& scenarios,
+    const std::function<void(const ScenarioResult&)>& on_result) const {
+  std::vector<ScenarioResult> results;
+  results.reserve(scenarios.size());
+  for (const ScenarioSpec* scenario : scenarios) {
+    results.push_back(run(*scenario));
+    if (on_result) on_result(results.back());
+  }
+  return results;
+}
+
+io::ScenarioReport ScenarioRunner::report_of(const ScenarioResult& result) {
+  io::ScenarioReport report;
+  report.scenario = result.name;
+  report.family = result.family;
+  report.status = to_string(result.status);
+  report.note = result.note;
+  report.nets = result.nets;
+  report.drc_clean = result.drc_clean;
+  report.metrics = result.metrics;
+  report.detect_s = result.detect_s;
+  report.route_s = result.route_s;
+  report.total_s = result.total_s;
+  return report;
+}
+
+bool ScenarioRunner::all_passed(const std::vector<ScenarioResult>& results) {
+  for (const auto& r : results)
+    if (r.status != Status::kPass) return false;
+  return !results.empty();
+}
+
+}  // namespace mrtpl::scenario

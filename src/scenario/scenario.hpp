@@ -1,0 +1,71 @@
+#pragma once
+/// \file scenario.hpp
+/// Declarative stress-scenario registry. A ScenarioSpec names one
+/// parameterized end-to-end case (a benchgen::CaseSpec per size class plus
+/// family metadata); the ScenarioRegistry is the single place future
+/// workloads get added — `mrtpl_cli suite`, bench_scenarios, and the test
+/// suites all iterate the same registry, so a new entry here is
+/// automatically routed, DRC-verified, and regression-tracked everywhere.
+
+#include <string>
+#include <vector>
+
+#include "benchgen/case_spec.hpp"
+
+namespace mrtpl::scenario {
+
+/// Stress family a scenario belongs to (the ROADMAP expansion axes).
+enum class Family {
+  kCongestion,  ///< pin clusters exceeding the local track supply
+  kMacroMaze,   ///< blockage labyrinths forcing long detours
+  kHighFanout,  ///< fanout >= 16 multi-pin Steiner stress
+  kDegenerate,  ///< 1-track rows, two-mask dies, mostly-empty netlists
+};
+
+/// Stable lowercase name ("congestion", "macro_maze", ...), used for
+/// registry filtering and the JSON "family" field.
+[[nodiscard]] const char* to_string(Family family);
+
+/// One named stress case. `full` is the measured configuration used by
+/// bench_scenarios; `quick` a scaled-down variant of the same regime for
+/// CI smoke runs and unit tests.
+struct ScenarioSpec {
+  std::string name;
+  Family family = Family::kCongestion;
+  std::string description;
+  benchgen::CaseSpec full;
+  benchgen::CaseSpec quick;
+
+  [[nodiscard]] const benchgen::CaseSpec& spec(bool quick_mode) const {
+    return quick_mode ? quick : full;
+  }
+};
+
+/// Ordered collection of scenarios with unique names.
+class ScenarioRegistry {
+ public:
+  /// The built-in stress suite: at least two scenarios per family, every
+  /// one tuned to finish conflict-free and DRC-clean end to end (the
+  /// regression bar CI enforces via `mrtpl_cli suite --quick`).
+  [[nodiscard]] static const ScenarioRegistry& builtin();
+
+  /// Register a scenario. Throws std::invalid_argument on a duplicate or
+  /// empty name.
+  void add(ScenarioSpec spec);
+
+  [[nodiscard]] const std::vector<ScenarioSpec>& all() const { return scenarios_; }
+  [[nodiscard]] const ScenarioSpec* find(const std::string& name) const;
+
+  /// Scenarios whose name or family name contains `pattern` (empty
+  /// pattern matches everything), in registration order.
+  [[nodiscard]] std::vector<const ScenarioSpec*> filter(
+      const std::string& pattern) const;
+
+  [[nodiscard]] std::vector<const ScenarioSpec*> in_family(Family family) const;
+  [[nodiscard]] size_t size() const { return scenarios_.size(); }
+
+ private:
+  std::vector<ScenarioSpec> scenarios_;
+};
+
+}  // namespace mrtpl::scenario

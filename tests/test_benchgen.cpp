@@ -33,6 +33,139 @@ TEST(Generator, RejectsInvalidSpec) {
   EXPECT_THROW(generate(bad), std::invalid_argument);
 }
 
+/// The hardened validation names the disease instead of failing with a
+/// generic "invalid CaseSpec": degenerate parameterisations must be
+/// rejected with the specific constraint in the message.
+TEST(CaseSpecValidation, ZeroAreaDieIsNamed) {
+  CaseSpec s = tiny_case();
+  s.width = 0;
+  EXPECT_NE(s.validation_error().find("zero-area"), std::string::npos)
+      << s.validation_error();
+  s = tiny_case();
+  s.height = -3;
+  EXPECT_NE(s.validation_error().find("zero-area"), std::string::npos);
+  try {
+    generate(s);
+    FAIL() << "generate accepted a zero-area die";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("zero-area"), std::string::npos);
+  }
+}
+
+TEST(CaseSpecValidation, NonPositiveTrackPitchIsNamed) {
+  CaseSpec s = tiny_case();
+  s.track_pitch = 0;
+  EXPECT_NE(s.validation_error().find("track pitch"), std::string::npos);
+  s.track_pitch = -2;
+  EXPECT_THROW(generate(s), std::invalid_argument);
+  // A positive pitch so coarse no tracks survive is just as degenerate.
+  s.track_pitch = 30;  // 24x24 die -> < 4 usable tracks
+  EXPECT_NE(s.validation_error().find("track pitch"), std::string::npos);
+}
+
+TEST(CaseSpecValidation, MoreColorsThanMasksIsNamed) {
+  CaseSpec s = tiny_case();
+  s.num_masks = kMaxMasks + 1;
+  EXPECT_NE(s.validation_error().find("mask capacity"), std::string::npos)
+      << s.validation_error();
+  EXPECT_THROW(generate(s), std::invalid_argument);
+  s.num_masks = 1;
+  EXPECT_FALSE(s.valid());
+  s.num_masks = 2;  // DPL is legal
+  EXPECT_TRUE(s.valid()) << s.validation_error();
+}
+
+TEST(CaseSpecValidation, MazeParametersAreBounded) {
+  CaseSpec s = tiny_case();
+  s.maze_walls = 1;
+  s.maze_gap = 0;
+  EXPECT_NE(s.validation_error().find("maze gap"), std::string::npos);
+  s.maze_gap = s.width;  // gap as wide as the die: no wall left
+  EXPECT_FALSE(s.valid());
+  s.maze_gap = 4;
+  EXPECT_TRUE(s.valid()) << s.validation_error();
+  s.maze_walls = s.height;  // walls can't fit
+  EXPECT_NE(s.validation_error().find("maze walls"), std::string::npos);
+}
+
+TEST(Generator, MazeWallsBecomeSerpentineObstacles) {
+  CaseSpec s = tiny_case();
+  s.maze_walls = 2;
+  s.maze_gap = 6;
+  s.num_macros = 0;
+  const db::Design d = generate(s);
+  // Two walls on each of the two TPL layers, with alternating open ends.
+  ASSERT_EQ(d.obstacles().size(), 4u);
+  for (const auto& obs : d.obstacles()) {
+    EXPECT_LT(obs.layer, s.tpl_layers);
+    EXPECT_EQ(obs.shape.height(), 1);
+    EXPECT_EQ(obs.shape.width(), s.width - s.maze_gap);
+  }
+  const auto& first = d.obstacles()[0].shape;
+  const auto& second = d.obstacles()[2].shape;
+  EXPECT_NE(first.lo.y, second.lo.y);
+  EXPECT_NE(first.lo.x == 0, second.lo.x == 0) << "gaps must alternate ends";
+  // Pins keep clear of the walls.
+  for (const auto& net : d.nets())
+    for (const auto& pin : net.pins)
+      for (const auto& shape : pin.shapes)
+        for (const auto& obs : d.obstacles())
+          EXPECT_FALSE(shape.overlaps(obs.shape)) << net.name;
+}
+
+TEST(Generator, TrackPitchBlocksOffPitchTracksAndSnapsPins) {
+  CaseSpec s = tiny_case();
+  s.track_pitch = 2;
+  s.num_macros = 0;
+  const db::Design d = generate(s);
+  // Every layer gets its off-pitch strips: rows on horizontal layers,
+  // columns on vertical ones.
+  int strips = 0;
+  for (const auto& obs : d.obstacles()) {
+    if (d.tech().is_horizontal(obs.layer)) {
+      EXPECT_EQ(obs.shape.height(), 1);
+      EXPECT_NE(obs.shape.lo.y % s.track_pitch, 0);
+    } else {
+      EXPECT_EQ(obs.shape.width(), 1);
+      EXPECT_NE(obs.shape.lo.x % s.track_pitch, 0);
+    }
+    ++strips;
+  }
+  EXPECT_GT(strips, 0);
+  // Pins sit on usable rows of their (horizontal) layer.
+  for (const auto& net : d.nets())
+    for (const auto& pin : net.pins)
+      for (const auto& shape : pin.shapes)
+        EXPECT_EQ(shape.lo.y % s.track_pitch, 0) << net.name;
+}
+
+TEST(Generator, NumMasksReachesTechRules) {
+  CaseSpec s = tiny_case();
+  s.num_masks = 2;
+  EXPECT_EQ(generate(s).tech().rules().num_masks, 2);
+  EXPECT_EQ(generate(tiny_case()).tech().rules().num_masks, 3);
+}
+
+TEST(Generator, HotspotsConcentrateLocalNets) {
+  CaseSpec s = tiny_case();
+  s.width = s.height = 40;
+  s.num_nets = 6;  // sparse enough that no pin spills out of its cluster
+  s.hotspot_count = 2;
+  s.local_net_fraction = 1.0;
+  s.local_span = 12;
+  s.num_macros = 0;
+  const db::Design d = generate(s);
+  // All pins of local nets live in one of hotspot_count span-sized boxes;
+  // with two hotspots on a 40x40 die the pin cloud must leave big holes.
+  // Check the weaker structural property directly: every net's bbox fits
+  // a hotspot-sized window (plus the 2-wide pin shape slack).
+  for (const auto& net : d.nets()) {
+    const auto bb = net.bbox();
+    EXPECT_LE(bb.width(), s.local_span + 1) << net.name;
+    EXPECT_LE(bb.height(), s.local_span + 1) << net.name;
+  }
+}
+
 TEST(Generator, TinyCaseShape) {
   const db::Design d = generate(tiny_case());
   EXPECT_GT(d.num_nets(), 0);

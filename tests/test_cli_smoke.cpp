@@ -119,6 +119,33 @@ TEST(CliSmoke, RefineAndReportRunOnSavedSolution) {
   EXPECT_NE(json.find("\"conflicts\":"), std::string::npos);
 }
 
+TEST(CliSmoke, SuiteRunsQuickScenarioWithJsonArtifact) {
+  const std::string json_path = tmp_path("suite.json");
+  // One cheap scenario through the full suite path, JSON artifact
+  // included. The whole quick registry runs in CI; here one scenario
+  // keeps the smoke fast (and gives the ASan matrix a scenario to chew).
+  EXPECT_EQ(cli::run({"suite", "--quick", "--filter", "degenerate_empty",
+                      "--json", json_path}),
+            0);
+  const std::string json = slurp(json_path);
+  EXPECT_NE(json.find("\"scenario\":\"degenerate_empty\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"pass\""), std::string::npos);
+
+  EXPECT_EQ(cli::run({"suite", "--list"}), 0);
+  EXPECT_EQ(cli::run({"suite", "--filter", "no_such_scenario"}), 2);
+  EXPECT_EQ(cli::run({"suite", "--threads", "0"}), 2);
+  EXPECT_EQ(cli::run({"suite", "--timeout", "x"}), 2);
+}
+
+TEST(CliSmoke, GenerateAcceptsScenarioNames) {
+  const std::string design_path = tmp_path("scenario.design");
+  ASSERT_EQ(cli::run({"generate", "--case", "degenerate_thin_tracks_quick",
+                      "--out", design_path}),
+            0);
+  const db::Design design = io::load_design(design_path);
+  EXPECT_EQ(design.name(), "degenerate_thin_tracks_quick");
+}
+
 TEST(CliSmoke, BaselineRoutersRunToCompletion) {
   const std::string design_path = tmp_path("baseline.design");
   ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);

@@ -10,11 +10,13 @@
 #include "baseline/decomposer.hpp"
 #include "baseline/plain_router.hpp"
 #include "benchgen/generator.hpp"
+#include "core/batch_schedule.hpp"
 #include "core/mrtpl_router.hpp"
 #include "global/global_router.hpp"
 #include "io/design_io.hpp"
 #include "io/solution_io.hpp"
 #include "support/builders.hpp"
+#include "util/rng.hpp"
 
 namespace mrtpl {
 namespace {
@@ -110,6 +112,50 @@ TEST_P(ThreadSweepDeterminism, AnyThreadCountMatchesSerialReference) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadSweepDeterminism,
+                         ::testing::Values(10, 20, 30));
+
+/// The RRR executor's batch assignment moved from O(k²) pairwise
+/// rectangle tests onto a geom::SpatialGrid overlap query (ROADMAP
+/// "Batch-scheduler locality"). The two implementations must stay
+/// BYTE-IDENTICAL — the schedule feeds the parallel executor, so any
+/// divergence would silently break the thread-count-invariance contract
+/// the sweeps above pin.
+class BatchScheduleEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchScheduleEquivalence, SpatialGridMatchesQuadraticOracle) {
+  util::Rng rng(GetParam());
+  // Window populations mirroring the executor's inputs: many small local
+  // windows, some die-spanning ones, duplicates, and containment chains.
+  for (const int count : {0, 1, 2, 17, 100, 400}) {
+    std::vector<geom::Rect> windows;
+    windows.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const bool wide = rng.next_bool(0.15);
+      const int w = wide ? rng.next_int(40, 120) : rng.next_int(2, 18);
+      const int h = wide ? rng.next_int(40, 120) : rng.next_int(2, 18);
+      const int x = rng.next_int(0, 140 - w);
+      const int y = rng.next_int(0, 140 - h);
+      windows.push_back({x, y, x + w - 1, y + h - 1});
+      if (rng.next_bool(0.1)) windows.push_back(windows.back());  // duplicate
+    }
+    EXPECT_EQ(core::schedule_batches(windows),
+              core::schedule_batches_quadratic(windows))
+        << "seed " << GetParam() << " count " << count;
+  }
+}
+
+TEST_P(BatchScheduleEquivalence, MatchesOracleOnGeneratedCaseFootprints) {
+  // The real input shape: per-net search windows of a generated case,
+  // inflated by a halo, in routing order.
+  const db::Design design = benchgen::generate(spec_of(GetParam()));
+  std::vector<geom::Rect> windows;
+  for (const auto& net : design.nets())
+    windows.push_back(net.bbox().inflated(8).intersected(design.die()));
+  EXPECT_EQ(core::schedule_batches(windows),
+            core::schedule_batches_quadratic(windows));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchScheduleEquivalence,
                          ::testing::Values(10, 20, 30));
 
 /// Every ablation toggle of RouterConfig, and every combination of the

@@ -7,6 +7,8 @@
 #include "core/mrtpl_router.hpp"
 #include "eval/metrics.hpp"
 #include "global/global_router.hpp"
+#include "scenario/scenario.hpp"
+#include "support/checks.hpp"
 
 namespace mrtpl {
 namespace {
@@ -92,6 +94,43 @@ TEST(Integration, MasksOnlyOnRoutedOrPinVertices) {
     }
   }
 }
+
+/// One scenario per stress family, end to end at quick (unit-test) scale:
+/// generate -> guided Mr.TPL route -> structural checks. This is the
+/// fast in-process mirror of what `mrtpl_cli suite --quick` enforces in
+/// CI — every family must come out fully connected, conflict-free and
+/// DRC-clean.
+class StressFamilyFlow : public ::testing::TestWithParam<scenario::Family> {};
+
+TEST_P(StressFamilyFlow, FirstScenarioOfFamilyRoutesClean) {
+  const auto family = scenario::ScenarioRegistry::builtin().in_family(GetParam());
+  ASSERT_FALSE(family.empty());
+  const benchgen::CaseSpec& spec = family.front()->quick;
+  const db::Design design = benchgen::generate(spec);
+
+  global::GlobalConfig gconfig;
+  gconfig.hard_spanning_blockages = true;
+  global::GlobalRouter gr(design, gconfig);
+  const global::GuideSet guides = gr.route_all();
+
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, &guides, core::RouterConfig{});
+  const grid::Solution sol = router.run(grid);
+
+  EXPECT_EQ(sol.num_failed(), 0) << spec.name;
+  test::expect_all_connected(grid, design, sol);
+  test::expect_conflict_free(grid);
+  test::expect_drc_clean(grid, design, sol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, StressFamilyFlow,
+                         ::testing::Values(scenario::Family::kCongestion,
+                                           scenario::Family::kMacroMaze,
+                                           scenario::Family::kHighFanout,
+                                           scenario::Family::kDegenerate),
+                         [](const auto& info) {
+                           return std::string(scenario::to_string(info.param));
+                         });
 
 TEST(Integration, GuidedRunsStayMostlyInGuides) {
   const db::Design design = benchgen::generate(benchgen::tiny_case());

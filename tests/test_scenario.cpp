@@ -1,0 +1,154 @@
+/// \file test_scenario.cpp
+/// Unit tests of the scenario subsystem: registry lookup/filtering, the
+/// per-family coverage contract, spec validity of every registered
+/// scenario, runner skip/timeout handling, and the JSON metrics line
+/// schema the suite harness emits.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "io/json_report.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
+
+namespace mrtpl::scenario {
+namespace {
+
+TEST(ScenarioRegistry, BuiltinCoversEveryFamilyTwice) {
+  const auto& reg = ScenarioRegistry::builtin();
+  EXPECT_GE(reg.size(), 8u);
+  for (const Family f : {Family::kCongestion, Family::kMacroMaze,
+                         Family::kHighFanout, Family::kDegenerate}) {
+    EXPECT_GE(reg.in_family(f).size(), 2u) << to_string(f);
+  }
+}
+
+TEST(ScenarioRegistry, EveryBuiltinSpecIsValidInBothSizes) {
+  for (const auto& sc : ScenarioRegistry::builtin().all()) {
+    EXPECT_EQ(sc.full.validation_error(), "") << sc.name;
+    EXPECT_EQ(sc.quick.validation_error(), "") << sc.name;
+    // Quick variants are CI-scale: never a larger die than the full run.
+    EXPECT_LE(sc.quick.width * sc.quick.height, sc.full.width * sc.full.height)
+        << sc.name;
+    EXPECT_LE(sc.quick.num_nets, sc.full.num_nets) << sc.name;
+    EXPECT_FALSE(sc.description.empty()) << sc.name;
+  }
+}
+
+TEST(ScenarioRegistry, FindByNameAndMiss) {
+  const auto& reg = ScenarioRegistry::builtin();
+  const ScenarioSpec* sc = reg.find("hotspot_twin_peaks");
+  ASSERT_NE(sc, nullptr);
+  EXPECT_EQ(sc->family, Family::kCongestion);
+  EXPECT_EQ(sc->spec(true).name, "hotspot_twin_peaks_quick");
+  EXPECT_EQ(sc->spec(false).name, "hotspot_twin_peaks");
+  EXPECT_EQ(reg.find("no_such_scenario"), nullptr);
+}
+
+TEST(ScenarioRegistry, FilterMatchesNameAndFamilySubstrings) {
+  const auto& reg = ScenarioRegistry::builtin();
+  EXPECT_EQ(reg.filter("").size(), reg.size());
+  const auto mazes = reg.filter("maze");
+  EXPECT_EQ(mazes.size(), reg.in_family(Family::kMacroMaze).size());
+  const auto degenerates = reg.filter("degenerate");
+  EXPECT_GE(degenerates.size(), 2u);
+  for (const auto* sc : degenerates) EXPECT_EQ(sc->family, Family::kDegenerate);
+  EXPECT_TRUE(reg.filter("zzz_no_match").empty());
+}
+
+TEST(ScenarioRegistry, RejectsDuplicatesAndEmptyNames) {
+  ScenarioRegistry reg;
+  ScenarioSpec spec;
+  spec.name = "dup";
+  reg.add(spec);
+  EXPECT_THROW(reg.add(spec), std::invalid_argument);
+  ScenarioSpec unnamed;
+  EXPECT_THROW(reg.add(unnamed), std::invalid_argument);
+}
+
+/// The cheapest registered scenario — degenerate_empty routes a design
+/// whose netlist fully evaporates — runs the entire flow in microseconds,
+/// making it the canonical unit-test subject for the runner itself.
+const ScenarioSpec& cheapest() {
+  const auto* sc = ScenarioRegistry::builtin().find("degenerate_empty");
+  EXPECT_NE(sc, nullptr);
+  return *sc;
+}
+
+TEST(ScenarioRunner, PassesTheEmptyScenario) {
+  RunnerOptions options;
+  options.quick = true;
+  const ScenarioResult result = ScenarioRunner(options).run(cheapest());
+  EXPECT_EQ(result.status, Status::kPass) << result.note;
+  EXPECT_EQ(result.nets, 0);
+  EXPECT_TRUE(result.drc_clean);
+  EXPECT_EQ(result.metrics.conflicts, 0);
+}
+
+TEST(ScenarioRunner, SkipsInvalidSpecsInsteadOfThrowing) {
+  ScenarioSpec broken;
+  broken.name = "broken";
+  broken.full.width = 0;  // zero-area die
+  broken.quick = broken.full;
+  const ScenarioResult result = ScenarioRunner().run(broken);
+  EXPECT_EQ(result.status, Status::kSkip);
+  EXPECT_NE(result.note.find("zero-area"), std::string::npos) << result.note;
+}
+
+TEST(ScenarioRunner, FlagsBudgetOverrunsAsTimeout) {
+  RunnerOptions options;
+  options.quick = true;
+  options.timeout_s = 1e-9;  // everything overruns a nanosecond budget
+  const ScenarioResult result = ScenarioRunner(options).run(cheapest());
+  EXPECT_EQ(result.status, Status::kTimeout);
+  EXPECT_NE(result.note.find("budget"), std::string::npos) << result.note;
+}
+
+TEST(ScenarioRunner, RunAllStreamsResultsInOrder) {
+  const auto& reg = ScenarioRegistry::builtin();
+  RunnerOptions options;
+  options.quick = true;
+  std::vector<std::string> seen;
+  const auto selection = reg.filter("degenerate_empty");
+  const auto results = ScenarioRunner(options).run_all(
+      selection, [&](const ScenarioResult& r) { seen.push_back(r.name); });
+  ASSERT_EQ(results.size(), selection.size());
+  ASSERT_EQ(seen.size(), selection.size());
+  for (size_t i = 0; i < selection.size(); ++i)
+    EXPECT_EQ(seen[i], selection[i]->name);
+  EXPECT_TRUE(ScenarioRunner::all_passed(results));
+  EXPECT_FALSE(ScenarioRunner::all_passed({}));  // vacuous suite is no pass
+}
+
+TEST(ScenarioRunner, JsonLineCarriesTheFullSchema) {
+  RunnerOptions options;
+  options.quick = true;
+  const ScenarioResult result = ScenarioRunner(options).run(cheapest());
+  const std::string line =
+      io::scenario_line_to_string(ScenarioRunner::report_of(result));
+  // One object per line, newline-terminated, with every schema key.
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_EQ(line.find('\n'), line.size() - 1);
+  for (const char* key :
+       {"\"scenario\":", "\"family\":", "\"status\":", "\"nets\":",
+        "\"conflicts\":", "\"stitches\":", "\"wirelength\":", "\"vias\":",
+        "\"failed_nets\":", "\"drc_clean\":", "\"detect_s\":", "\"route_s\":",
+        "\"total_s\":", "\"note\":"}) {
+    EXPECT_NE(line.find(key), std::string::npos) << key << " missing in " << line;
+  }
+  EXPECT_NE(line.find("\"scenario\":\"degenerate_empty\""), std::string::npos);
+  EXPECT_NE(line.find("\"family\":\"degenerate\""), std::string::npos);
+  EXPECT_NE(line.find("\"status\":\"pass\""), std::string::npos);
+}
+
+TEST(ScenarioRunner, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(Status::kPass), "pass");
+  EXPECT_STREQ(to_string(Status::kFail), "fail");
+  EXPECT_STREQ(to_string(Status::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(Status::kSkip), "skip");
+}
+
+}  // namespace
+}  // namespace mrtpl::scenario

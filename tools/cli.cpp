@@ -3,7 +3,14 @@
 /// entry points and mrtpl_cli.cpp for the binary wrapper. Subcommands:
 ///
 ///   list-cases
-///       Print every named benchmark case of both suites.
+///       Print every named benchmark case of both suites plus the
+///       registered stress scenarios.
+///   suite [--filter s] [--quick] [--json file] [--threads N]
+///       [--timeout S] [--list]
+///       Run the stress-scenario registry end to end (generate -> global
+///       -> route -> evaluate -> DRC-verify), one human line per scenario
+///       on stdout and, with --json, one JSON metrics line per scenario.
+///       Exit 0 iff every selected scenario passes.
 ///   generate --case <name> [--out design.txt]
 ///       Generate a synthetic case and save it.
 ///   route --design <file> [--router mrtpl|dac12|decompose]
@@ -26,6 +33,7 @@
 #include "cli.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -45,6 +53,8 @@
 #include "io/json_report.hpp"
 #include "io/solution_io.hpp"
 #include "layout/recolor.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/scenario.hpp"
 #include "util/timer.hpp"
 #include "viz/svg_render.hpp"
 
@@ -103,6 +113,17 @@ std::optional<benchgen::CaseSpec> find_case(const std::string& name) {
     if (s.name == name) return s;
   if (name == "tiny") return benchgen::tiny_case();
   if (name == "ablation_mid") return benchgen::ablation_case();
+  // Scenario names resolve to the full spec; "<name>_quick" to the CI
+  // variant — so every registered stress case is generatable on its own.
+  if (const auto* sc = scenario::ScenarioRegistry::builtin().find(name))
+    return sc->full;
+  constexpr const char* kQuickSuffix = "_quick";
+  if (name.size() > std::strlen(kQuickSuffix) &&
+      name.ends_with(kQuickSuffix)) {
+    const std::string base = name.substr(0, name.size() - std::strlen(kQuickSuffix));
+    if (const auto* sc = scenario::ScenarioRegistry::builtin().find(base))
+      return sc->quick;
+  }
   return std::nullopt;
 }
 
@@ -118,7 +139,84 @@ int cmd_list_cases() {
   print_suite(benchgen::ispd2019_suite());
   std::printf("%-16s (unit-test scale)\n", "tiny");
   std::printf("%-16s (ablation benches)\n", "ablation_mid");
+  std::printf("\nstress scenarios (run with `suite`, generate by name or "
+              "<name>_quick):\n");
+  for (const auto& sc : scenario::ScenarioRegistry::builtin().all())
+    std::printf("%-24s %-12s %s\n", sc.name.c_str(),
+                scenario::to_string(sc.family), sc.description.c_str());
   return 0;
+}
+
+int cmd_suite(const Args& args) {
+  scenario::RunnerOptions options;
+  options.quick = args.has("quick");
+  if (const auto threads = args.get("threads")) {
+    const auto n = parse_int(*threads);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "suite: --threads must be >= 1\n");
+      return 2;
+    }
+    options.config.rrr_threads = *n;
+  }
+  if (const auto timeout = args.get("timeout")) {
+    const auto n = parse_int(*timeout);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "suite: --timeout wants a positive integer (seconds)\n");
+      return 2;
+    }
+    options.timeout_s = static_cast<double>(*n);
+  }
+
+  const std::string filter = args.get("filter").value_or("");
+  const auto selection = scenario::ScenarioRegistry::builtin().filter(filter);
+  if (selection.empty()) {
+    std::fprintf(stderr, "suite: no scenario matches '%s' (see list-cases)\n",
+                 filter.c_str());
+    return 2;
+  }
+
+  if (args.has("list")) {
+    for (const auto* sc : selection) {
+      const auto& spec = sc->spec(options.quick);
+      std::printf("%-24s %-12s %dx%-4d %4d nets  %s\n", sc->name.c_str(),
+                  scenario::to_string(sc->family), spec.width, spec.height,
+                  spec.num_nets, sc->description.c_str());
+    }
+    return 0;
+  }
+
+  std::ofstream json_os;
+  if (const auto json_path = args.get("json")) {
+    json_os.open(*json_path);
+    if (!json_os) {
+      std::fprintf(stderr, "suite: cannot open %s for writing\n",
+                   json_path->c_str());
+      return 2;
+    }
+  }
+
+  const scenario::ScenarioRunner runner(options);
+  const auto results = runner.run_all(selection, [&](const auto& result) {
+    std::printf("%-24s %-8s conflicts=%d stitches=%d wirelength=%ld "
+                "failed=%d drc=%s %.2fs%s%s\n",
+                result.name.c_str(), scenario::to_string(result.status),
+                result.metrics.conflicts, result.metrics.stitches,
+                result.metrics.wirelength, result.metrics.failed_nets,
+                result.drc_clean ? "clean" : "DIRTY", result.total_s,
+                result.note.empty() ? "" : "  # ", result.note.c_str());
+    std::fflush(stdout);
+    if (json_os.is_open()) {
+      io::write_scenario_line(json_os, scenario::ScenarioRunner::report_of(result));
+      json_os.flush();
+    }
+  });
+
+  int passed = 0;
+  for (const auto& r : results)
+    if (r.status == scenario::Status::kPass) ++passed;
+  std::printf("suite: %d/%zu scenario(s) passed%s\n", passed, results.size(),
+              options.quick ? " (quick)" : "");
+  return scenario::ScenarioRunner::all_passed(results) ? 0 : 1;
 }
 
 int cmd_generate(const Args& args) {
@@ -314,6 +412,7 @@ int run(const std::vector<std::string>& argv) {
   const Args args = Args::parse(argv);
   try {
     if (args.command == "list-cases") return cmd_list_cases();
+    if (args.command == "suite") return cmd_suite(args);
     if (args.command == "generate") return cmd_generate(args);
     if (args.command == "route") return cmd_route(args);
     if (args.command == "eval") return cmd_eval(args);
@@ -326,7 +425,12 @@ int run(const std::vector<std::string>& argv) {
   }
   std::fprintf(stderr,
                "usage: mrtpl_cli "
-               "<list-cases|generate|route|eval|verify|refine|report> [options]\n"
+               "<list-cases|suite|generate|route|eval|verify|refine|report> "
+               "[options]\n"
+               "  suite    [--filter <substr>] [--quick] [--json file]\n"
+               "           [--threads N] [--timeout S] [--list]\n"
+               "           Run the stress-scenario registry end to end; one\n"
+               "           JSON metrics line per scenario with --json.\n"
                "  generate --case <name> [--out file]\n"
                "  route    --design <file> [--router mrtpl|dac12|decompose]\n"
                "           [--solution file] [--svg file] [--no-guides] [--rrr N]\n"
