@@ -7,8 +7,14 @@
 ///
 ///   {"bench":"rrr_parallel","die":112,"nets":330,"threads":8,
 ///    "incremental":true,"total_s":...,"reroute_s":...,"detect_s":...,
-///    "rrr_iterations":..,"route_batches":..,"conflicts":..,"failed":..,
-///    "relaxations":..,"identical_to_serial":true}
+///    "rrr_iterations":..,"route_batches":..,"respeculated":..,
+///    "conflicts":..,"failed":..,"relaxations":..,
+///    "identical_to_serial":true}
+///
+/// `respeculated` counts speculative routes whose read footprint an
+/// earlier commit invalidated (redone serially); `relaxations` counts
+/// only APPLIED work, so it is thread-invariant — the driver aborts if
+/// the per-pass ledger stops summing to it.
 ///
 /// `identical_to_serial` re-checks the determinism contract on every
 /// config: the serialized solution must byte-match the serial reference
@@ -18,7 +24,9 @@
 ///   --quick   smallest die + threads {1,2} only — the CI smoke mode.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <string>
 #include <vector>
 
@@ -46,6 +54,20 @@ RunResult run_config(const mrtpl::bench::CaseContext& ctx,
   r.stats = router.stats();
   r.metrics = eval::evaluate(grid, sol, &ctx.guides);
   r.serialized = io::solution_to_string(grid, sol);
+  // The per-pass ledger must account for every applied relaxation — a
+  // mismatch means the executor lost or double-counted search work
+  // (exactly the class of bug the relax-counter reset fix addressed).
+  const auto ledger =
+      std::accumulate(r.stats.relaxations_per_pass.begin(),
+                      r.stats.relaxations_per_pass.end(), std::uint64_t{0});
+  if (ledger != r.stats.relaxations) {
+    std::fprintf(stderr,
+                 "[rrr_parallel] FATAL: relaxations_per_pass sums to %llu "
+                 "but stats.relaxations is %llu\n",
+                 static_cast<unsigned long long>(ledger),
+                 static_cast<unsigned long long>(r.stats.relaxations));
+    std::abort();
+  }
   return r;
 }
 
@@ -55,11 +77,12 @@ void emit_json(int die, int nets, int threads, bool incremental,
       "{\"bench\":\"rrr_parallel\",\"die\":%d,\"nets\":%d,\"threads\":%d,"
       "\"incremental\":%s,\"total_s\":%.6f,\"reroute_s\":%.6f,"
       "\"detect_s\":%.6f,\"rrr_iterations\":%d,\"route_batches\":%d,"
-      "\"conflicts\":%d,\"failed\":%d,\"relaxations\":%llu,"
-      "\"identical_to_serial\":%s}\n",
+      "\"respeculated\":%d,\"conflicts\":%d,\"failed\":%d,"
+      "\"relaxations\":%llu,\"identical_to_serial\":%s}\n",
       die, nets, threads, incremental ? "true" : "false", r.total_s,
       r.stats.reroute_s, r.stats.detect_s, r.stats.rrr_iterations,
-      r.stats.route_batches, r.metrics.conflicts, r.metrics.failed_nets,
+      r.stats.route_batches, r.stats.respeculated, r.metrics.conflicts,
+      r.metrics.failed_nets,
       static_cast<unsigned long long>(r.stats.relaxations),
       identical ? "true" : "false");
   std::fflush(stdout);

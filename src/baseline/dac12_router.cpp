@@ -192,6 +192,9 @@ grid::NetRoute Dac12Router::route_net(grid::RoutingGrid& grid, db::NetId net_id)
         grid.commit(v, net_id,
                     grid.tech().is_tpl_layer(grid.loc(v).layer) ? m : grid::kNoMask);
       stats_.relaxations += relax_count_;
+      // Reset like the success path below does: without it the next net's
+      // relaxations were double-counted after any unreachable pin.
+      relax_count_ = 0;
       return route;
     }
 

@@ -6,7 +6,7 @@
 
 namespace mrtpl::core {
 
-std::vector<int> schedule_batches(const std::vector<geom::Rect>& windows) {
+std::vector<int> schedule_batches(const std::vector<geom::Rect>& windows, int halo) {
   std::vector<int> batch_of(windows.size(), 0);
   if (windows.size() <= 1) return batch_of;
 
@@ -23,23 +23,28 @@ std::vector<int> schedule_batches(const std::vector<geom::Rect>& windows) {
       4, edge_sum / (2 * static_cast<long>(windows.size())));
   geom::SpatialGrid index(bounds, bin_size);
 
-  // The assignment depends only on the *set* of earlier overlapping
+  // Raw windows are inserted; the halo rides on the query rect only.
+  // Overlap is Minkowski-symmetric, so one-sided inflation tests the
+  // same predicate the quadratic oracle does.
+  //
+  // The assignment depends only on the *set* of earlier interacting
   // windows (max is order-invariant), so the spatial query's return order
   // cannot leak into the schedule — batching stays byte-identical to the
   // quadratic reference.
   for (size_t i = 0; i < windows.size(); ++i) {
-    for (const std::uint32_t j : index.query(windows[i]))
+    for (const std::uint32_t j : index.query(windows[i].inflated(halo)))
       batch_of[i] = std::max(batch_of[i], batch_of[j] + 1);
     index.insert(static_cast<std::uint32_t>(i), windows[i]);
   }
   return batch_of;
 }
 
-std::vector<int> schedule_batches_quadratic(const std::vector<geom::Rect>& windows) {
+std::vector<int> schedule_batches_quadratic(const std::vector<geom::Rect>& windows,
+                                            int halo) {
   std::vector<int> batch_of(windows.size(), 0);
   for (size_t i = 1; i < windows.size(); ++i)
     for (size_t j = 0; j < i; ++j)
-      if (windows[i].overlaps(windows[j]) && batch_of[j] >= batch_of[i])
+      if (windows[i].inflated(halo).overlaps(windows[j]) && batch_of[j] >= batch_of[i])
         batch_of[i] = batch_of[j] + 1;
   return batch_of;
 }

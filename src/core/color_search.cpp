@@ -1,5 +1,6 @@
 #include "core/color_search.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -11,7 +12,19 @@ constexpr double kEps = 1e-9;
 }  // namespace
 
 ColorSearch::ColorSearch(const grid::RoutingGrid& grid, RouterConfig config)
-    : grid_(grid), config_(config) {
+    : ColorSearch(grid, config, static_cast<SearchArena*>(nullptr)) {}
+
+ColorSearch::ColorSearch(const grid::RoutingGrid& grid, RouterConfig config,
+                         SearchArena& arena)
+    : ColorSearch(grid, config, &arena) {}
+
+ColorSearch::ColorSearch(const grid::RoutingGrid& grid, RouterConfig config,
+                         SearchArena* arena)
+    : grid_(grid), config_(config), arena_(arena) {
+  if (arena_ == nullptr) {
+    owned_arena_ = std::make_unique<SearchArena>();
+    arena_ = owned_arena_.get();
+  }
   const auto& rules = grid.tech().rules();
   beta_ = config_.beta_override >= 0 ? config_.beta_override : rules.beta;
   gamma_ = config_.gamma_override >= 0 ? config_.gamma_override : rules.gamma;
@@ -20,64 +33,148 @@ ColorSearch::ColorSearch(const grid::RoutingGrid& grid, RouterConfig config)
   // nearest target never overestimates, so A* stays admissible.
   min_step_cost_ = rules.alpha * rules.wire_cost;
   universe_ = ColorState::universe(rules.num_masks);
-  const auto n = grid.num_vertices();
-  cost_.assign(n, kInf);
-  prev_.assign(n, grid::kInvalidVertex);
-  state_.assign(n, 0);
-  closed_.assign(n, 0);
-  stamp_.assign(n, 0);
+  alpha_ = rules.alpha;
+  oog_cost_ = rules.out_of_guide_cost;
+
+  const int nl = grid.num_layers();
+  trad_base_.resize(static_cast<std::size_t>(nl) * grid::kNumDirs);
+  tpl_layer_.resize(static_cast<std::size_t>(nl));
+  for (int l = 0; l < nl; ++l) {
+    tpl_layer_[static_cast<std::size_t>(l)] = grid.tech().is_tpl_layer(l) ? 1 : 0;
+    for (int d = 0; d < grid::kNumDirs; ++d) {
+      const auto dir = static_cast<grid::Dir>(d);
+      double base;
+      if (grid::is_via(dir)) {
+        base = rules.via_cost;
+      } else {
+        base = rules.wire_cost;
+        if (!grid.is_preferred(l, dir)) base += rules.wrong_way_cost;
+      }
+      trad_base_[static_cast<std::size_t>(l) * grid::kNumDirs + d] = base;
+    }
+  }
+
+  // Bucket quantum: no larger than the cheapest edge (so a Dijkstra pass
+  // never relaxes into its own bucket — popped labels are final) and no
+  // larger than 0.5, which divides every default and test rule weight
+  // exactly. Degenerate rule sets (min edge <= 0) fall back to 0.5; the
+  // search then degrades to label-correcting but stays optimal, and both
+  // queue engines still agree key-for-key.
+  const double min_edge = rules.alpha * std::min(rules.wire_cost, rules.via_cost);
+  double quantum = min_edge > 0.0 ? std::min(0.5, min_edge) : 0.5;
+  inv_quantum_ = 1.0 / quantum;
+
+  arena_->ensure(grid.num_vertices());
 }
 
 void ColorSearch::begin_net(db::NetId net, const global::NetGuide* guide,
                             geom::Rect window) {
   net_ = net;
   guide_ = guide;
-  window_ = window;
-  ++epoch_;
-  targets_.clear();
-  queue_ = {};
+  // Clamping to the die keeps semantics (every vertex is in-die) and lets
+  // the expansion loop use the window bounds as the only planar check.
+  window_ = window.intersected(
+      {0, 0, grid_.size_x() - 1, grid_.size_y() - 1});
+  arena_->ensure(grid_.num_vertices());
+  arena_->begin_session();
   relaxations_ = 0;
+
+  // Rasterize guide coverage over the window once: relaxations test one
+  // bit instead of walking the guide's box list per step.
+  guide_active_ = guide_ != nullptr && !guide_->boxes.empty() && window_.valid();
+  if (guide_active_) {
+    guide_stride_ = window_.width();
+    const std::size_t nbits = static_cast<std::size_t>(window_.area());
+    arena_->guide_bits.assign((nbits + 63) / 64, 0);
+    for (const geom::Rect& box : guide_->boxes) {
+      const geom::Rect c = box.intersected(window_);
+      if (!c.valid()) continue;
+      for (int y = c.lo.y; y <= c.hi.y; ++y) {
+        const std::size_t row =
+            static_cast<std::size_t>(y - window_.lo.y) *
+            static_cast<std::size_t>(guide_stride_);
+        for (int x = c.lo.x; x <= c.hi.x; ++x) {
+          const std::size_t bit = row + static_cast<std::size_t>(x - window_.lo.x);
+          arena_->guide_bits[bit / 64] |= 1ull << (bit % 64);
+        }
+      }
+    }
+  }
+}
+
+bool ColorSearch::guide_covered(int x, int y) const {
+  const std::size_t bit =
+      static_cast<std::size_t>(y - window_.lo.y) *
+          static_cast<std::size_t>(guide_stride_) +
+      static_cast<std::size_t>(x - window_.lo.x);
+  return (arena_->guide_bits[bit / 64] >> (bit % 64)) & 1u;
 }
 
 void ColorSearch::touch(grid::VertexId v) {
-  if (stamp_[v] != epoch_) {
-    stamp_[v] = epoch_;
-    cost_[v] = kInf;
-    prev_[v] = grid::kInvalidVertex;
-    state_[v] = 0;
-    closed_[v] = 0;
+  const grid::VertexLoc l = grid_.loc(v);
+  touch(v, l.x, l.y);
+}
+
+void ColorSearch::touch(grid::VertexId v, int x, int y) {
+  SearchArena& a = *arena_;
+  if (a.stamp[v] != a.epoch) {
+    a.stamp[v] = a.epoch;
+    a.cost[v] = kInf;
+    a.prev[v] = grid::kInvalidVertex;
+    a.state[v] = 0;
+    a.closed[v] = 0;
+  }
+  if (!a.any_touched) {
+    a.any_touched = true;
+    a.touched_bbox = {x, y, x, y};
+  } else {
+    a.touched_bbox.lo.x = std::min(a.touched_bbox.lo.x, x);
+    a.touched_bbox.lo.y = std::min(a.touched_bbox.lo.y, y);
+    a.touched_bbox.hi.x = std::max(a.touched_bbox.hi.x, x);
+    a.touched_bbox.hi.y = std::max(a.touched_bbox.hi.y, y);
   }
 }
 
 void ColorSearch::add_source(grid::VertexId v, ColorState state) {
   touch(v);
-  cost_[v] = 0.0;
-  prev_[v] = grid::kInvalidVertex;
-  state_[v] = state.bits();
-  closed_[v] = 0;
+  arena_->cost[v] = 0.0;
+  arena_->prev[v] = grid::kInvalidVertex;
+  arena_->state[v] = state.bits();
+  arena_->closed[v] = 0;
   push(v, 0.0);
 }
 
 void ColorSearch::add_target(grid::VertexId v, int pin) {
-  targets_[v] = pin;
+  SearchArena& a = *arena_;
+  const bool active = a.target_stamp[v] == a.epoch && a.target_pin[v] >= 0;
+  a.target_stamp[v] = a.epoch;
+  a.target_pin[v] = pin;
+  if (!active) a.target_list.emplace_back(v, pin);
   ++round_;
 }
 
 void ColorSearch::clear_targets_of_pin(int pin) {
-  for (auto it = targets_.begin(); it != targets_.end();) {
-    if (it->second == pin)
-      it = targets_.erase(it);
-    else
-      ++it;
+  SearchArena& a = *arena_;
+  // a.target_pin[t] is the authoritative pin of every listed vertex (a
+  // re-add overwrites it). Mark first, then compact: duplicates cannot
+  // exist (add_target list-inserts only inactive vertices).
+  for (const auto& [t, unused] : a.target_list) {
+    if (a.target_pin[t] == pin) a.target_pin[t] = -1;
   }
+  std::erase_if(a.target_list,
+                [&a](const std::pair<grid::VertexId, int>& e) {
+                  return a.target_pin[e.first] < 0;
+                });
   ++round_;
 }
 
 double ColorSearch::heuristic(grid::VertexId v) const {
-  if (!config_.use_astar || targets_.empty()) return 0.0;
+  if (!config_.use_astar) return 0.0;
+  const SearchArena& a = *arena_;
+  if (a.target_list.empty()) return 0.0;
   const grid::VertexLoc l = grid_.loc(v);
   int best = std::numeric_limits<int>::max();
-  for (const auto& [t, pin] : targets_) {
+  for (const auto& [t, unused] : a.target_list) {
     const grid::VertexLoc lt = grid_.loc(t);
     const int d = geom::manhattan({l.x, l.y}, {lt.x, lt.y});
     if (d < best) best = d;
@@ -86,49 +183,87 @@ double ColorSearch::heuristic(grid::VertexId v) const {
 }
 
 void ColorSearch::push(grid::VertexId v, double g) {
-  queue_.push({g + heuristic(v), g, v, round_});
+  const double f = g + heuristic(v);
+  // Quantized key: both engines order by (qkey, push seq), so the pop
+  // sequence — and therefore the routing output — is engine-independent.
+  const auto qkey = static_cast<std::uint64_t>(f * inv_quantum_);
+  const QueueItem item{g, v, round_};
+  if (config_.use_bucket_queue)
+    arena_->bucket_queue.push(qkey, item, arena_->seq++);
+  else
+    arena_->heap_queue.push(qkey, item, arena_->seq++);
+}
+
+bool ColorSearch::queue_empty() const {
+  return config_.use_bucket_queue ? arena_->bucket_queue.empty()
+                                  : arena_->heap_queue.empty();
+}
+
+QueueItem ColorSearch::pop_item() {
+  return config_.use_bucket_queue ? arena_->bucket_queue.pop()
+                                  : arena_->heap_queue.pop();
 }
 
 int ColorSearch::target_pin(grid::VertexId v) const {
-  const auto it = targets_.find(v);
-  return it == targets_.end() ? -1 : it->second;
-}
-
-bool ColorSearch::expandable(grid::VertexId v) const {
-  if (grid_.blocked(v)) return false;
-  const db::NetId owner = grid_.owner(v);
-  if (owner != db::kNoNet && owner != net_) return false;  // hard overlap rule
-  const grid::VertexLoc l = grid_.loc(v);
-  return window_.contains({l.x, l.y});
+  const SearchArena& a = *arena_;
+  return a.target_stamp[v] == a.epoch ? a.target_pin[v] : -1;
 }
 
 grid::VertexId ColorSearch::search() {
-  const auto& rules = grid_.tech().rules();
-  while (!queue_.empty()) {
-    const Item item = queue_.top();
-    queue_.pop();
+  SearchArena& a = *arena_;
+  const bool tpl_aware = config_.enable_coloring;
+  // The incremental congestion field counts colored vertices of EVERY net
+  // in the Dcolor window; it substitutes for the self-excluding window
+  // scan exactly when this net has no colored vertex anywhere — always
+  // true in the router flows (rip-up clears masks, pins start uncolored).
+  const bool use_field =
+      config_.precomputed_congestion && grid_.colored_count(net_) == 0;
+  const int nx = grid_.size_x();
+  const int nl = grid_.num_layers();
+  const auto layer_stride =
+      static_cast<grid::VertexId>(nx) * static_cast<grid::VertexId>(grid_.size_y());
+
+  while (!queue_empty()) {
+    const QueueItem item = pop_item();
     const grid::VertexId v = item.v;
-    if (stamp_[v] != epoch_ || closed_[v] || item.g > cost_[v] + kEps) continue;
+    if (a.stamp[v] != a.epoch || a.closed[v] || item.g > a.cost[v] + kEps) continue;
     if (config_.use_astar && item.round != round_) {
       // The target set changed since this entry was pushed (a pin was
       // reached), so its f is stale. Re-key against the current targets.
-      push(v, cost_[v]);
+      push(v, a.cost[v]);
       continue;
     }
     // Algorithm 2 lines 4–7: reaching a vertex covered by an unreached pin
     // terminates this round.
-    if (targets_.contains(v)) return v;
-    closed_[v] = 1;
+    if (a.target_stamp[v] == a.epoch && a.target_pin[v] >= 0) return v;
+    a.closed[v] = 1;
 
     const grid::VertexLoc from_loc = grid_.loc(v);
-    const ColorState from_state(state_[v]);
-    const bool tpl_aware = config_.enable_coloring;
+    const ColorState from_state(a.state[v]);
+    const double g_v = a.cost[v];
 
     for (int d = 0; d < grid::kNumDirs; ++d) {
       const auto dir = static_cast<grid::Dir>(d);
-      const grid::VertexId u = grid_.neighbor(v, dir);
-      if (u == grid::kInvalidVertex || !expandable(u)) continue;
-      touch(u);
+      // Neighbor ids arithmetically; the window check below subsumes die
+      // bounds for planar moves (window_ is clamped to the die).
+      int tx = from_loc.x, ty = from_loc.y, tl = from_loc.layer;
+      grid::VertexId u;
+      switch (dir) {
+        case grid::Dir::East: ++tx; u = v + 1; break;
+        case grid::Dir::West: --tx; u = v - 1; break;
+        case grid::Dir::North: ++ty; u = v + static_cast<grid::VertexId>(nx); break;
+        case grid::Dir::South: --ty; u = v - static_cast<grid::VertexId>(nx); break;
+        case grid::Dir::Up: ++tl; u = v + layer_stride; break;
+        default: --tl; u = v - layer_stride; break;  // Down
+      }
+      if (tl < 0 || tl >= nl) continue;
+      if (tx < window_.lo.x || tx > window_.hi.x || ty < window_.lo.y ||
+          ty > window_.hi.y)
+        continue;
+      if (grid_.blocked(u)) continue;
+      const db::NetId owner = grid_.owner(u);
+      if (owner != db::kNoNet && owner != net_) continue;  // hard overlap rule
+      touch(u, tx, ty);
       // Closed vertices may be *reopened* on a strict improvement: after
       // the routed tree is re-seeded at cost 0 (Algorithm 3 lines 17–18),
       // labels computed from the previous, farther sources are stale
@@ -136,33 +271,32 @@ grid::VertexId ColorSearch::search() {
       // rounds, plain Dijkstra within one.
 
       // ---- traditional cost (Eq. 1, alpha term) ----------------------
-      double trad;
-      if (grid::is_via(dir)) {
-        trad = rules.via_cost;
-      } else {
-        trad = rules.wire_cost;
-        if (!grid_.is_preferred(from_loc.layer, dir)) trad += rules.wrong_way_cost;
-      }
-      const grid::VertexLoc to_loc = grid_.loc(u);
-      if (guide_ != nullptr && !guide_->boxes.empty() &&
-          !guide_->covers({to_loc.x, to_loc.y}))
-        trad += rules.out_of_guide_cost;
+      double trad = trad_base_[static_cast<std::size_t>(tl) * grid::kNumDirs + d];
+      if (guide_active_ && !guide_covered(tx, ty)) trad += oog_cost_;
       trad += grid_.history(u);
-      trad *= rules.alpha;
+      trad *= alpha_;
 
       double move_cost;
       std::uint8_t new_state;
-      if (!tpl_aware || !grid_.tech().is_tpl_layer(to_loc.layer)) {
+      if (!tpl_aware || !tpl_layer_[static_cast<std::size_t>(tl)]) {
         // Plain-router mode / non-critical layer: no color bookkeeping.
         move_cost = trad;
         new_state = universe_.bits();
       } else {
         // ---- per-mask color cost (Algorithm 2 lines 9–16) -------------
-        int counts[grid::kNumMasks] = {0, 0, 0};
-        grid_.for_each_colored_neighbor(
-            u, net_, [&counts](grid::VertexId, db::NetId, grid::Mask m) {
-              ++counts[m];
-            });
+        int counts[grid::kNumMasks];
+        if (use_field) {
+          const std::uint16_t* c = grid_.colored_neighbor_counts(u);
+          counts[0] = c[0];
+          counts[1] = c[1];
+          counts[2] = c[2];
+        } else {
+          counts[0] = counts[1] = counts[2] = 0;
+          grid_.for_each_colored_neighbor(
+              u, net_, [&counts](grid::VertexId, db::NetId, grid::Mask m) {
+                ++counts[m];
+              });
+        }
         double best = kInf;
         std::uint8_t argmin_bits = 0;
         for (grid::Mask c = 0; c < grid::kNumMasks; ++c) {
@@ -186,18 +320,18 @@ grid::VertexId ColorSearch::search() {
         new_state = argmin_bits;
       }
 
-      const double new_cost = cost_[v] + move_cost;
+      const double new_cost = g_v + move_cost;
       ++relaxations_;
-      if (new_cost < cost_[u] - kEps) {
-        cost_[u] = new_cost;
-        prev_[u] = v;
-        state_[u] = new_state;
-        closed_[u] = 0;
+      if (new_cost < a.cost[u] - kEps) {
+        a.cost[u] = new_cost;
+        a.prev[u] = v;
+        a.state[u] = new_state;
+        a.closed[u] = 0;
         push(u, new_cost);
-      } else if (new_cost < cost_[u] + kEps && prev_[u] == v) {
+      } else if (new_cost < a.cost[u] + kEps && a.prev[u] == v) {
         // Equal-cost relaxation from the same predecessor: merge the
         // argmin sets (set-based color-state merging).
-        state_[u] |= new_state;
+        a.state[u] |= new_state;
       }
     }
   }
@@ -206,10 +340,10 @@ grid::VertexId ColorSearch::search() {
 
 void ColorSearch::make_source(grid::VertexId v, ColorState state) {
   touch(v);
-  cost_[v] = 0.0;
-  prev_[v] = grid::kInvalidVertex;
-  state_[v] = state.bits();
-  closed_[v] = 0;
+  arena_->cost[v] = 0.0;
+  arena_->prev[v] = grid::kInvalidVertex;
+  arena_->state[v] = state.bits();
+  arena_->closed[v] = 0;
   push(v, 0.0);
 }
 

@@ -6,15 +6,25 @@
 /// all three masks (Eq. 1's per-color cost: traditional + gamma ·
 /// conflict-count, plus beta when a planar move leaves the predecessor's
 /// state — a stitch) and keeps the **set of argmin masks** as the new
-/// vertex's state. The scratch arrays are epoch-stamped so successive
-/// nets reuse them without clearing.
+/// vertex's state.
+///
+/// The hot path runs on a SearchArena (search_arena.hpp): epoch-stamped
+/// SoA labels reused across nets without clearing, a stamped target
+/// registry, a per-session guide-cover bitmap, and one of two queue
+/// engines — the flat monotone bucket queue (default) or the legacy
+/// binary heap — both popping in the SAME (quantized key, push sequence)
+/// order, so routing output is byte-identical across engines. Per-die
+/// cost atoms (per-layer/per-direction base costs, TPL-layer flags) are
+/// precomputed once at construction; the per-mask congestion term can
+/// read the grid's incrementally maintained colored-neighbor counts
+/// instead of rescanning the Dcolor window on every relaxation.
 
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "core/color_state.hpp"
 #include "core/router_config.hpp"
+#include "core/search_arena.hpp"
 #include "geom/rect.hpp"
 #include "global/guide.hpp"
 #include "grid/routing_grid.hpp"
@@ -23,10 +33,17 @@ namespace mrtpl::core {
 
 class ColorSearch {
  public:
+  /// Standalone construction: the search owns a private SearchArena.
   ColorSearch(const grid::RoutingGrid& grid, RouterConfig config);
+  /// Construction over a caller-owned arena (one per ThreadPool worker in
+  /// the batched executor). The arena must outlive the search; two
+  /// searches may share an arena only if never used concurrently.
+  ColorSearch(const grid::RoutingGrid& grid, RouterConfig config,
+              SearchArena& arena);
 
   /// Start a search session for `net`. `window` hard-clamps expansion;
-  /// `guide` (may be null) adds out-of-guide penalties.
+  /// `guide` (may be null) adds out-of-guide penalties. Resets the
+  /// relaxation counter and retires all labels of the previous session.
   void begin_net(db::NetId net, const global::NetGuide* guide, geom::Rect window);
 
   /// Seed a source vertex with cost 0 and the given state (Algorithm 1
@@ -46,57 +63,66 @@ class ColorSearch {
   [[nodiscard]] int target_pin(grid::VertexId v) const;
 
   // ---- label accessors (used by backtrace) ---------------------------
-  [[nodiscard]] double cost(grid::VertexId v) const { return cost_[v]; }
-  [[nodiscard]] grid::VertexId prev(grid::VertexId v) const { return prev_[v]; }
-  [[nodiscard]] ColorState state(grid::VertexId v) const { return ColorState(state_[v]); }
-  [[nodiscard]] bool visited(grid::VertexId v) const { return stamp_[v] == epoch_; }
+  [[nodiscard]] double cost(grid::VertexId v) const { return arena_->cost[v]; }
+  [[nodiscard]] grid::VertexId prev(grid::VertexId v) const { return arena_->prev[v]; }
+  [[nodiscard]] ColorState state(grid::VertexId v) const {
+    return ColorState(arena_->state[v]);
+  }
+  [[nodiscard]] bool visited(grid::VertexId v) const {
+    return arena_->stamp[v] == arena_->epoch;
+  }
 
   /// Algorithm 3 lines 17–18: zero the vertex's cost, keep/replace its
   /// state, and re-queue it so the routed tree seeds the next pin search.
   void make_source(grid::VertexId v, ColorState state);
 
-  /// Number of label relaxations performed since begin_net (perf metric
-  /// for the micro-bench).
+  /// Label relaxations performed since the most recent begin_net — a
+  /// strictly per-net counter (begin_net resets it to zero); callers that
+  /// want per-run totals must accumulate it themselves, once per net.
   [[nodiscard]] std::uint64_t relaxations() const { return relaxations_; }
 
+  /// Bounding box (x, y; all layers) of every vertex labeled since
+  /// begin_net. Everything this session read from the grid lies within
+  /// this box inflated by dcolor + 1 — the read footprint the speculative
+  /// batch executor validates commits against.
+  [[nodiscard]] bool anything_touched() const { return arena_->any_touched; }
+  [[nodiscard]] geom::Rect touched_bbox() const { return arena_->touched_bbox; }
+
  private:
+  ColorSearch(const grid::RoutingGrid& grid, RouterConfig config,
+              SearchArena* arena);
+
   void touch(grid::VertexId v);
-  [[nodiscard]] bool expandable(grid::VertexId v) const;
+  void touch(grid::VertexId v, int x, int y);
+  [[nodiscard]] bool guide_covered(int x, int y) const;
+
+  /// Admissible lower bound from `v` to the current target set (0 when A*
+  /// is off or no targets remain).
+  [[nodiscard]] double heuristic(grid::VertexId v) const;
+  void push(grid::VertexId v, double g);
+  [[nodiscard]] QueueItem pop_item();
+  [[nodiscard]] bool queue_empty() const;
 
   const grid::RoutingGrid& grid_;
   RouterConfig config_;
   double beta_, gamma_;
   ColorState universe_ = ColorState::all();  ///< masks of the K-patterning process
 
+  // ---- per-die precomputed cost atoms ---------------------------------
+  double alpha_ = 1.0;
+  double oog_cost_ = 0.0;       ///< out-of-guide surcharge (pre-alpha)
+  double inv_quantum_ = 2.0;    ///< 1 / bucket width; width <= min edge cost
+  std::vector<double> trad_base_;     ///< [layer * kNumDirs + dir], pre-alpha
+  std::vector<std::uint8_t> tpl_layer_;
+
   db::NetId net_ = db::kNoNet;
   const global::NetGuide* guide_ = nullptr;
+  bool guide_active_ = false;
+  int guide_stride_ = 0;  ///< bitmap row width == window width
   geom::Rect window_;
 
-  std::vector<double> cost_;
-  std::vector<grid::VertexId> prev_;
-  std::vector<std::uint8_t> state_;
-  std::vector<std::uint8_t> closed_;
-  std::vector<std::uint32_t> stamp_;
-  std::uint32_t epoch_ = 0;
-
-  std::unordered_map<grid::VertexId, int> targets_;
-
-  /// Queue items carry f (priority), g (the label value at push time) and
-  /// the target-set generation the heuristic was computed against. With
-  /// A* off, f == g and the round tag is irrelevant.
-  struct Item {
-    double f;
-    double g;
-    grid::VertexId v;
-    std::uint32_t round;
-    bool operator>(const Item& o) const { return f > o.f; }
-  };
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> queue_;
-
-  /// Admissible lower bound from `v` to the current target set (0 when A*
-  /// is off or no targets remain).
-  [[nodiscard]] double heuristic(grid::VertexId v) const;
-  void push(grid::VertexId v, double g);
+  SearchArena* arena_ = nullptr;
+  std::unique_ptr<SearchArena> owned_arena_;
 
   std::uint32_t round_ = 0;  ///< bumped whenever the target set changes
   double min_step_cost_ = 1.0;

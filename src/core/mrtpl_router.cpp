@@ -153,6 +153,8 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
       // Keep the partial tree: choose colors for what exists so the
       // layout stays consistent for other nets once committed.
       choose_colors(grid, pool, net_id, route, outcome.colors);
+      outcome.has_touched = search.anything_touched();
+      outcome.touched = search.touched_bbox();
       return outcome;
     }
     const int pin = search.target_pin(dst);
@@ -199,6 +201,8 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
   outcome.relaxations = search.relaxations();
   route.routed = true;
   choose_colors(grid, pool, net_id, route, outcome.colors);
+  outcome.has_touched = search.anything_touched();
+  outcome.touched = search.touched_bbox();
   return outcome;
 }
 
@@ -369,61 +373,83 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
                              const std::vector<db::NetId>& nets,
                              grid::Solution& solution) {
   util::Timer timer;
+  const std::uint64_t pass_relax_base = stats_.relaxations;
   if (pool == nullptr || nets.size() <= 1) {
     for (const db::NetId id : nets)
       solution.routes[static_cast<size_t>(id)] = route_net(grid, search, id);
-    stats_.route_batches += nets.empty() ? 0 : 1;
+    if (!nets.empty()) {
+      stats_.route_batches += 1;
+      stats_.relaxations_per_pass.push_back(stats_.relaxations - pass_relax_base);
+    }
     stats_.reroute_s += timer.elapsed_s();
     return;
   }
 
-  // Deterministic dependency-preserving batching. Two nets *interact*
-  // when their read footprints (search window + dcolor halo) overlap the
-  // other's write window; inflating each window by the halo and testing
-  // rectangle overlap is a symmetric, conservative bound. A net lands in
-  // the batch right after the last earlier net it interacts with, so any
-  // interacting pair keeps its serial relative order and every compute
-  // sees exactly the grid state the serial loop would have shown it —
-  // which is why the output is byte-identical for every thread count.
-  // The overlap query runs on a spatial grid (see batch_schedule.hpp);
-  // test_determinism pins it element-identical to the O(k²) oracle.
+  // Speculative super-batch executor. The whole pass computes
+  // concurrently against the pass-start grid — one pool dispatch, no
+  // inter-batch barriers — then commits strictly in ripped order on this
+  // thread. A speculation is *applied* only when no earlier-applied
+  // commit landed inside its read footprint (the labeled bbox inflated
+  // by the dcolor halo: the search reads owner/mask/congestion state no
+  // farther than that from any vertex it labels); a stale net recomputes
+  // serially right here, where the grid holds exactly the serial-prefix
+  // state. Every applied outcome is therefore the one the serial loop
+  // would have produced, for every thread count — speculation decides
+  // how much parallel work is *kept*, never what the result is. The
+  // schedule depth prefilter skips the commit-log walk for nets whose
+  // window provably interacts with no earlier net's; test_determinism
+  // pins schedule_batches element-identical to the O(k²) oracle.
   const int halo = std::max(grid.dcolor(), 1);
-  std::vector<geom::Rect> footprint(nets.size());
+  std::vector<geom::Rect> windows(nets.size());
   for (size_t i = 0; i < nets.size(); ++i)
-    footprint[i] = net_scope(nets[i]).window.inflated(halo);
-  const std::vector<int> batch_of = schedule_batches(footprint);
-  int num_batches = 1;
-  for (size_t i = 0; i < nets.size(); ++i)
-    num_batches = std::max(num_batches, batch_of[i] + 1);
-  std::vector<std::vector<size_t>> batches(static_cast<size_t>(num_batches));
-  for (size_t i = 0; i < nets.size(); ++i)
-    batches[static_cast<size_t>(batch_of[i])].push_back(i);
+    windows[i] = net_scope(nets[i]).window;
+  const std::vector<int> batch_of = schedule_batches(windows, halo);
 
-  // last_colors() must track the final net of `nets` no matter which
-  // batch it landed in, so the accessor stays thread-count-independent.
-  RouteOutcome final_net_outcome;
-  for (const auto& batch : batches) {
-    // Workers only read the grid (compute_route is const); every member's
-    // read footprint is disjoint from every other member's write window,
-    // so the shared grid *is* the read snapshot of the batch start.
-    std::vector<RouteOutcome> outcomes(batch.size());
-    pool->for_each(batch.size(), [&](size_t k, int worker) {
-      outcomes[k] = compute_route(grid, *worker_searches[static_cast<size_t>(worker)],
-                                  nets[batch[k]]);
-    });
-    // Commit on the main thread, batches in order and members in ripped
-    // order within each batch — a fixed sequence derived from the ripped
-    // list alone, so no observable state depends on the thread count
-    // (cross-batch member writes are disjoint and commute anyway).
-    for (size_t k = 0; k < batch.size(); ++k) {
-      apply_outcome(grid, outcomes[k]);
-      if (batch[k] == nets.size() - 1) final_net_outcome = outcomes[k];
-      solution.routes[static_cast<size_t>(nets[batch[k]])] =
-          std::move(outcomes[k].route);
+  std::vector<RouteOutcome> outcomes(nets.size());
+  // Workers only read the grid (compute_route is const) and nothing
+  // commits until the dispatch drains, so the shared grid *is* the
+  // pass-start snapshot.
+  pool->for_each(nets.size(), [&](size_t k, int worker) {
+    outcomes[k] = compute_route(grid, *worker_searches[static_cast<size_t>(worker)],
+                                nets[k]);
+  });
+
+  std::vector<geom::Rect> commit_box(nets.size());
+  std::vector<char> commit_live(nets.size(), 0);
+  for (size_t k = 0; k < nets.size(); ++k) {
+    bool stale = false;
+    if (batch_of[k] > 0 && outcomes[k].has_touched) {
+      const geom::Rect read = outcomes[k].touched.inflated(halo);
+      for (size_t j = 0; j < k && !stale; ++j)
+        stale = commit_live[j] != 0 && commit_box[j].overlaps(read);
     }
+    if (stale) {
+      ++stats_.respeculated;
+      stats_.wasted_relaxations += outcomes[k].relaxations;
+      outcomes[k] = compute_route(grid, search, nets[k]);
+    }
+    // Record the applied commit's actual write bbox (tighter than the
+    // search window) for the validation of later nets.
+    for (const auto& [v, m] : outcomes[k].colors) {
+      const grid::VertexLoc l = grid.loc(v);
+      if (commit_live[k] == 0) {
+        commit_live[k] = 1;
+        commit_box[k] = {l.x, l.y, l.x, l.y};
+      } else {
+        commit_box[k].lo.x = std::min(commit_box[k].lo.x, l.x);
+        commit_box[k].lo.y = std::min(commit_box[k].lo.y, l.y);
+        commit_box[k].hi.x = std::max(commit_box[k].hi.x, l.x);
+        commit_box[k].hi.y = std::max(commit_box[k].hi.y, l.y);
+      }
+    }
+    apply_outcome(grid, outcomes[k]);
+    // last_colors() tracks the final net of `nets`, same as the serial
+    // loop, so the accessor stays thread-count-independent.
+    if (k == nets.size() - 1) set_last_colors(outcomes[k]);
+    solution.routes[static_cast<size_t>(nets[k])] = std::move(outcomes[k].route);
   }
-  set_last_colors(final_net_outcome);
-  stats_.route_batches += num_batches;
+  stats_.route_batches += 1;
+  stats_.relaxations_per_pass.push_back(stats_.relaxations - pass_relax_base);
   stats_.reroute_s += timer.elapsed_s();
 }
 
@@ -449,15 +475,22 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
     return conflicts;
   };
 
-  // Batched executor state: one pool + one ColorSearch scratch per worker
-  // for the whole run.
+  // Batched executor state: one pool, one SearchArena, and one ColorSearch
+  // per worker for the whole run — after the first few nets warm the
+  // arenas, the parallel hot path allocates nothing. Arenas are declared
+  // before the searches that borrow them so they outlive them.
   std::unique_ptr<util::ThreadPool> pool;
+  std::vector<std::unique_ptr<SearchArena>> worker_arenas;
   std::vector<std::unique_ptr<ColorSearch>> worker_searches;
   if (config_.rrr_threads > 1) {
     pool = std::make_unique<util::ThreadPool>(config_.rrr_threads);
+    worker_arenas.reserve(static_cast<size_t>(pool->size()));
     worker_searches.reserve(static_cast<size_t>(pool->size()));
-    for (int i = 0; i < pool->size(); ++i)
-      worker_searches.push_back(std::make_unique<ColorSearch>(grid, config_));
+    for (int i = 0; i < pool->size(); ++i) {
+      worker_arenas.push_back(std::make_unique<SearchArena>());
+      worker_searches.push_back(
+          std::make_unique<ColorSearch>(grid, config_, *worker_arenas.back()));
+    }
   }
 
   // Fig. 2 middle column: route every net once.
@@ -529,6 +562,14 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
     for (const db::NetId id : ripped)
       grid::release_route(grid, solution.routes[static_cast<size_t>(id)]);
     route_list(grid, search, pool.get(), worker_searches, ripped, solution);
+    // A success retires the net's widened window: the widening is an
+    // escape valve for one failure episode, and letting it stick made
+    // every later rip of the net search (and serialize against) a window
+    // up to the whole die. Depends only on routed flags, so thread-count
+    // invariance is unaffected.
+    for (const db::NetId id : ripped)
+      if (solution.routes[static_cast<size_t>(id)].routed)
+        extra_margin_[static_cast<size_t>(id)] = 0;
   }
   // Score the state the loop ended on (the per-iteration scoring above
   // sees each state *before* its reroute, so the last reroute's result is

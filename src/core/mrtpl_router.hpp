@@ -24,11 +24,20 @@ struct RouterStats {
   int rrr_iterations = 0;             ///< executed RRR rounds
   std::vector<int> conflicts_per_iter;///< clustered conflicts after each round
   int failed_nets = 0;                ///< nets with unreachable pins
-  std::uint64_t relaxations = 0;      ///< total search relaxations
+  std::uint64_t relaxations = 0;      ///< total *applied* search relaxations
   double runtime_s = 0.0;
   double detect_s = 0.0;              ///< wall time in conflict detection
   double reroute_s = 0.0;             ///< wall time routing nets (all passes)
-  int route_batches = 0;              ///< disjoint-window batches executed
+  int route_batches = 0;              ///< executor passes (one per route_list)
+
+  /// Applied relaxations of each route_list pass, in pass order. The
+  /// entries always sum to `relaxations` — bench_rrr_parallel aborts if
+  /// the accounting ever drifts — and, like it, are independent of the
+  /// thread count (speculative work that fails validation is *not*
+  /// applied; it lands in wasted_relaxations instead).
+  std::vector<std::uint64_t> relaxations_per_pass;
+  int respeculated = 0;               ///< speculations redone serially
+  std::uint64_t wasted_relaxations = 0;  ///< search effort of those discards
 };
 
 /// Mr.TPL router. Construct once per design; `run` routes every net into
@@ -58,6 +67,16 @@ class MrTplRouter {
     return last_colors_;
   }
 
+  /// Current widened-window margin of a net beyond config.search_margin.
+  /// Zero after any successful route (the widening is an escape valve for
+  /// one failure episode, not a permanent enlargement); exposed so tests
+  /// can pin the reset.
+  [[nodiscard]] int extra_margin(db::NetId net_id) const {
+    return net_id >= 0 && static_cast<std::size_t>(net_id) < extra_margin_.size()
+               ? extra_margin_[static_cast<std::size_t>(net_id)]
+               : 0;
+  }
+
  private:
   /// Everything one net's routing produces, computed against a read-only
   /// grid: the tree, the chosen (vertex, mask) commits in commit order,
@@ -68,6 +87,11 @@ class MrTplRouter {
     grid::NetRoute route;
     std::vector<std::pair<grid::VertexId, grid::Mask>> colors;
     std::uint64_t relaxations = 0;
+    /// x/y bbox of every vertex the search labeled; all grid state this
+    /// outcome depended on lies within it inflated by max(dcolor, 1).
+    /// The speculative executor validates commits against this.
+    geom::Rect touched;
+    bool has_touched = false;
   };
 
   /// Net routing order: short, low-degree nets first.
@@ -127,11 +151,12 @@ class MrTplRouter {
   std::vector<std::pair<grid::VertexId, grid::Mask>> last_colors_;
 
   /// Extra search margin per net, beyond config_.search_margin. Starts at
-  /// zero and doubles every RRR iteration a net fails to route: the
-  /// escape valve for labyrinth-style blockages whose only opening lies
-  /// far outside the net's bbox (scenario macro mazes). Mutated only
-  /// between route passes on the main thread; net_scope reads it, so the
-  /// batch scheduler's footprints track the widened windows automatically.
+  /// zero, doubles every RRR iteration a net fails to route — the escape
+  /// valve for labyrinth-style blockages whose only opening lies far
+  /// outside the net's bbox (scenario macro mazes) — and drops back to
+  /// zero the moment the net routes. Mutated only between route passes on
+  /// the main thread; net_scope reads it, so the batch scheduler's
+  /// footprints track the widened windows automatically.
   std::vector<int> extra_margin_;
 };
 

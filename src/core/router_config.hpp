@@ -21,14 +21,14 @@ struct RouterConfig {
   /// `bench_ablation_rrr` "negotiated baseline" ablation.
   bool rrr_on_color_conflicts = true;
 
-  /// Worker threads of the batched rip-up-and-reroute executor. With
-  /// N >= 2 the loop groups ripped nets whose inflated search windows
-  /// (bbox ∪ guide, + search_margin + dcolor halo) are pairwise disjoint
-  /// and routes each batch concurrently against a read-snapshot of the
-  /// grid, committing results on the main thread in a fixed sequence
-  /// derived from the ripped list alone. Batch assignment preserves the
-  /// serial dependency order, so output is byte-identical for every
-  /// thread count; 1 runs the reference serial path.
+  /// Worker threads of the speculative rip-up-and-reroute executor. With
+  /// N >= 2 every ripped net of a pass computes concurrently against the
+  /// pass-start grid; results commit on the main thread strictly in
+  /// ripped order, and a speculation whose read footprint an earlier
+  /// commit landed in is recomputed serially at its commit slot. Applied
+  /// results are the serial loop's by construction, so output is
+  /// byte-identical for every thread count; 1 runs the reference serial
+  /// path.
   int rrr_threads = 1;
 
   /// Maintain the violating-pair set incrementally (core::ConflictIndex,
@@ -57,6 +57,21 @@ struct RouterConfig {
   /// When false, skip coloring entirely (plain-router mode used by the
   /// decomposition flow of Table III).
   bool enable_coloring = true;
+
+  // ---- search hot-path engine (README "Search hot path") ---------------
+  /// Pop queued labels from the flat monotone bucket queue instead of the
+  /// legacy binary heap. Both engines pop in the same (quantized key,
+  /// push sequence) order, so routing output is byte-identical; this is
+  /// purely a constant-factor switch, kept so `bench_search_micro
+  /// --compare` and the equivalence tests can pin one against the other.
+  bool use_bucket_queue = true;
+
+  /// Read the per-mask color-conflict counts from the grid's incrementally
+  /// maintained congestion field instead of rescanning the Dcolor window
+  /// on every relaxation. Exact (the searcher falls back to the scan for
+  /// the rare net that already holds colored vertices), so output is
+  /// byte-identical with the toggle off.
+  bool precomputed_congestion = true;
 
   /// Drive the color-state search as A* with an admissible Manhattan
   /// lower bound to the nearest unreached pin instead of plain Dijkstra

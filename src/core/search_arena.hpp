@@ -1,0 +1,173 @@
+#pragma once
+/// \file search_arena.hpp
+/// Preallocated scratch state of the color-state search hot path: SoA
+/// label arrays reused across nets via epoch stamping, the stamped target
+/// registry, the rasterized guide-cover bitmap, and the two queue engines.
+///
+/// Both engines implement the SAME total pop order — (quantized key, push
+/// sequence), lexicographic — so the routing output is byte-identical no
+/// matter which one runs:
+///
+///  * BucketQueue: a flat bucket array indexed by the quantized key with
+///    FIFO buckets. FIFO within a bucket IS push-sequence order, and a
+///    two-level occupancy bitmap finds the lowest non-empty bucket in a
+///    handful of word operations. With the quantum no larger than the
+///    cheapest edge, a Dijkstra pass never relaxes into the bucket it is
+///    draining, so the scan cursor moves monotonically; pushes below the
+///    cursor (possible only under A* re-keying) rewind it, which keeps
+///    the structure an *exact* (key, seq) priority queue, not merely an
+///    approximate monotone one.
+///  * HeapQueue: a binary heap ordered by the same (key, seq) pair — the
+///    legacy std::priority_queue engine, kept as the oracle and as the
+///    "old" side of `bench_search_micro --compare`.
+///
+/// Keys beyond the bucket range spill into an overflow heap (same order);
+/// bucket items always pop first because their keys are strictly smaller.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::core {
+
+/// One queued search label. `g` is the true (unquantized) label value at
+/// push time — the pop-side staleness check compares it against the
+/// current label — and `round` tags the target-set generation the A*
+/// heuristic was computed against.
+struct QueueItem {
+  double g = 0.0;
+  grid::VertexId v = grid::kInvalidVertex;
+  std::uint32_t round = 0;
+};
+
+/// Flat monotone bucket queue over quantized keys; see the file comment
+/// for the ordering contract. All storage is reused across clear() calls
+/// (vectors keep their capacity), so a search session allocates nothing
+/// once the arena is warm.
+class BucketQueue {
+ public:
+  /// Keys in [0, kNumBuckets) live in the flat array; larger keys go to
+  /// the overflow heap. 2^16 buckets cover path costs up to 2^16 quanta,
+  /// which the windowed searches stay under except on pathological
+  /// history pile-ups.
+  static constexpr std::uint32_t kNumBuckets = 1u << 16;
+
+  BucketQueue() : buckets_(kNumBuckets) {}
+
+  void clear();
+  [[nodiscard]] bool empty() const { return in_buckets_ + overflow_.size() == 0; }
+  [[nodiscard]] std::size_t size() const { return in_buckets_ + overflow_.size(); }
+
+  void push(std::uint64_t qkey, const QueueItem& item, std::uint32_t seq);
+
+  /// Pops the item with the smallest (qkey, seq). Precondition: !empty().
+  QueueItem pop();
+
+ private:
+  struct Bucket {
+    std::vector<QueueItem> items;
+    std::uint32_t head = 0;  ///< first unpopped index (FIFO)
+  };
+  struct OverflowItem {
+    std::uint64_t qkey = 0;
+    std::uint32_t seq = 0;
+    QueueItem item;
+  };
+  /// Min-heap comparator: "a pops after b".
+  struct OverflowAfter {
+    bool operator()(const OverflowItem& a, const OverflowItem& b) const {
+      return a.qkey != b.qkey ? a.qkey > b.qkey : a.seq > b.seq;
+    }
+  };
+
+  void mark_nonempty(std::uint32_t b);
+  void mark_empty(std::uint32_t b);
+
+  std::vector<Bucket> buckets_;
+  std::vector<std::uint32_t> touched_;  ///< bucket indices to reset on clear()
+  std::uint64_t words_[kNumBuckets / 64] = {};      ///< bit b: bucket non-empty
+  std::uint64_t summary_[kNumBuckets / 4096] = {};  ///< bit w: words_[w] != 0
+  std::uint32_t cursor_ = 0;       ///< lower bound on the lowest non-empty bucket
+  std::size_t in_buckets_ = 0;
+  std::vector<OverflowItem> overflow_;  ///< std::*_heap managed (clear keeps capacity)
+};
+
+/// The legacy engine: a binary heap over the same (qkey, seq) order.
+/// Implemented on a plain vector (std::push_heap/pop_heap) instead of
+/// std::priority_queue so clear() can keep the allocation.
+class HeapQueue {
+ public:
+  void clear() { items_.clear(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  void push(std::uint64_t qkey, const QueueItem& item, std::uint32_t seq) {
+    items_.push_back({qkey, seq, item});
+    std::push_heap(items_.begin(), items_.end(), After{});
+  }
+
+  QueueItem pop() {
+    std::pop_heap(items_.begin(), items_.end(), After{});
+    const QueueItem item = items_.back().item;
+    items_.pop_back();
+    return item;
+  }
+
+ private:
+  struct HeapItem {
+    std::uint64_t qkey = 0;
+    std::uint32_t seq = 0;
+    QueueItem item;
+  };
+  struct After {
+    bool operator()(const HeapItem& a, const HeapItem& b) const {
+      return a.qkey != b.qkey ? a.qkey > b.qkey : a.seq > b.seq;
+    }
+  };
+  std::vector<HeapItem> items_;
+};
+
+/// Per-worker scratch arena of ColorSearch. One arena serves an unbounded
+/// sequence of nets: begin_session() bumps the epoch instead of clearing
+/// the O(die) label arrays, and every other structure resets in O(touched).
+/// The members are plain data on purpose — ColorSearch owns the semantics;
+/// tests exercise the reuse contract directly.
+struct SearchArena {
+  // ---- SoA labels, valid iff stamp[v] == epoch ------------------------
+  std::vector<double> cost;
+  std::vector<grid::VertexId> prev;
+  std::vector<std::uint8_t> state;
+  std::vector<std::uint8_t> closed;
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
+
+  // ---- target registry: stamped O(1) lookup + dense list --------------
+  std::vector<std::int32_t> target_pin;
+  std::vector<std::uint32_t> target_stamp;
+  std::vector<std::pair<grid::VertexId, int>> target_list;
+
+  // ---- queues (one engine active per config) --------------------------
+  BucketQueue bucket_queue;
+  HeapQueue heap_queue;
+  std::uint32_t seq = 0;  ///< push sequence, the tie-break of both engines
+
+  // ---- per-session guide-cover bitmap over the search window ----------
+  std::vector<std::uint64_t> guide_bits;
+
+  // ---- read-footprint tracking for the speculative batch executor -----
+  bool any_touched = false;
+  geom::Rect touched_bbox;
+
+  /// Grow the per-vertex arrays to cover `num_vertices`. Values of grown
+  /// slots are indifferent: their stamps arrive as 0 != epoch.
+  void ensure(std::uint32_t num_vertices);
+
+  /// Open a fresh session: new epoch, empty queues/targets, reset
+  /// footprint. O(structures touched by the previous session).
+  void begin_session();
+};
+
+}  // namespace mrtpl::core

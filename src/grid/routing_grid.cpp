@@ -21,6 +21,8 @@ RoutingGrid::RoutingGrid(const db::Design& design)
   pin_vertex_.assign(n, 0);
   pin_owner_.assign(n, db::kNoNet);
   history_.assign(n, 0.0f);
+  color_counts_.assign(3 * static_cast<std::size_t>(n), 0);
+  colored_of_.assign(static_cast<std::size_t>(design.num_nets()), 0);
 
   for (const auto& obs : design.obstacles()) {
     for (int y = obs.shape.lo.y; y <= obs.shape.hi.y; ++y)
@@ -72,10 +74,47 @@ bool RoutingGrid::is_preferred(int layer, Dir d) const {
   return horizontal == east_west;
 }
 
+void RoutingGrid::update_color_field(VertexId v, db::NetId old_owner, Mask old_m,
+                                     db::NetId new_owner, Mask new_m) {
+  if (old_owner == new_owner && old_m == new_m) return;
+  if (old_m != kNoMask && old_owner != db::kNoNet &&
+      static_cast<std::size_t>(old_owner) < colored_of_.size()) {
+    assert(colored_of_[static_cast<std::size_t>(old_owner)] > 0);
+    --colored_of_[static_cast<std::size_t>(old_owner)];
+  }
+  if (new_m != kNoMask && new_owner != db::kNoNet) {
+    if (static_cast<std::size_t>(new_owner) >= colored_of_.size())
+      colored_of_.resize(static_cast<std::size_t>(new_owner) + 1, 0);
+    ++colored_of_[static_cast<std::size_t>(new_owner)];
+  }
+  if (old_m == new_m) return;
+  const VertexLoc l = loc(v);
+  if (!tech().is_tpl_layer(l.layer)) return;
+  // Same window as for_each_colored_neighbor, mirrored: v's mask change
+  // affects the counts AT each neighbor.
+  const int x0 = l.x >= dcolor_ ? l.x - dcolor_ : 0;
+  const int x1 = l.x + dcolor_ < nx_ ? l.x + dcolor_ : nx_ - 1;
+  const int y0 = l.y >= dcolor_ ? l.y - dcolor_ : 0;
+  const int y1 = l.y + dcolor_ < ny_ ? l.y + dcolor_ : ny_ - 1;
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      if (x == l.x && y == l.y) continue;
+      std::uint16_t* c = &color_counts_[3 * static_cast<std::size_t>(
+                                                vertex(l.layer, x, y))];
+      if (old_m != kNoMask) {
+        assert(c[old_m] > 0);
+        --c[old_m];
+      }
+      if (new_m != kNoMask) ++c[new_m];
+    }
+  }
+}
+
 void RoutingGrid::commit(VertexId v, db::NetId net, Mask m) {
   assert(net != db::kNoNet);
   assert(owner_[v] == db::kNoNet || owner_[v] == net);
   note_change(v, net, m);
+  update_color_field(v, owner_[v], mask_[v], net, m);
   owner_[v] = net;
   mask_[v] = m;
 }
@@ -83,6 +122,7 @@ void RoutingGrid::commit(VertexId v, db::NetId net, Mask m) {
 void RoutingGrid::set_mask(VertexId v, Mask m) {
   assert(owner_[v] != db::kNoNet);
   note_change(v, owner_[v], m);
+  update_color_field(v, owner_[v], mask_[v], owner_[v], m);
   mask_[v] = m;
 }
 
@@ -90,10 +130,12 @@ void RoutingGrid::release(VertexId v) {
   if (pin_vertex_[v]) {
     // Pin metal stays; only the wire color is undone.
     note_change(v, pin_owner_[v], kNoMask);
+    update_color_field(v, owner_[v], mask_[v], pin_owner_[v], kNoMask);
     owner_[v] = pin_owner_[v];
     mask_[v] = kNoMask;
   } else {
     note_change(v, db::kNoNet, kNoMask);
+    update_color_field(v, owner_[v], mask_[v], db::kNoNet, kNoMask);
     owner_[v] = db::kNoNet;
     mask_[v] = kNoMask;
   }

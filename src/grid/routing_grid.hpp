@@ -124,6 +124,28 @@ class RoutingGrid {
   template <typename Fn>  // Fn(VertexId u, db::NetId owner, Mask m)
   void for_each_colored_neighbor(VertexId v, db::NetId self, Fn&& fn) const;
 
+  // ---- precomputed congestion field -----------------------------------
+  /// Per-mask colored-vertex counts over the same Dcolor window the scan
+  /// above visits, EXCLUDING `v` itself but including every net: three
+  /// uint16 counters per vertex, maintained incrementally on every
+  /// commit/set_mask/release mask transition. A search for net N may use
+  /// these in place of the window scan exactly when colored_count(N) == 0
+  /// (then no counted vertex can belong to N) — which is always true in
+  /// the router flows, because rip-up clears masks and pins start
+  /// uncolored. Non-TPL layers hold zeros.
+  [[nodiscard]] const std::uint16_t* colored_neighbor_counts(VertexId v) const {
+    return &color_counts_[3 * static_cast<std::size_t>(v)];
+  }
+
+  /// Number of committed vertices of `net` currently carrying a mask —
+  /// the validity guard of the fast path above. Nets beyond the design
+  /// (tests commit synthetic ids) are tracked too.
+  [[nodiscard]] std::uint32_t colored_count(db::NetId net) const {
+    return net >= 0 && static_cast<std::size_t>(net) < colored_of_.size()
+               ? colored_of_[static_cast<std::size_t>(net)]
+               : 0;
+  }
+
   [[nodiscard]] const db::Design& design() const { return *design_; }
   [[nodiscard]] const db::Tech& tech() const { return design_->tech(); }
   [[nodiscard]] int dcolor() const { return dcolor_; }
@@ -161,7 +183,15 @@ class RoutingGrid {
   std::vector<std::uint8_t> pin_vertex_;  ///< vertex belongs to a pin shape
   std::vector<db::NetId> pin_owner_;      ///< pin net (survives release())
   std::vector<float> history_;
+  std::vector<std::uint16_t> color_counts_;  ///< 3 per vertex, see accessor
+  std::vector<std::uint32_t> colored_of_;    ///< per-net colored-vertex count
   std::vector<VertexId>* dirty_log_ = nullptr;  ///< change log, may be null
+
+  /// Fold one vertex's (owner, mask) transition into the congestion field
+  /// and the per-net colored counters. Must run before owner_/mask_ are
+  /// overwritten.
+  void update_color_field(VertexId v, db::NetId old_owner, Mask old_m,
+                          db::NetId new_owner, Mask new_m);
 
   void note_change(VertexId v, db::NetId new_owner, Mask new_mask) {
     if (dirty_log_ != nullptr && (owner_[v] != new_owner || mask_[v] != new_mask))

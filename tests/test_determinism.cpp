@@ -80,12 +80,12 @@ TEST_P(DeterminismSweep, DifferentSeedsDiffer) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismSweep, ::testing::Values(10, 20, 30));
 
-/// The batched parallel RRR executor pins a bar stronger than
+/// The speculative parallel RRR executor pins a bar stronger than
 /// run-to-run stability: for ANY worker count the serialized solution
 /// must be byte-identical to the serial reference path (rrr_threads = 1,
-/// full-rescan conflict detection). Batches only group nets whose
-/// inflated windows are pairwise disjoint and commit in ripped order, so
-/// thread scheduling must never be observable in the output.
+/// full-rescan conflict detection). Speculations commit in ripped order
+/// and any whose read footprint an earlier commit touched is redone
+/// serially, so thread scheduling must never be observable in the output.
 class ThreadSweepDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ThreadSweepDeterminism, AnyThreadCountMatchesSerialReference) {
@@ -138,25 +138,88 @@ TEST_P(BatchScheduleEquivalence, SpatialGridMatchesQuadraticOracle) {
       windows.push_back({x, y, x + w - 1, y + h - 1});
       if (rng.next_bool(0.1)) windows.push_back(windows.back());  // duplicate
     }
-    EXPECT_EQ(core::schedule_batches(windows),
-              core::schedule_batches_quadratic(windows))
-        << "seed " << GetParam() << " count " << count;
+    for (const int halo : {0, 2, 5}) {
+      EXPECT_EQ(core::schedule_batches(windows, halo),
+                core::schedule_batches_quadratic(windows, halo))
+          << "seed " << GetParam() << " count " << count << " halo " << halo;
+    }
   }
 }
 
 TEST_P(BatchScheduleEquivalence, MatchesOracleOnGeneratedCaseFootprints) {
-  // The real input shape: per-net search windows of a generated case,
-  // inflated by a halo, in routing order.
+  // The real input shape: per-net raw search windows of a generated case,
+  // in routing order, with the executor's one-sided interaction halo.
   const db::Design design = benchgen::generate(spec_of(GetParam()));
   std::vector<geom::Rect> windows;
   for (const auto& net : design.nets())
-    windows.push_back(net.bbox().inflated(8).intersected(design.die()));
-  EXPECT_EQ(core::schedule_batches(windows),
-            core::schedule_batches_quadratic(windows));
+    windows.push_back(net.bbox().inflated(6).intersected(design.die()));
+  for (const int halo : {0, 2, 5}) {
+    EXPECT_EQ(core::schedule_batches(windows, halo),
+              core::schedule_batches_quadratic(windows, halo))
+        << "halo " << halo;
+  }
+}
+
+TEST_P(BatchScheduleEquivalence, HaloParamMatchesPreInflatedGapBound) {
+  // Sanity on the Minkowski argument: inflating ONE side by h tests
+  // gap <= h, which must be at least as tight as the legacy both-sides
+  // inflation (gap <= 2h) — batch depths can only shrink.
+  util::Rng rng(GetParam() ^ 0xABCD);
+  std::vector<geom::Rect> windows;
+  for (int i = 0; i < 120; ++i) {
+    const int w = rng.next_int(2, 20), h = rng.next_int(2, 20);
+    const int x = rng.next_int(0, 120 - w), y = rng.next_int(0, 120 - h);
+    windows.push_back({x, y, x + w - 1, y + h - 1});
+  }
+  const int halo = 3;
+  std::vector<geom::Rect> legacy;
+  for (const auto& wdw : windows) legacy.push_back(wdw.inflated(halo));
+  const auto tight = core::schedule_batches_quadratic(windows, halo);
+  const auto loose = core::schedule_batches_quadratic(legacy);
+  for (size_t i = 0; i < windows.size(); ++i)
+    EXPECT_LE(tight[i], loose[i]) << "window " << i;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchScheduleEquivalence,
                          ::testing::Values(10, 20, 30));
+
+/// The determinism contract of the search hot path (README "Search hot
+/// path"): the bucket queue and the legacy heap implement the same
+/// (quantized key, push sequence) pop order, and the precomputed
+/// congestion field is an exact stand-in for the window scan — so ALL
+/// four engine combinations, at every thread count, must serialize
+/// byte-identically. This is what lets `bench_search_micro --compare`
+/// measure old-vs-new on guaranteed-equal outputs.
+class EngineEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineEquivalence, QueueAndCongestionEnginesAreByteIdentical) {
+  const db::Design design = benchgen::generate(spec_of(GetParam()));
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+  auto run_with = [&](bool bucket, bool field, int threads) {
+    grid::RoutingGrid grid(design);
+    core::RouterConfig cfg;
+    cfg.use_bucket_queue = bucket;
+    cfg.precomputed_congestion = field;
+    cfg.rrr_threads = threads;
+    core::MrTplRouter router(design, &guides, cfg);
+    const grid::Solution sol = router.run(grid);
+    return io::solution_to_string(grid, sol);
+  };
+  const std::string reference = run_with(false, false, 1);  // legacy engine
+  for (const bool bucket : {false, true}) {
+    for (const bool field : {false, true}) {
+      for (const int threads : {1, 2, 8}) {
+        if (!bucket && !field && threads == 1) continue;
+        EXPECT_EQ(run_with(bucket, field, threads), reference)
+            << "bucket " << bucket << " field " << field << " threads "
+            << threads << " seed " << GetParam();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineEquivalence, ::testing::Values(10, 20, 30));
 
 /// Every ablation toggle of RouterConfig, and every combination of the
 /// boolean ones, must leave the router fully deterministic: two

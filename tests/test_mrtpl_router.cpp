@@ -61,6 +61,35 @@ TEST(MrTplRouter, TwoCloseNetsGetDifferentMasksOrDistance) {
   test::expect_conflict_free(g);
 }
 
+TEST(MrTplRouter, ExtraMarginWidensThenResetsOnSuccess) {
+  // A labyrinth whose only opening lies far outside the net's bbox +
+  // search_margin: the RRR loop must double the net's extra margin until
+  // the window reaches the opening (y = 35, fifteen tracks from the
+  // bbox), route it — and then RETIRE the widening. Before the reset fix,
+  // extra_margin stuck at its peak forever, so every later rip of the net
+  // searched (and serialized against) a die-sized window.
+  db::Design d("wide", db::Tech::make_default(2, 3), {0, 0, 39, 39});
+  const db::NetId n = d.add_net("n");
+  db::Pin p;
+  p.layer = 0;
+  p.shapes = {{5, 20, 5, 20}};
+  d.add_pin(n, p);
+  p.shapes = {{8, 20, 8, 20}};
+  d.add_pin(n, p);
+  d.validate();
+  grid::RoutingGrid g(d);
+  // Full-height wall at x = 6..7 on both layers, opening only at y = 35.
+  for (int l = 0; l < 2; ++l)
+    for (int x = 6; x <= 7; ++x)
+      for (int y = 0; y <= 39; ++y)
+        if (y != 35) g.inject_blockage(g.vertex(l, x, y));
+  MrTplRouter router(d, nullptr, RouterConfig{});
+  const grid::Solution sol = router.run(g);
+  ASSERT_TRUE(sol.routes[0].routed) << "widening never reached the opening";
+  EXPECT_GT(router.stats().rrr_iterations, 0) << "first pass cannot succeed";
+  EXPECT_EQ(router.extra_margin(n), 0) << "widened window kept after success";
+}
+
 TEST(MrTplRouter, UnroutablePinReportsFailure) {
   db::Design d("u", db::Tech::make_default(2, 2), {0, 0, 15, 15});
   const db::NetId n = d.add_net("n");
