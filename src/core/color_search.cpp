@@ -78,6 +78,8 @@ void ColorSearch::begin_net(db::NetId net, const global::NetGuide* guide,
   arena_->ensure(grid_.num_vertices());
   arena_->begin_session();
   relaxations_ = 0;
+  next_budget_check_ = kBudgetCheckInterval;
+  interrupted_ = false;
 
   // Rasterize guide coverage over the window once: relaxations test one
   // bit instead of walking the guide's box list per step.
@@ -224,6 +226,17 @@ grid::VertexId ColorSearch::search() {
       static_cast<grid::VertexId>(nx) * static_cast<grid::VertexId>(grid_.size_y());
 
   while (!queue_empty()) {
+    // Cooperative cancellation: poll the deadline/cancel flag once per
+    // kBudgetCheckInterval relaxations. Relaxation *budgets* are not
+    // checked here — they stop between nets, on the main thread, so the
+    // cut point is thread-invariant (route_budget.hpp).
+    if (budget_ != nullptr && relaxations_ >= next_budget_check_) {
+      next_budget_check_ = relaxations_ + kBudgetCheckInterval;
+      if (budget_->interrupted()) {
+        interrupted_ = true;
+        return grid::kInvalidVertex;
+      }
+    }
     const QueueItem item = pop_item();
     const grid::VertexId v = item.v;
     if (a.stamp[v] != a.epoch || a.closed[v] || item.g > a.cost[v] + kEps) continue;

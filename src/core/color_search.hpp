@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/color_state.hpp"
+#include "core/route_budget.hpp"
 #include "core/router_config.hpp"
 #include "core/search_arena.hpp"
 #include "geom/rect.hpp"
@@ -56,8 +57,24 @@ class ColorSearch {
   void clear_targets_of_pin(int pin);
 
   /// Run the search loop until a target pops. Returns the destination
-  /// vertex, or kInvalidVertex when the queue drains (unroutable pin).
+  /// vertex, or kInvalidVertex when the queue drains (unroutable pin) OR
+  /// the attached budget interrupts — callers distinguish the two via
+  /// interrupted().
   [[nodiscard]] grid::VertexId search();
+
+  /// Attach (or detach, with nullptr) a budget tracker. The search polls
+  /// tracker->interrupted() every kBudgetCheckInterval relaxations —
+  /// coarse enough to cost nothing, fine enough that a deadline stops a
+  /// die-spanning search mid-net. The tracker must outlive the search.
+  void set_budget(const BudgetTracker* budget) { budget_ = budget; }
+
+  /// True when the last search() returned early because the budget
+  /// tripped (deadline/cancel — relaxation budgets only stop BETWEEN
+  /// nets, see route_budget.hpp). Reset by begin_net.
+  [[nodiscard]] bool interrupted() const { return interrupted_; }
+
+  /// How many relaxations pass between budget polls inside search().
+  static constexpr std::uint64_t kBudgetCheckInterval = 4096;
 
   /// Pin id that vertex `v` targets, or -1.
   [[nodiscard]] int target_pin(grid::VertexId v) const;
@@ -128,6 +145,9 @@ class ColorSearch {
   double min_step_cost_ = 1.0;
 
   std::uint64_t relaxations_ = 0;
+  const BudgetTracker* budget_ = nullptr;
+  std::uint64_t next_budget_check_ = kBudgetCheckInterval;
+  bool interrupted_ = false;
 };
 
 }  // namespace mrtpl::core

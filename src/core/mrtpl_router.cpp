@@ -7,6 +7,7 @@
 
 #include "core/batch_schedule.hpp"
 #include "core/conflict_index.hpp"
+#include "util/fault_injector.hpp"
 #include "util/logger.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -114,6 +115,18 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
   grid::NetRoute& route = outcome.route;
   route.net = net_id;
 
+  // Fault site kSearchFail: report the net unroutable without searching.
+  // Keyed by net id so the decision is independent of thread scheduling,
+  // and firing at most once per net so the RRR retry demonstrates
+  // recovery (the net routes on its next attempt).
+  if (util::FaultInjector::enabled() &&
+      util::FaultInjector::instance().should_fail(
+          util::FaultSite::kSearchFail, static_cast<std::uint64_t>(net_id))) {
+    util::warn("mrtpl", util::format("net %s: injected search failure",
+                                     net.name.c_str()));
+    return outcome;  // routed=false, disposition kFailed: RRR retries it
+  }
+
   // Pin access vertices.
   std::vector<std::vector<grid::VertexId>> pin_verts;
   pin_verts.reserve(net.pins.size());
@@ -146,8 +159,16 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
   while (remaining > 0) {
     const grid::VertexId dst = search.search();  // Algorithm 2
     if (dst == grid::kInvalidVertex) {
-      util::warn("mrtpl", util::format("net %s: %d pin(s) unreachable",
-                                       net.name.c_str(), remaining));
+      if (search.interrupted()) {
+        // Budget deadline/cancel tripped mid-search: not a routability
+        // verdict. The tree built so far still commits (consistent
+        // layout), marked partial for the degraded-run report.
+        route.disposition = grid::NetDisposition::kPartial;
+      } else {
+        util::warn("mrtpl", util::format("net %s: %d pin(s) unreachable",
+                                         net.name.c_str(), remaining));
+        route.disposition = grid::NetDisposition::kFailed;
+      }
       outcome.relaxations = search.relaxations();
       route.routed = false;
       // Keep the partial tree: choose colors for what exists so the
@@ -200,10 +221,25 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
 
   outcome.relaxations = search.relaxations();
   route.routed = true;
+  route.disposition = grid::NetDisposition::kRouted;
   choose_colors(grid, pool, net_id, route, outcome.colors);
   outcome.has_touched = search.anything_touched();
   outcome.touched = search.touched_bbox();
   return outcome;
+}
+
+MrTplRouter::RouteOutcome MrTplRouter::compute_route_guarded(
+    const grid::RoutingGrid& grid, ColorSearch& search, db::NetId net_id) const {
+  try {
+    return compute_route(grid, search, net_id);
+  } catch (const std::exception& e) {
+    util::warn("mrtpl",
+               util::format("net %s: routing threw (%s); marking failed",
+                            design_.net(net_id).name.c_str(), e.what()));
+    RouteOutcome outcome;
+    outcome.route.net = net_id;
+    return outcome;  // routed=false, kFailed — retried by a later iteration
+  }
 }
 
 grid::NetRoute MrTplRouter::route_net(grid::RoutingGrid& grid, ColorSearch& search,
@@ -374,13 +410,42 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
                              grid::Solution& solution) {
   util::Timer timer;
   const std::uint64_t pass_relax_base = stats_.relaxations;
+  // Budget skip: once the budget expires mid-pass, the remaining nets are
+  // marked kSkipped without committing anything. The decision reads the
+  // *applied* ledger on this thread, so for relaxation budgets it falls on
+  // the same net for every thread count.
+  auto mark_skipped = [&](db::NetId id) {
+    grid::NetRoute& r = solution.routes[static_cast<size_t>(id)];
+    r = grid::NetRoute{};
+    r.net = id;
+    r.disposition = grid::NetDisposition::kSkipped;
+  };
   if (pool == nullptr || nets.size() <= 1) {
-    for (const db::NetId id : nets)
-      solution.routes[static_cast<size_t>(id)] = route_net(grid, search, id);
+    for (const db::NetId id : nets) {
+      if (budget_.active() && budget_.expired(stats_.relaxations)) {
+        mark_skipped(id);
+        continue;
+      }
+      RouteOutcome outcome = compute_route_guarded(grid, search, id);
+      apply_outcome(grid, outcome);
+      set_last_colors(outcome);
+      solution.routes[static_cast<size_t>(id)] = std::move(outcome.route);
+    }
     if (!nets.empty()) {
       stats_.route_batches += 1;
       stats_.relaxations_per_pass.push_back(stats_.relaxations - pass_relax_base);
     }
+    stats_.reroute_s += timer.elapsed_s();
+    return;
+  }
+
+  // Already expired at pass start: skip the whole pass without paying for
+  // a speculative dispatch. Mirrors what the serial loop above does
+  // (every per-net check fires), so the pass accounting stays identical.
+  if (budget_.active() && budget_.expired(stats_.relaxations)) {
+    for (const db::NetId id : nets) mark_skipped(id);
+    stats_.route_batches += 1;
+    stats_.relaxations_per_pass.push_back(0);
     stats_.reroute_s += timer.elapsed_s();
     return;
   }
@@ -408,25 +473,41 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
   std::vector<RouteOutcome> outcomes(nets.size());
   // Workers only read the grid (compute_route is const) and nothing
   // commits until the dispatch drains, so the shared grid *is* the
-  // pass-start snapshot.
+  // pass-start snapshot. The guarded wrapper keeps a throwing worker
+  // (injected allocation failure) from leaving its slot empty — for_each
+  // would rethrow after the drain and the net would silently vanish.
   pool->for_each(nets.size(), [&](size_t k, int worker) {
-    outcomes[k] = compute_route(grid, *worker_searches[static_cast<size_t>(worker)],
-                                nets[k]);
+    outcomes[k] = compute_route_guarded(
+        grid, *worker_searches[static_cast<size_t>(worker)], nets[k]);
   });
 
   std::vector<geom::Rect> commit_box(nets.size());
   std::vector<char> commit_live(nets.size(), 0);
+  size_t last_applied = nets.size();  // sentinel: nothing applied yet
   for (size_t k = 0; k < nets.size(); ++k) {
+    if (budget_.active() && budget_.expired(stats_.relaxations)) {
+      stats_.wasted_relaxations += outcomes[k].relaxations;
+      mark_skipped(nets[k]);
+      continue;
+    }
     bool stale = false;
     if (batch_of[k] > 0 && outcomes[k].has_touched) {
       const geom::Rect read = outcomes[k].touched.inflated(halo);
       for (size_t j = 0; j < k && !stale; ++j)
         stale = commit_live[j] != 0 && commit_box[j].overlaps(read);
     }
+    // Fault site kSpecInvalidate: pretend validation failed, forcing the
+    // serial redo. The redo recomputes against the exact serial-prefix
+    // state, so routing output is unchanged — the site exercises the
+    // redo path, it does not perturb results.
+    if (util::FaultInjector::enabled() &&
+        util::FaultInjector::instance().should_fail(
+            util::FaultSite::kSpecInvalidate))
+      stale = true;
     if (stale) {
       ++stats_.respeculated;
       stats_.wasted_relaxations += outcomes[k].relaxations;
-      outcomes[k] = compute_route(grid, search, nets[k]);
+      outcomes[k] = compute_route_guarded(grid, search, nets[k]);
     }
     // Record the applied commit's actual write bbox (tighter than the
     // search window) for the validation of later nets.
@@ -443,29 +524,40 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
       }
     }
     apply_outcome(grid, outcomes[k]);
-    // last_colors() tracks the final net of `nets`, same as the serial
-    // loop, so the accessor stays thread-count-independent.
-    if (k == nets.size() - 1) set_last_colors(outcomes[k]);
+    last_applied = k;
     solution.routes[static_cast<size_t>(nets[k])] = std::move(outcomes[k].route);
   }
+  // last_colors() tracks the final *applied* net of `nets`, same as the
+  // serial loop, so the accessor stays thread-count-independent. (colors
+  // survive the route move above.)
+  if (last_applied != nets.size()) set_last_colors(outcomes[last_applied]);
   stats_.route_batches += 1;
   stats_.relaxations_per_pass.push_back(stats_.relaxations - pass_relax_base);
   stats_.reroute_s += timer.elapsed_s();
 }
 
 grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
+  return run(grid, RouteBudget{}, nullptr);
+}
+
+grid::Solution MrTplRouter::run(grid::RoutingGrid& grid, const RouteBudget& budget,
+                                RouterCheckpoint* checkpoint) {
   util::Timer timer;
   stats_ = RouterStats{};
+  budget_.arm(budget);
   extra_margin_.assign(static_cast<size_t>(design_.num_nets()), 0);
   grid::Solution solution;
   solution.routes.resize(static_cast<size_t>(design_.num_nets()));
 
   ColorSearch search(grid, config_);
+  if (budget_.active()) search.set_budget(&budget_);
   const auto order = net_order();
 
   // Incremental conflict engine: subscribes to the grid's dirty log so
   // each detection pass costs O(rip delta × window), not O(die). The
-  // full-rescan oracle remains behind the toggle.
+  // full-rescan oracle remains behind the toggle. Constructed before any
+  // commit (including a checkpoint restore below) so its log sees every
+  // change since the empty grid.
   std::unique_ptr<ConflictIndex> index;
   if (config_.incremental_conflicts) index = std::make_unique<ConflictIndex>(grid);
   auto detect = [&] {
@@ -490,11 +582,9 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
       worker_arenas.push_back(std::make_unique<SearchArena>());
       worker_searches.push_back(
           std::make_unique<ColorSearch>(grid, config_, *worker_arenas.back()));
+      if (budget_.active()) worker_searches.back()->set_budget(&budget_);
     }
   }
-
-  // Fig. 2 middle column: route every net once.
-  route_list(grid, search, pool.get(), worker_searches, order, solution);
 
   auto current_score = [&](const std::vector<Conflict>& conflicts) {
     int failed = 0;
@@ -505,11 +595,76 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
   };
   LayoutSnapshot best;
 
+  // Clean-boundary checkpointing. A boundary is captured only while the
+  // budget has NOT tripped — every captured state is one an uninterrupted
+  // run also passes through, which is what makes resume-then-finish
+  // byte-identical to never-interrupted (test_snapshot_restore). Tripping
+  // mid-pass leaves skipped nets in `solution`, so the latch check also
+  // keeps those states out of checkpoints.
+  RouterCheckpoint pending;
+  bool have_pending = false;
+  auto capture_boundary = [&](int next_iter) {
+    if (checkpoint == nullptr || budget_.tripped()) return;
+    pending.valid = true;
+    pending.iteration = next_iter;
+    pending.solution = solution;
+    pending.masks.clear();
+    pending.masks.reserve(solution.routes.size());
+    for (const auto& route : solution.routes) {
+      std::vector<grid::Mask> route_masks;
+      for (const grid::VertexId v : route.vertices())
+        route_masks.push_back(grid.mask(v));
+      pending.masks.push_back(std::move(route_masks));
+    }
+    pending.history.resize(grid.num_vertices());
+    for (grid::VertexId v = 0; v < grid.num_vertices(); ++v)
+      pending.history[v] = static_cast<float>(grid.history(v));
+    pending.extra_margin = extra_margin_;
+    pending.conflicts_per_iter = stats_.conflicts_per_iter;
+    pending.best_solution = best.solution;
+    pending.best_masks = best.masks;
+    pending.best_score = best.score;
+    have_pending = true;
+  };
+
+  int start_iter = 0;
+  if (checkpoint != nullptr && checkpoint->valid) {
+    // Resume: replay the checkpoint into the fresh grid. commit_route
+    // rebuilds owners/masks/congestion counts; history is restored
+    // directly; the conflict index (subscribed above) absorbs the commits
+    // through the dirty log like any route pass.
+    solution = checkpoint->solution;
+    for (size_t i = 0; i < solution.routes.size(); ++i)
+      grid::commit_route(grid, solution.routes[i], checkpoint->masks[i]);
+    for (grid::VertexId v = 0;
+         v < std::min<std::size_t>(checkpoint->history.size(), grid.num_vertices());
+         ++v)
+      if (checkpoint->history[v] != 0.0f) grid.add_history(v, checkpoint->history[v]);
+    extra_margin_ = checkpoint->extra_margin;
+    extra_margin_.resize(static_cast<size_t>(design_.num_nets()), 0);
+    stats_.conflicts_per_iter = checkpoint->conflicts_per_iter;
+    if (!checkpoint->best_masks.empty()) {
+      best.solution = checkpoint->best_solution;
+      best.masks = checkpoint->best_masks;
+      best.score = checkpoint->best_score;
+    }
+    start_iter = checkpoint->iteration;
+    // Re-capture the restored state: if this run is interrupted again
+    // before reaching a new boundary, the written-back checkpoint equals
+    // the one we resumed from instead of invalidating it.
+    capture_boundary(start_iter);
+  } else {
+    // Fig. 2 middle column: route every net once.
+    route_list(grid, search, pool.get(), worker_searches, order, solution);
+    capture_boundary(0);
+  }
+
   // Fig. 2 left column: conflict detection + rip-up & reroute with
   // history cost, bounded by max iterations. Blockage failures (a pin
   // walled in by earlier nets) are handled the same way: the blockers in
   // the failed net's window are ripped and the failed net retries first.
-  for (int iter = 0; iter < config_.max_rrr_iterations; ++iter) {
+  for (int iter = start_iter; iter < config_.max_rrr_iterations; ++iter) {
+    if (budget_.active() && budget_.expired(stats_.relaxations)) break;
     const auto conflicts = detect();
     stats_.conflicts_per_iter.push_back(static_cast<int>(conflicts.size()));
     if (const double score = current_score(conflicts); score < best.score)
@@ -570,6 +725,7 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
     for (const db::NetId id : ripped)
       if (solution.routes[static_cast<size_t>(id)].routed)
         extra_margin_[static_cast<size_t>(id)] = 0;
+    capture_boundary(iter + 1);
   }
   // Score the state the loop ended on (the per-iteration scoring above
   // sees each state *before* its reroute, so the last reroute's result is
@@ -584,6 +740,27 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid) {
   if (!best.masks.empty()) {
     best.restore(grid, solution);
     solution = best.solution;
+  }
+
+  // Degraded status AFTER the best-restore: the returned routes are the
+  // best iterate, and their dispositions describe exactly that iterate
+  // (an earlier, fully-routed iterate legitimately carries no partial or
+  // skipped markers even on a degraded run).
+  const bool degraded = budget_.active() && budget_.tripped();
+  if (degraded) {
+    solution.status = grid::SolutionStatus::kDegraded;
+    stats_.budget_hit = true;
+    util::warn("mrtpl",
+               util::format("budget expired: stopping after %d RRR iteration(s) "
+                            "(%d partial, %d skipped net(s) in returned iterate)",
+                            stats_.rrr_iterations, solution.num_partial(),
+                            solution.num_skipped()));
+  }
+  if (checkpoint != nullptr) {
+    if (degraded && have_pending)
+      *checkpoint = std::move(pending);
+    else
+      checkpoint->valid = false;  // run completed, or no clean boundary reached
   }
 
   for (const auto& r : solution.routes)

@@ -10,6 +10,7 @@
 
 #include "core/color_search.hpp"
 #include "core/conflict.hpp"
+#include "core/route_budget.hpp"
 #include "core/router_config.hpp"
 #include "core/segset.hpp"
 #include "global/guide.hpp"
@@ -38,6 +39,31 @@ struct RouterStats {
   std::vector<std::uint64_t> relaxations_per_pass;
   int respeculated = 0;               ///< speculations redone serially
   std::uint64_t wasted_relaxations = 0;  ///< search effort of those discards
+
+  /// A RouteBudget bound tripped and stopped the run early; the returned
+  /// solution carries SolutionStatus::kDegraded.
+  bool budget_hit = false;
+};
+
+/// Resumable router state at an RRR iteration boundary, produced by
+/// `run(grid, budget, &checkpoint)` when a budget stops the run, and
+/// consumed by a later run() call on a FRESH grid of the same design.
+/// Checkpoints are only taken at *clean* boundaries — states an
+/// uninterrupted run also passes through — so resuming with a fresh
+/// (or unlimited) budget reproduces the uninterrupted run's final
+/// solution byte-for-byte (pinned by test_snapshot_restore).
+struct RouterCheckpoint {
+  bool valid = false;
+  int iteration = 0;  ///< next RRR iteration to execute (0 = initial pass done)
+  grid::Solution solution;                      ///< committed layout
+  std::vector<std::vector<grid::Mask>> masks;   ///< parallel to routes[i].vertices()
+  std::vector<float> history;                   ///< per-vertex history cost
+  std::vector<int> extra_margin;                ///< per-net widened windows
+  std::vector<int> conflicts_per_iter;          ///< stats continuity
+  /// Best iterate seen so far (the run's final keep-best restore point).
+  grid::Solution best_solution;
+  std::vector<std::vector<grid::Mask>> best_masks;
+  double best_score = 0.0;  ///< meaningful only when best_masks nonempty
 };
 
 /// Mr.TPL router. Construct once per design; `run` routes every net into
@@ -52,6 +78,18 @@ class MrTplRouter {
   /// Route all nets with rip-up & reroute. The grid must be freshly built
   /// from the same design.
   grid::Solution run(grid::RoutingGrid& grid);
+
+  /// Budgeted run (route_budget.hpp). With an exhausted budget the run
+  /// stops ripping, keeps the best iterate it reached, and returns a
+  /// kDegraded solution with per-net dispositions; with `budget` unlimited
+  /// the output is byte-identical to run(grid). When `checkpoint` is
+  /// non-null: if checkpoint->valid, the run RESUMES from it (the grid
+  /// must be freshly built — the checkpoint's layout is committed into
+  /// it); on a budget stop, the last clean iteration boundary is written
+  /// back into *checkpoint (valid=false when the run completed or never
+  /// reached a clean boundary).
+  grid::Solution run(grid::RoutingGrid& grid, const RouteBudget& budget,
+                     RouterCheckpoint* checkpoint = nullptr);
 
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
 
@@ -93,6 +131,15 @@ class MrTplRouter {
     geom::Rect touched;
     bool has_touched = false;
   };
+
+  /// compute_route with every exception (injected allocation failures,
+  /// unexpected search errors) converted into a failed outcome — the
+  /// recovery contract of the RRR loop: a net that cannot compute is
+  /// marked failed and retried on a later iteration instead of killing
+  /// the run. Safe because compute_route never mutates the grid.
+  [[nodiscard]] RouteOutcome compute_route_guarded(const grid::RoutingGrid& grid,
+                                                   ColorSearch& search,
+                                                   db::NetId net_id) const;
 
   /// Net routing order: short, low-degree nets first.
   [[nodiscard]] std::vector<db::NetId> net_order() const;
@@ -149,6 +196,11 @@ class MrTplRouter {
   RouterConfig config_;
   RouterStats stats_;
   std::vector<std::pair<grid::VertexId, grid::Mask>> last_colors_;
+
+  /// Armed budget of the current run (inactive when run(grid) was called
+  /// without one). route_list consults it at per-net commit points; the
+  /// ColorSearch instances poll it mid-search for deadline/cancel.
+  BudgetTracker budget_;
 
   /// Extra search margin per net, beyond config_.search_margin. Starts at
   /// zero, doubles every RRR iteration a net fails to route — the escape

@@ -2,6 +2,9 @@
 
 #include <bit>
 #include <cassert>
+#include <new>
+
+#include "util/fault_injector.hpp"
 
 namespace mrtpl::core {
 
@@ -77,6 +80,12 @@ QueueItem BucketQueue::pop() {
 }
 
 void SearchArena::ensure(std::uint32_t num_vertices) {
+  // Fault site kArenaGrow: simulate label-array allocation failure. The
+  // check runs on every ensure call (not only growing ones) so the site
+  // can fire mid-run; callers recover by marking the net failed.
+  if (util::FaultInjector::enabled() &&
+      util::FaultInjector::instance().should_fail(util::FaultSite::kArenaGrow))
+    throw std::bad_alloc();
   if (cost.size() >= num_vertices) return;
   cost.resize(num_vertices);
   prev.resize(num_vertices);

@@ -1,0 +1,147 @@
+#include "fuzz/mutate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mrtpl::fuzz {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+benchgen::CaseSpec mutate_spec(const benchgen::CaseSpec& base, util::Rng& rng) {
+  benchgen::CaseSpec spec = base;
+  spec.seed = rng.next_u64();
+  spec.name = base.name + "_fuzz";
+  const int num_mutations = rng.next_int(1, 3);
+  for (int m = 0; m < num_mutations; ++m) {
+    switch (rng.next_below(12)) {
+      case 0: spec.width = rng.next_int(-1, 48); break;
+      case 1: spec.height = rng.next_int(-1, 48); break;
+      case 2: spec.num_layers = rng.next_int(0, 6); break;
+      case 3: spec.tpl_layers = rng.next_int(0, spec.num_layers + 1); break;
+      case 4: spec.dcolor = rng.next_int(0, 4); break;
+      case 5: spec.num_nets = rng.next_int(0, 40); break;
+      case 6:
+        spec.min_pins = rng.next_int(0, 4);
+        spec.max_pins = rng.next_int(spec.min_pins, spec.min_pins + 4);
+        break;
+      case 7: spec.num_macros = rng.next_int(0, 6); break;
+      case 8: spec.maze_walls = rng.next_int(0, 3); break;
+      case 9: spec.track_pitch = rng.next_int(0, 3); break;
+      case 10: spec.num_masks = rng.next_int(1, benchgen::kMaxMasks + 1); break;
+      case 11: spec.pin_keepout = rng.next_int(0, 4); break;
+      default: break;
+    }
+  }
+  // Keep valid specs fast: the point of a fuzz case is coverage, not load.
+  spec.width = std::min(spec.width, 48);
+  spec.height = std::min(spec.height, 48);
+  spec.num_nets = std::min(spec.num_nets, 40);
+  return spec;
+}
+
+std::string mutate_text(const std::string& text, util::Rng& rng) {
+  if (text.empty()) return text;
+  switch (rng.next_below(6)) {
+    case 0: {  // truncate
+      const size_t cut = rng.next_below(static_cast<std::uint32_t>(text.size()));
+      return text.substr(0, cut);
+    }
+    case 1: {  // bit flip
+      std::string out = text;
+      const size_t pos = rng.next_below(static_cast<std::uint32_t>(out.size()));
+      out[pos] = static_cast<char>(out[pos] ^ (1 << rng.next_below(7)));
+      return out;
+    }
+    case 2: {  // duplicate a line
+      auto lines = split_lines(text);
+      if (lines.empty()) return text;
+      const size_t i = rng.next_below(static_cast<std::uint32_t>(lines.size()));
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i), lines[i]);
+      return join_lines(lines);
+    }
+    case 3: {  // delete a line
+      auto lines = split_lines(text);
+      if (lines.empty()) return text;
+      const size_t i = rng.next_below(static_cast<std::uint32_t>(lines.size()));
+      lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(i));
+      return join_lines(lines);
+    }
+    case 4: {  // replace one whitespace-delimited token with junk
+      auto lines = split_lines(text);
+      if (lines.empty()) return text;
+      const size_t i = rng.next_below(static_cast<std::uint32_t>(lines.size()));
+      std::istringstream is(lines[i]);
+      std::vector<std::string> tokens;
+      std::string tok;
+      while (is >> tok) tokens.push_back(tok);
+      if (tokens.empty()) return text;
+      static const char* kJunk[] = {"-999999999", "nan", "x", "4294967296",
+                                    "", "0x1f", "1e308"};
+      tokens[rng.next_below(static_cast<std::uint32_t>(tokens.size()))] =
+          kJunk[rng.next_below(7)];
+      std::string rebuilt;
+      for (size_t t = 0; t < tokens.size(); ++t) {
+        if (t > 0) rebuilt += ' ';
+        rebuilt += tokens[t];
+      }
+      lines[i] = rebuilt;
+      return join_lines(lines);
+    }
+    default: {  // insert a blank / garbage line
+      auto lines = split_lines(text);
+      const size_t i =
+          lines.empty() ? 0
+                        : rng.next_below(static_cast<std::uint32_t>(lines.size() + 1));
+      lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(i),
+                   rng.next_bool(0.5) ? "" : "garbage line 1 2 3");
+      return join_lines(lines);
+    }
+  }
+}
+
+std::vector<std::string> shrink_candidates(const std::string& text) {
+  const auto lines = split_lines(text);
+  std::vector<std::string> candidates;
+  if (lines.size() <= 1) return candidates;
+  // Halves, then quarters: remove a contiguous chunk of lines.
+  for (const size_t chunk : {lines.size() / 2, lines.size() / 4}) {
+    if (chunk == 0) continue;
+    for (size_t start = 0; start + chunk <= lines.size(); start += chunk) {
+      std::vector<std::string> reduced;
+      reduced.reserve(lines.size() - chunk);
+      for (size_t i = 0; i < lines.size(); ++i)
+        if (i < start || i >= start + chunk) reduced.push_back(lines[i]);
+      candidates.push_back(join_lines(reduced));
+    }
+  }
+  // Single-line removals (bounded so shrinking huge inputs stays cheap).
+  const size_t max_single = std::min<size_t>(lines.size(), 64);
+  for (size_t i = 0; i < max_single; ++i) {
+    std::vector<std::string> reduced;
+    reduced.reserve(lines.size() - 1);
+    for (size_t j = 0; j < lines.size(); ++j)
+      if (j != i) reduced.push_back(lines[j]);
+    candidates.push_back(join_lines(reduced));
+  }
+  return candidates;
+}
+
+}  // namespace mrtpl::fuzz

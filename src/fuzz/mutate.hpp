@@ -1,0 +1,43 @@
+#pragma once
+/// \file mutate.hpp
+/// Structure-aware mutation for the differential fuzzer. Two input
+/// domains, two mutators:
+///
+///  * mutate_spec — perturbs a benchgen::CaseSpec within (and
+///    occasionally just past) its valid parameter envelope. Invalid specs
+///    are a *feature*: CaseSpec::validation_error must reject them before
+///    the generator runs, and the fuzzer checks that it does.
+///  * mutate_text — byte/line-level corruption of a serialized design
+///    file (truncation, bit flips, line duplication/deletion, token
+///    swaps). Drives the parse-robustness oracle: read_design must either
+///    accept the result or throw io::ParseError — never crash, never
+///    throw anything else.
+///
+/// Both mutators are pure functions of (input, rng) so a fuzz run is
+/// reproducible from its seed alone.
+
+#include <string>
+#include <vector>
+
+#include "benchgen/case_spec.hpp"
+#include "util/rng.hpp"
+
+namespace mrtpl::fuzz {
+
+/// Randomly perturb 1–3 knobs of `base`. Stays small: die dimensions and
+/// net counts are clamped so one fuzz case routes in well under a second.
+[[nodiscard]] benchgen::CaseSpec mutate_spec(const benchgen::CaseSpec& base,
+                                             util::Rng& rng);
+
+/// Corrupt serialized text with one of: truncation, bit flip, line
+/// duplication, line deletion, token replacement, blank-line insertion.
+[[nodiscard]] std::string mutate_text(const std::string& text, util::Rng& rng);
+
+/// Shrinking: candidate reductions of a failing text input, largest cut
+/// first (drop half the lines, then quarters, then single lines). The
+/// caller keeps any candidate that still reproduces the failure and
+/// recurses; the loop terminates because every candidate is strictly
+/// shorter in lines.
+[[nodiscard]] std::vector<std::string> shrink_candidates(const std::string& text);
+
+}  // namespace mrtpl::fuzz

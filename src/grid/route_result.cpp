@@ -37,6 +37,30 @@ int Solution::num_failed() const {
   return static_cast<int>(routes.size()) - num_routed();
 }
 
+int Solution::num_partial() const {
+  int n = 0;
+  for (const auto& r : routes)
+    if (r.disposition == NetDisposition::kPartial) ++n;
+  return n;
+}
+
+int Solution::num_skipped() const {
+  int n = 0;
+  for (const auto& r : routes)
+    if (r.disposition == NetDisposition::kSkipped) ++n;
+  return n;
+}
+
+const char* to_string(NetDisposition d) {
+  switch (d) {
+    case NetDisposition::kRouted: return "routed";
+    case NetDisposition::kFailed: return "failed";
+    case NetDisposition::kPartial: return "partial";
+    case NetDisposition::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
 void commit_route(RoutingGrid& grid, const NetRoute& route,
                   const std::vector<Mask>& masks) {
   const auto verts = route.vertices();

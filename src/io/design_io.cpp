@@ -1,24 +1,23 @@
 #include "io/design_io.hpp"
 
 #include <fstream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 
-#include "util/strings.hpp"
+#include "io/parse_error.hpp"
+#include "util/fault_injector.hpp"
 
 namespace mrtpl::io {
 
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error(util::format("design_io: line %d: %s", line, what.c_str()));
-}
-
 /// Tokenizing line reader with 1-based line numbers for error messages.
 class LineReader {
  public:
-  explicit LineReader(std::istream& is) : is_(is) {}
+  LineReader(std::istream& is, std::string source)
+      : is_(is), source_(std::move(source)) {}
 
   /// Next non-empty, non-comment line split into tokens; false at EOF.
   bool next(std::vector<std::string>& tokens) {
@@ -38,9 +37,20 @@ class LineReader {
   }
 
   [[nodiscard]] int line_no() const { return line_no_; }
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+  /// Structural error on the current line: no offending token.
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw ParseError(source_, line_no_, "", reason);
+  }
+  [[noreturn]] void fail_token(const std::string& token,
+                               const std::string& reason) const {
+    throw ParseError(source_, line_no_, token, reason);
+  }
 
  private:
   std::istream& is_;
+  std::string source_;
   int line_no_ = 0;
 };
 
@@ -51,7 +61,7 @@ int to_int(const LineReader& r, const std::string& tok) {
     if (pos != tok.size()) throw std::invalid_argument(tok);
     return v;
   } catch (const std::exception&) {
-    fail(r.line_no(), "expected integer, got '" + tok + "'");
+    r.fail_token(tok, "expected integer");
   }
 }
 
@@ -62,7 +72,7 @@ double to_double(const LineReader& r, const std::string& tok) {
     if (pos != tok.size()) throw std::invalid_argument(tok);
     return v;
   } catch (const std::exception&) {
-    fail(r.line_no(), "expected number, got '" + tok + "'");
+    r.fail_token(tok, "expected number");
   }
 }
 
@@ -120,47 +130,47 @@ std::string design_to_string(const db::Design& design) {
   return ss.str();
 }
 
-db::Design read_design(std::istream& is) {
-  LineReader reader(is);
+db::Design read_design(std::istream& is, const std::string& source) {
+  LineReader reader(is, source);
   std::vector<std::string> t;
 
   if (!reader.next(t) || t.size() != 2 || t[0] != "mrtpl-design")
-    fail(reader.line_no(), "missing 'mrtpl-design <version>' header");
-  if (to_int(reader, t[1]) != 1) fail(reader.line_no(), "unsupported version");
+    reader.fail("missing 'mrtpl-design <version>' header");
+  if (to_int(reader, t[1]) != 1) reader.fail("unsupported version");
 
   if (!reader.next(t) || t[0] != "name" || t.size() != 2)
-    fail(reader.line_no(), "expected 'name <string>'");
+    reader.fail("expected 'name <string>'");
   const std::string name = t[1];
 
   if (!reader.next(t) || t[0] != "die" || t.size() != 5)
-    fail(reader.line_no(), "expected 'die x0 y0 x1 y1'");
+    reader.fail("expected 'die x0 y0 x1 y1'");
   const geom::Rect die{to_int(reader, t[1]), to_int(reader, t[2]),
                        to_int(reader, t[3]), to_int(reader, t[4])};
 
   if (!reader.next(t) || t[0] != "layers" || t.size() != 2)
-    fail(reader.line_no(), "expected 'layers <n>'");
+    reader.fail("expected 'layers <n>'");
   const int num_layers = to_int(reader, t[1]);
-  if (num_layers < 1 || num_layers > 32) fail(reader.line_no(), "bad layer count");
+  if (num_layers < 1 || num_layers > 32) reader.fail("bad layer count");
 
   std::vector<db::Layer> layers(static_cast<size_t>(num_layers));
   for (int i = 0; i < num_layers; ++i) {
     if (!reader.next(t) || t[0] != "layer" || t.size() != 5)
-      fail(reader.line_no(), "expected 'layer idx H|V tpl name'");
+      reader.fail("expected 'layer idx H|V tpl name'");
     const int idx = to_int(reader, t[1]);
-    if (idx != i) fail(reader.line_no(), "layers out of order");
+    if (idx != i) reader.fail("layers out of order");
     db::Layer& layer = layers[static_cast<size_t>(i)];
     if (t[2] == "H")
       layer.dir = db::LayerDir::Horizontal;
     else if (t[2] == "V")
       layer.dir = db::LayerDir::Vertical;
     else
-      fail(reader.line_no(), "layer direction must be H or V");
+      reader.fail("layer direction must be H or V");
     layer.tpl = to_int(reader, t[3]) != 0;
     layer.name = t[4];
   }
 
   if (!reader.next(t) || t[0] != "rules" || t.size() != 12)
-    fail(reader.line_no(), "expected 'rules <11 numbers>'");
+    reader.fail("expected 'rules <11 numbers>'");
   db::TechRules rules;
   rules.dcolor = to_int(reader, t[1]);
   rules.num_masks = to_int(reader, t[2]);
@@ -174,7 +184,15 @@ db::Design read_design(std::istream& is) {
   rules.occupied_cost = to_double(reader, t[10]);
   rules.history_increment = to_double(reader, t[11]);
 
-  db::Design design(name, db::Tech(std::move(layers), rules), die);
+  // The Design constructor rejects degenerate die rects with a bare
+  // std::invalid_argument; surface it as a parse error of the die line.
+  std::optional<db::Design> maybe_design;
+  try {
+    maybe_design.emplace(name, db::Tech(std::move(layers), rules), die);
+  } catch (const std::exception& e) {
+    reader.fail(std::string("invalid design header: ") + e.what());
+  }
+  db::Design& design = *maybe_design;
 
   db::NetId current_net = db::kNoNet;
   int pins_expected = 0;
@@ -185,26 +203,26 @@ db::Design read_design(std::istream& is) {
       break;
     }
     if (t[0] == "obstacle") {
-      if (t.size() != 6) fail(reader.line_no(), "expected 'obstacle layer x0 y0 x1 y1'");
+      if (t.size() != 6) reader.fail("expected 'obstacle layer x0 y0 x1 y1'");
       design.add_obstacle({to_int(reader, t[1]),
                            {to_int(reader, t[2]), to_int(reader, t[3]),
                             to_int(reader, t[4]), to_int(reader, t[5])}});
     } else if (t[0] == "net") {
-      if (t.size() != 3) fail(reader.line_no(), "expected 'net name num_pins'");
+      if (t.size() != 3) reader.fail("expected 'net name num_pins'");
       if (current_net != db::kNoNet && pins_expected != 0)
-        fail(reader.line_no(), "previous net is missing pins");
+        reader.fail("previous net is missing pins");
       current_net = design.add_net(t[1]);
       pins_expected = to_int(reader, t[2]);
     } else if (t[0] == "pin") {
-      if (current_net == db::kNoNet) fail(reader.line_no(), "pin before any net");
-      if (pins_expected <= 0) fail(reader.line_no(), "more pins than declared");
-      if (t.size() < 4) fail(reader.line_no(), "expected 'pin name layer n shapes...'");
+      if (current_net == db::kNoNet) reader.fail("pin before any net");
+      if (pins_expected <= 0) reader.fail("more pins than declared");
+      if (t.size() < 4) reader.fail("expected 'pin name layer n shapes...'");
       db::Pin pin;
       pin.name = t[1];
       pin.layer = to_int(reader, t[2]);
       const int num_shapes = to_int(reader, t[3]);
       if (static_cast<int>(t.size()) != 4 + 4 * num_shapes)
-        fail(reader.line_no(), "shape token count mismatch");
+        reader.fail("shape token count mismatch");
       for (int s = 0; s < num_shapes; ++s) {
         const size_t base = 4 + 4 * static_cast<size_t>(s);
         pin.shapes.push_back({to_int(reader, t[base]), to_int(reader, t[base + 1]),
@@ -213,18 +231,25 @@ db::Design read_design(std::istream& is) {
       design.add_pin(current_net, std::move(pin));
       --pins_expected;
     } else {
-      fail(reader.line_no(), "unknown directive '" + t[0] + "'");
+      reader.fail("unknown directive '" + t[0] + "'");
     }
   }
-  if (!ended) fail(reader.line_no(), "missing 'end'");
-  if (pins_expected != 0) fail(reader.line_no(), "last net is missing pins");
-  design.validate();
-  return design;
+  if (!ended) reader.fail("missing 'end'");
+  if (pins_expected != 0) reader.fail("last net is missing pins");
+  // Semantic validation (pins on real layers, shapes inside the die, ...)
+  // throws bare std::invalid_argument; malformed *input* must always
+  // surface as ParseError, so wrap it with the source attached.
+  try {
+    design.validate();
+  } catch (const std::exception& e) {
+    throw ParseError(source, 0, "", std::string("invalid design: ") + e.what());
+  }
+  return std::move(design);
 }
 
 db::Design design_from_string(const std::string& text) {
   std::istringstream ss(text);
-  return read_design(ss);
+  return read_design(ss, "<string>");
 }
 
 void save_design(const std::string& path, const db::Design& design) {
@@ -236,8 +261,15 @@ void save_design(const std::string& path, const db::Design& design) {
 
 db::Design load_design(const std::string& path) {
   std::ifstream is(path);
-  if (!is) throw std::runtime_error("design_io: cannot open " + path);
-  return read_design(is);
+  if (!is) throw ParseError(path, 0, "", "cannot open file");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  std::string text = buffer.str();
+  // Fault sites kIoTruncate / kIoBitFlip corrupt the stream between read
+  // and parse, exercising the ParseError path end to end.
+  util::FaultInjector::maybe_corrupt_io(text);
+  std::istringstream ss(text);
+  return read_design(ss, path);
 }
 
 }  // namespace mrtpl::io

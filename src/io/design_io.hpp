@@ -29,13 +29,18 @@ namespace mrtpl::io {
 void write_design(std::ostream& os, const db::Design& design);
 std::string design_to_string(const db::Design& design);
 
-/// Parse a design written by write_design. Throws std::runtime_error with
-/// a line-numbered message on malformed input; the returned design passes
+/// Parse a design written by write_design. Throws io::ParseError
+/// (parse_error.hpp: source/line/token/reason) on malformed input —
+/// including semantic validation failures — and never lets a bare
+/// std::invalid_argument escape from numeric token parsing. `source`
+/// names the input in error messages. The returned design passes
 /// validate().
-db::Design read_design(std::istream& is);
+db::Design read_design(std::istream& is, const std::string& source = "<stream>");
 db::Design design_from_string(const std::string& text);
 
-/// Convenience file wrappers. Throw std::runtime_error on I/O failure.
+/// Convenience file wrappers. load_design throws io::ParseError (with the
+/// path as source) on open failure or malformed content; save_design
+/// throws std::runtime_error on I/O failure.
 void save_design(const std::string& path, const db::Design& design);
 db::Design load_design(const std::string& path);
 

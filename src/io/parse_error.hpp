@@ -1,0 +1,50 @@
+#pragma once
+/// \file parse_error.hpp
+/// Structured parse failure of the text readers (design_io, solution_io).
+/// Derives std::runtime_error so existing catch sites keep working, but
+/// carries the source name, 1-based line, offending token and reason as
+/// separate fields — the CLI maps it to a dedicated exit code and the
+/// fuzzer's parse oracle requires malformed input to land HERE rather
+/// than in a bare std::invalid_argument escaping from std::stoi.
+
+#include <stdexcept>
+#include <string>
+
+namespace mrtpl::io {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string source, int line, std::string token, std::string reason)
+      : std::runtime_error(format_message(source, line, token, reason)),
+        source_(std::move(source)),
+        line_(line),
+        token_(std::move(token)),
+        reason_(std::move(reason)) {}
+
+  /// File path, or "<string>" / "<stream>" for in-memory parses.
+  [[nodiscard]] const std::string& source() const { return source_; }
+  /// 1-based line of the offending directive; 0 when not line-addressable
+  /// (e.g. the file could not be opened at all).
+  [[nodiscard]] int line() const { return line_; }
+  /// The token that failed to parse, empty for structural errors.
+  [[nodiscard]] const std::string& token() const { return token_; }
+  [[nodiscard]] const std::string& reason() const { return reason_; }
+
+ private:
+  static std::string format_message(const std::string& source, int line,
+                                    const std::string& token,
+                                    const std::string& reason) {
+    std::string msg = source + ":";
+    if (line > 0) msg += std::to_string(line) + ":";
+    msg += " " + reason;
+    if (!token.empty()) msg += " (token '" + token + "')";
+    return msg;
+  }
+
+  std::string source_;
+  int line_ = 0;
+  std::string token_;
+  std::string reason_;
+};
+
+}  // namespace mrtpl::io

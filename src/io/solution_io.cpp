@@ -5,15 +5,36 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/parse_error.hpp"
+#include "util/fault_injector.hpp"
 #include "util/strings.hpp"
 
 namespace mrtpl::io {
 
 namespace {
 
-[[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("solution_io: " + what);
-}
+/// Line-counting cursor shared by the solution and guide readers so every
+/// failure carries (source, line, token) — the same contract design_io
+/// honors via its LineReader.
+struct Cursor {
+  std::istream& is;
+  std::string source;
+  int line_no = 0;
+
+  bool next(std::string& line) {
+    if (!std::getline(is, line)) return false;
+    ++line_no;
+    return true;
+  }
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw ParseError(source, line_no, "", reason);
+  }
+  [[noreturn]] void fail_token(const std::string& token,
+                               const std::string& reason) const {
+    throw ParseError(source, line_no, token, reason);
+  }
+};
 
 std::vector<std::string> tokenize(const std::string& line) {
   std::istringstream ss(line);
@@ -23,11 +44,14 @@ std::vector<std::string> tokenize(const std::string& line) {
   return tokens;
 }
 
-int to_int(const std::string& tok) {
+int to_int(const Cursor& c, const std::string& tok) {
   try {
-    return std::stoi(tok);
+    size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size()) throw std::invalid_argument(tok);
+    return v;
   } catch (const std::exception&) {
-    fail("expected integer, got '" + tok + "'");
+    c.fail_token(tok, "expected integer");
   }
 }
 
@@ -67,25 +91,28 @@ std::string solution_to_string(const grid::RoutingGrid& grid,
   return ss.str();
 }
 
-grid::Solution read_solution(std::istream& is, grid::RoutingGrid& grid) {
+grid::Solution read_solution(std::istream& is, grid::RoutingGrid& grid,
+                             const std::string& source) {
+  Cursor cur{is, source};
   grid::Solution solution;
   solution.routes.resize(static_cast<size_t>(grid.design().num_nets()));
 
   auto vertex_of = [&](int layer, int x, int y) {
     if (layer < 0 || layer >= grid.num_layers() || x < 0 || x >= grid.size_x() ||
         y < 0 || y >= grid.size_y())
-      fail(util::format("vertex (%d,%d,%d) outside grid", layer, x, y));
+      cur.fail(util::format("vertex (%d,%d,%d) outside grid", layer, x, y));
     return grid.vertex(layer, x, y);
   };
 
   std::string line;
-  if (!std::getline(is, line) || tokenize(line) != std::vector<std::string>{"mrtpl-solution", "1"})
-    fail("missing 'mrtpl-solution 1' header");
+  if (!cur.next(line) ||
+      tokenize(line) != std::vector<std::string>{"mrtpl-solution", "1"})
+    cur.fail("missing 'mrtpl-solution 1' header");
 
   grid::NetRoute* current = nullptr;
   int paths_expected = 0;
   bool ended = false;
-  while (std::getline(is, line)) {
+  while (cur.next(line)) {
     const auto t = tokenize(line);
     if (t.empty()) continue;
     if (t[0] == "end") {
@@ -93,64 +120,75 @@ grid::Solution read_solution(std::istream& is, grid::RoutingGrid& grid) {
       break;
     }
     if (t[0] == "route") {
-      if (t.size() != 4) fail("expected 'route net routed num_paths'");
-      const int net = to_int(t[1]);
-      if (net < 0 || net >= grid.design().num_nets()) fail("route for unknown net");
+      if (t.size() != 4) cur.fail("expected 'route net routed num_paths'");
+      const int net = to_int(cur, t[1]);
+      if (net < 0 || net >= grid.design().num_nets())
+        cur.fail_token(t[1], "route for unknown net");
       current = &solution.routes[static_cast<size_t>(net)];
       current->net = net;
-      current->routed = to_int(t[2]) != 0;
-      paths_expected = to_int(t[3]);
+      current->routed = to_int(cur, t[2]) != 0;
+      paths_expected = to_int(cur, t[3]);
     } else if (t[0] == "path") {
-      if (current == nullptr) fail("path before route");
-      if (paths_expected <= 0) fail("more paths than declared");
-      const int n = to_int(t[1]);
-      if (static_cast<int>(t.size()) != 2 + 3 * n) fail("path token count mismatch");
+      if (current == nullptr) cur.fail("path before route");
+      if (paths_expected <= 0) cur.fail("more paths than declared");
+      const int n = to_int(cur, t[1]);
+      if (static_cast<int>(t.size()) != 2 + 3 * n)
+        cur.fail("path token count mismatch");
       std::vector<grid::VertexId> path;
       path.reserve(static_cast<size_t>(n));
       for (int i = 0; i < n; ++i) {
         const size_t base = 2 + 3 * static_cast<size_t>(i);
         path.push_back(
-            vertex_of(to_int(t[base]), to_int(t[base + 1]), to_int(t[base + 2])));
+            vertex_of(to_int(cur, t[base]), to_int(cur, t[base + 1]),
+                      to_int(cur, t[base + 2])));
       }
       current->paths.push_back(std::move(path));
       --paths_expected;
     } else if (t[0] == "masks") {
-      if (current == nullptr) fail("masks before route");
-      const int n = to_int(t[1]);
-      if (static_cast<int>(t.size()) != 2 + 4 * n) fail("masks token count mismatch");
+      if (current == nullptr) cur.fail("masks before route");
+      const int n = to_int(cur, t[1]);
+      if (static_cast<int>(t.size()) != 2 + 4 * n)
+        cur.fail("masks token count mismatch");
       for (int i = 0; i < n; ++i) {
         const size_t base = 2 + 4 * static_cast<size_t>(i);
         const grid::VertexId v =
-            vertex_of(to_int(t[base]), to_int(t[base + 1]), to_int(t[base + 2]));
-        const int mask = to_int(t[base + 3]);
-        if (mask < -1 || mask >= grid::kNumMasks) fail("bad mask value");
+            vertex_of(to_int(cur, t[base]), to_int(cur, t[base + 1]),
+                      to_int(cur, t[base + 2]));
+        const int mask = to_int(cur, t[base + 3]);
+        if (mask < -1 || mask >= grid::kNumMasks)
+          cur.fail_token(t[base + 3], "bad mask value");
         grid.commit(v, current->net, static_cast<grid::Mask>(mask));
       }
     } else {
-      fail("unknown directive '" + t[0] + "'");
+      cur.fail("unknown directive '" + t[0] + "'");
     }
   }
-  if (!ended) fail("missing 'end'");
+  if (!ended) cur.fail("missing 'end'");
   return solution;
 }
 
 grid::Solution solution_from_string(const std::string& text, grid::RoutingGrid& grid) {
   std::istringstream ss(text);
-  return read_solution(ss, grid);
+  return read_solution(ss, grid, "<string>");
 }
 
 void save_solution(const std::string& path, const grid::RoutingGrid& grid,
                    const grid::Solution& solution) {
   std::ofstream os(path);
-  if (!os) fail("cannot open " + path);
+  if (!os) throw std::runtime_error("solution_io: cannot open " + path);
   write_solution(os, grid, solution);
-  if (!os) fail("write failed for " + path);
+  if (!os) throw std::runtime_error("solution_io: write failed for " + path);
 }
 
 grid::Solution load_solution(const std::string& path, grid::RoutingGrid& grid) {
   std::ifstream is(path);
-  if (!is) fail("cannot open " + path);
-  return read_solution(is, grid);
+  if (!is) throw ParseError(path, 0, "", "cannot open file");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  std::string text = buffer.str();
+  util::FaultInjector::maybe_corrupt_io(text);
+  std::istringstream ss(text);
+  return read_solution(ss, grid, path);
 }
 
 void write_guides(std::ostream& os, const global::GuideSet& guides) {
@@ -164,34 +202,36 @@ void write_guides(std::ostream& os, const global::GuideSet& guides) {
   os << "end\n";
 }
 
-global::GuideSet read_guides(std::istream& is) {
+global::GuideSet read_guides(std::istream& is, const std::string& source) {
+  Cursor cur{is, source};
   global::GuideSet guides;
   std::string line;
-  if (!std::getline(is, line) ||
+  if (!cur.next(line) ||
       tokenize(line) != std::vector<std::string>{"mrtpl-guides", "1"})
-    fail("missing 'mrtpl-guides 1' header");
+    cur.fail("missing 'mrtpl-guides 1' header");
   bool ended = false;
-  while (std::getline(is, line)) {
+  while (cur.next(line)) {
     const auto t = tokenize(line);
     if (t.empty()) continue;
     if (t[0] == "end") {
       ended = true;
       break;
     }
-    if (t[0] != "guide") fail("unknown directive '" + t[0] + "'");
-    if (t.size() < 3) fail("expected 'guide net num_boxes ...'");
+    if (t[0] != "guide") cur.fail("unknown directive '" + t[0] + "'");
+    if (t.size() < 3) cur.fail("expected 'guide net num_boxes ...'");
     global::NetGuide g;
-    g.net = to_int(t[1]);
-    const int n = to_int(t[2]);
-    if (static_cast<int>(t.size()) != 3 + 4 * n) fail("guide token count mismatch");
+    g.net = to_int(cur, t[1]);
+    const int n = to_int(cur, t[2]);
+    if (static_cast<int>(t.size()) != 3 + 4 * n)
+      cur.fail("guide token count mismatch");
     for (int i = 0; i < n; ++i) {
       const size_t base = 3 + 4 * static_cast<size_t>(i);
-      g.boxes.push_back({to_int(t[base]), to_int(t[base + 1]), to_int(t[base + 2]),
-                         to_int(t[base + 3])});
+      g.boxes.push_back({to_int(cur, t[base]), to_int(cur, t[base + 1]),
+                         to_int(cur, t[base + 2]), to_int(cur, t[base + 3])});
     }
     guides.push_back(std::move(g));
   }
-  if (!ended) fail("missing 'end'");
+  if (!ended) cur.fail("missing 'end'");
   return guides;
 }
 
@@ -203,7 +243,7 @@ std::string guides_to_string(const global::GuideSet& guides) {
 
 global::GuideSet guides_from_string(const std::string& text) {
   std::istringstream ss(text);
-  return read_guides(ss);
+  return read_guides(ss, "<string>");
 }
 
 }  // namespace mrtpl::io

@@ -34,19 +34,24 @@ std::string solution_to_string(const grid::RoutingGrid& grid,
                                const grid::Solution& solution);
 
 /// Parse a solution and commit it into `grid` (vertices + masks). The
-/// grid must be freshly built from the same design. Throws
-/// std::runtime_error on malformed input or vertex coordinates outside
-/// the grid.
-grid::Solution read_solution(std::istream& is, grid::RoutingGrid& grid);
+/// grid must be freshly built from the same design. Throws io::ParseError
+/// (parse_error.hpp: source/line/token/reason) on malformed input or
+/// vertex coordinates outside the grid; `source` names the input in the
+/// error. load_solution throws ParseError with the path as source when
+/// the file cannot be opened.
+grid::Solution read_solution(std::istream& is, grid::RoutingGrid& grid,
+                             const std::string& source = "<stream>");
 grid::Solution solution_from_string(const std::string& text, grid::RoutingGrid& grid);
 
 void save_solution(const std::string& path, const grid::RoutingGrid& grid,
                    const grid::Solution& solution);
 grid::Solution load_solution(const std::string& path, grid::RoutingGrid& grid);
 
-/// Route-guide serialization (CUGR-guide stand-in).
+/// Route-guide serialization (CUGR-guide stand-in). Same ParseError
+/// contract as read_solution.
 void write_guides(std::ostream& os, const global::GuideSet& guides);
-global::GuideSet read_guides(std::istream& is);
+global::GuideSet read_guides(std::istream& is,
+                             const std::string& source = "<stream>");
 std::string guides_to_string(const global::GuideSet& guides);
 global::GuideSet guides_from_string(const std::string& text);
 

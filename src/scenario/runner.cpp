@@ -51,9 +51,17 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& scenario) const {
     grid::RoutingGrid grid(design);
     util::Timer route_timer;
     core::MrTplRouter router(design, &guides, options_.config);
-    const grid::Solution solution = router.run(grid);
+    // Preemptive timeout: hand the router whatever wall budget remains
+    // after generation + global routing, so a runaway case stops ripping
+    // mid-run and returns its best iterate instead of blowing through the
+    // budget and only being flagged post-hoc.
+    core::RouteBudget budget;
+    if (options_.timeout_s > 0)
+      budget.deadline_s = std::max(0.01, options_.timeout_s - total.elapsed_s());
+    const grid::Solution solution = router.run(grid, budget);
     result.route_s = route_timer.elapsed_s();
     result.detect_s = router.stats().detect_s;
+    result.degraded = solution.degraded();
 
     result.metrics = eval::evaluate(grid, solution, &guides);
     const drc::DrcReport drc_report = drc::verify(grid, design, solution);
@@ -67,9 +75,19 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& scenario) const {
     else if (!result.drc_clean)
       result.note = "DRC: " + drc_report.summary();
 
-    if (!result.note.empty()) {
+    if (result.degraded) {
+      // The deadline preempted the run. Reported as timeout regardless of
+      // how good the returned best iterate happens to be — the scenario
+      // did not complete within budget.
+      result.status = Status::kTimeout;
+      result.note = util::format(
+          "deadline preempted routing after %.2fs (%d partial, %d skipped)",
+          result.total_s, solution.num_partial(), solution.num_skipped());
+    } else if (!result.note.empty()) {
       result.status = Status::kFail;
     } else if (options_.timeout_s > 0 && result.total_s > options_.timeout_s) {
+      // Post-hoc backstop for time spent outside the routing loop
+      // (generation, global routing, DRC) that the deadline can't preempt.
       result.status = Status::kTimeout;
       result.note = util::format("%.2fs over the %.2fs budget", result.total_s,
                                  options_.timeout_s);

@@ -21,7 +21,7 @@ namespace mrtpl::scenario {
 enum class Status {
   kPass,     ///< routed, conflict-free, DRC-clean
   kFail,     ///< conflicts, failed nets, DRC violations, or an exception
-  kTimeout,  ///< passed but blew the per-scenario wall budget
+  kTimeout,  ///< deadline preempted routing, or the wall budget was exceeded
   kSkip,     ///< spec failed validation; the flow never ran
 };
 
@@ -31,11 +31,12 @@ struct RunnerOptions {
   /// Run each scenario's scaled-down CI variant instead of the full one.
   bool quick = false;
 
-  /// Per-scenario wall-clock budget in seconds, 0 = unlimited. The router
-  /// is deterministic and cannot be preempted mid-run, so this is a
-  /// post-hoc check: a scenario that finishes over budget is reported as
-  /// kTimeout (and counts as a suite failure) instead of silently eating
-  /// the CI budget.
+  /// Per-scenario wall-clock budget in seconds, 0 = unlimited. The budget
+  /// PREEMPTS routing: whatever remains after generation and global
+  /// routing is handed to the router as a RouteBudget deadline, so a
+  /// runaway case stops ripping mid-run (Solution kDegraded → kTimeout)
+  /// instead of eating the CI budget. A post-hoc check still catches time
+  /// spent outside the routing loop.
   double timeout_s = 0.0;
 
   /// Base router configuration; `rrr_threads` is the suite's --threads.
@@ -49,6 +50,7 @@ struct ScenarioResult {
   std::string note;        ///< failure/skip reason, empty on pass
   int nets = 0;            ///< nets in the generated design
   bool drc_clean = false;
+  bool degraded = false;   ///< deadline preempted routing mid-run
   eval::Metrics metrics;
   double detect_s = 0.0;   ///< conflict-detection wall time (router stats)
   double route_s = 0.0;    ///< detailed-routing wall time

@@ -1,0 +1,211 @@
+#include "util/fault_injector.hpp"
+
+#include <cstdlib>
+#include <vector>
+
+#include "util/logger.hpp"
+
+namespace mrtpl::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t v) {
+  v += 0x9e3779b97f4a7c15ull;
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+  return v ^ (v >> 31);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : text) {
+    if (c == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else if (c != ' ' && c != '\t') {
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  std::uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+bool site_of(const std::string& name, FaultSite* out) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    if (name == to_string(static_cast<FaultSite>(i))) {
+      *out = static_cast<FaultSite>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kArenaGrow: return "arena_grow";
+    case FaultSite::kSpecInvalidate: return "spec_invalidate";
+    case FaultSite::kSearchFail: return "search_fail";
+    case FaultSite::kIoTruncate: return "io_truncate";
+    case FaultSite::kIoBitFlip: return "io_bitflip";
+  }
+  return "unknown";
+}
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+namespace {
+// Force the env spec to be read at startup. Without this, a process that
+// never calls instance() explicitly (the CLI under the CI fault matrix)
+// would see enabled() == false forever, because enabled() is a bare
+// atomic load that deliberately avoids the instance() initialization.
+const bool kEnvArmed = [] {
+  (void)FaultInjector::instance();
+  return FaultInjector::enabled();
+}();
+}  // namespace
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector* injector = [] {
+    auto* inj = new FaultInjector();
+    std::string error;
+    if (!inj->configure_from_env(&error) && !error.empty())
+      warn("fault", "ignoring bad MRTPL_FAULT_SPEC: " + error);
+    return inj;
+  }();
+  return *injector;
+}
+
+bool FaultInjector::configure_from_env(std::string* error) {
+  const char* spec = std::getenv("MRTPL_FAULT_SPEC");
+  return configure(spec != nullptr ? spec : "", error);
+}
+
+bool FaultInjector::configure(const std::string& spec, std::string* error) {
+  disarm();
+  if (spec.empty()) return true;
+
+  bool any = false;
+  for (const std::string& entry : split(spec, ';')) {
+    if (entry.empty()) continue;
+    if (entry.rfind("seed=", 0) == 0) {
+      if (!parse_u64(entry.substr(5), &seed_)) {
+        if (error != nullptr) *error = "bad seed in '" + entry + "'";
+        disarm();
+        return false;
+      }
+      continue;
+    }
+    const auto parts = split(entry, ':');
+    FaultSite site;
+    if (parts.empty() || !site_of(parts[0], &site)) {
+      if (error != nullptr) *error = "unknown fault site in '" + entry + "'";
+      disarm();
+      return false;
+    }
+    SiteRule& rule = sites_[static_cast<size_t>(site)];
+    rule.every = 1;
+    rule.offset = 0;
+    if (parts.size() >= 2 && !parse_u64(parts[1], &rule.every)) {
+      if (error != nullptr) *error = "bad period in '" + entry + "'";
+      disarm();
+      return false;
+    }
+    if (parts.size() >= 3 && !parse_u64(parts[2], &rule.offset)) {
+      if (error != nullptr) *error = "bad offset in '" + entry + "'";
+      disarm();
+      return false;
+    }
+    if (parts.size() > 3 || rule.every == 0) {
+      if (error != nullptr) *error = "malformed entry '" + entry + "'";
+      disarm();
+      return false;
+    }
+    rule.armed = true;
+    any = true;
+  }
+  armed_.store(any, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::disarm() {
+  armed_.store(false, std::memory_order_relaxed);
+  for (auto& rule : sites_) {
+    rule.armed = false;
+    rule.every = 0;
+    rule.offset = 0;
+    rule.hits.store(0);
+    rule.fired.store(0);
+  }
+  seed_ = 0;
+  const std::lock_guard<std::mutex> lock(keyed_mutex_);
+  for (auto& keys : keyed_fired_) keys.clear();
+}
+
+void FaultInjector::reset_counters() {
+  for (auto& rule : sites_) {
+    rule.hits.store(0);
+    rule.fired.store(0);
+  }
+  const std::lock_guard<std::mutex> lock(keyed_mutex_);
+  for (auto& keys : keyed_fired_) keys.clear();
+}
+
+bool FaultInjector::matches(const SiteRule& rule, std::uint64_t index) const {
+  const std::uint64_t probe = seed_ != 0 ? splitmix64(index ^ seed_) : index;
+  return probe % rule.every == rule.offset % rule.every;
+}
+
+bool FaultInjector::should_fail(FaultSite site) {
+  SiteRule& rule = sites_[static_cast<size_t>(site)];
+  if (!rule.armed) return false;
+  const std::uint64_t index = rule.hits.fetch_add(1, std::memory_order_relaxed);
+  if (!matches(rule, index)) return false;
+  rule.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::should_fail(FaultSite site, std::uint64_t key) {
+  SiteRule& rule = sites_[static_cast<size_t>(site)];
+  if (!rule.armed) return false;
+  rule.hits.fetch_add(1, std::memory_order_relaxed);
+  if (!matches(rule, key)) return false;
+  {
+    const std::lock_guard<std::mutex> lock(keyed_mutex_);
+    if (!keyed_fired_[static_cast<size_t>(site)].insert(key).second)
+      return false;  // this key already failed once; let the retry succeed
+  }
+  rule.fired.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultInjector::maybe_corrupt_io(std::string& text) {
+  if (!enabled() || text.empty()) return;
+  FaultInjector& inj = instance();
+  if (inj.should_fail(FaultSite::kIoTruncate)) {
+    // Keep a deterministic strict prefix; position scatters with the seed.
+    const std::uint64_t pos =
+        splitmix64(text.size() ^ inj.seed_) % text.size();
+    text.resize(static_cast<size_t>(pos));
+  }
+  if (!text.empty() && inj.should_fail(FaultSite::kIoBitFlip)) {
+    const std::uint64_t h = splitmix64(text.size() ^ (inj.seed_ + 1));
+    const size_t pos = static_cast<size_t>(h % text.size());
+    text[pos] = static_cast<char>(text[pos] ^ static_cast<char>(1u << (h >> 32 & 7u)));
+  }
+}
+
+}  // namespace mrtpl::util

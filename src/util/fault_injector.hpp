@@ -1,0 +1,129 @@
+#pragma once
+/// \file fault_injector.hpp
+/// Deterministic fault-injection registry for the robustness harness.
+///
+/// A process-wide injector holds one rule per *site* — a named place in
+/// the code that can be forced to fail — configured either
+/// programmatically (tests) or from the MRTPL_FAULT_SPEC environment
+/// variable (CI fault-matrix). Sites:
+///
+///   arena_grow       SearchArena::ensure throws std::bad_alloc, as if
+///                    label-array growth ran out of memory. The router
+///                    marks the net failed and retries it on a later RRR
+///                    iteration.
+///   spec_invalidate  The speculative RRR executor treats a speculation
+///                    as stale and recomputes it serially. Output is
+///                    unchanged by construction (the redo IS the serial
+///                    result); the site exercises the redo path.
+///   search_fail      compute_route reports the net unroutable without
+///                    searching, once per keyed net. RRR rips and
+///                    retries it, exercising the failed-net recovery.
+///   io_truncate      load_design/load_solution drop the tail of the
+///                    file content before parsing (ParseError path).
+///   io_bitflip       load_design/load_solution flip one byte of the
+///                    content before parsing.
+///
+/// Spec syntax (MRTPL_FAULT_SPEC or configure()):
+///
+///   spec    := entry (';' entry)* | ''
+///   entry   := 'seed=' N | site ':' every [':' offset]
+///   site    := arena_grow | spec_invalidate | search_fail
+///            | io_truncate | io_bitflip
+///
+/// A site entry fires when `index % every == offset` (default offset 0),
+/// where `index` is the site's hit counter for counter sites
+/// (should_fail(site)) or the caller-supplied key for keyed sites
+/// (should_fail(site, key) — used with net ids so decisions are
+/// independent of thread scheduling; each key fires at most once). A
+/// nonzero seed replaces the raw index with a SplitMix64 hash of
+/// (index ^ seed), scattering the firing pattern while staying fully
+/// deterministic.
+///
+/// Thread safety: counters are atomic and the keyed-firing memory is
+/// mutex-guarded; should_fail may be called from pool workers. The
+/// configuration itself must only change while no router is running
+/// (tests reconfigure between runs).
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+namespace mrtpl::util {
+
+enum class FaultSite : int {
+  kArenaGrow = 0,
+  kSpecInvalidate,
+  kSearchFail,
+  kIoTruncate,
+  kIoBitFlip,
+};
+inline constexpr int kNumFaultSites = 5;
+
+/// Canonical spec name of a site ("arena_grow", ...).
+[[nodiscard]] const char* to_string(FaultSite site);
+
+class FaultInjector {
+ public:
+  /// The process-wide injector. First call reads MRTPL_FAULT_SPEC (a bad
+  /// env spec logs a warning and leaves the injector disarmed).
+  static FaultInjector& instance();
+
+  /// Cheapest possible hot-path guard: false whenever no site is armed.
+  [[nodiscard]] static bool enabled() { return armed_.load(std::memory_order_relaxed); }
+
+  /// Replace the configuration from a spec string (see file comment).
+  /// Returns false and leaves the injector disarmed on a malformed spec,
+  /// with the reason in *error when given. An empty spec disarms.
+  bool configure(const std::string& spec, std::string* error = nullptr);
+
+  /// Re-read MRTPL_FAULT_SPEC (tests set the env var then call this).
+  bool configure_from_env(std::string* error = nullptr);
+
+  /// Disarm all sites and forget counters/keys.
+  void disarm();
+
+  /// Counter-based decision: fires on matching hit indices of `site`.
+  [[nodiscard]] bool should_fail(FaultSite site);
+
+  /// Key-based decision: deterministic in `key` alone (thread-schedule
+  /// independent) and fires at most once per distinct key.
+  [[nodiscard]] bool should_fail(FaultSite site, std::uint64_t key);
+
+  /// Corrupt `text` in place per the armed IO sites (no-op when neither
+  /// io_truncate nor io_bitflip is armed). Truncation keeps a prefix;
+  /// bit-flip XORs one bit; positions derive from the seed and length.
+  static void maybe_corrupt_io(std::string& text);
+
+  [[nodiscard]] std::uint64_t fired(FaultSite site) const {
+    return sites_[static_cast<size_t>(site)].fired.load();
+  }
+  [[nodiscard]] std::uint64_t hits(FaultSite site) const {
+    return sites_[static_cast<size_t>(site)].hits.load();
+  }
+  /// Zero hit/fired counters and the keyed-firing memory, keeping the
+  /// armed rules — call between router runs that share one spec.
+  void reset_counters();
+
+ private:
+  struct SiteRule {
+    bool armed = false;
+    std::uint64_t every = 0;   ///< fire when index % every == offset
+    std::uint64_t offset = 0;
+    std::atomic<std::uint64_t> hits{0};
+    std::atomic<std::uint64_t> fired{0};
+  };
+
+  [[nodiscard]] bool matches(const SiteRule& rule, std::uint64_t index) const;
+
+  static std::atomic<bool> armed_;
+
+  std::array<SiteRule, kNumFaultSites> sites_;
+  std::uint64_t seed_ = 0;
+  std::mutex keyed_mutex_;
+  std::array<std::unordered_set<std::uint64_t>, kNumFaultSites> keyed_fired_;
+};
+
+}  // namespace mrtpl::util

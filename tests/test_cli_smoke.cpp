@@ -146,6 +146,40 @@ TEST(CliSmoke, GenerateAcceptsScenarioNames) {
   EXPECT_EQ(design.name(), "degenerate_thin_tracks_quick");
 }
 
+TEST(CliSmoke, ExitCodesDistinguishFailureClasses) {
+  const std::string design_path = tmp_path("exit.design");
+  const std::string bad_path = tmp_path("exit_bad.design");
+  ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);
+
+  // Exit 3: malformed input surfaces as io::ParseError, not a generic
+  // failure — and not a crash.
+  {
+    std::ofstream os(bad_path);
+    os << "mrtpl-design 1\nname truncated\ndie 0 0 31\n";
+  }
+  EXPECT_EQ(cli::run({"route", "--design", bad_path}), 3);
+  EXPECT_EQ(cli::run({"eval", "--design", bad_path, "--solution", bad_path}), 3);
+  EXPECT_EQ(cli::run({"route", "--design", tmp_path("nonexistent.design")}), 3);
+
+  // Exit 4: the budget expired and the result is degraded but usable.
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--max-relax", "1"}), 4);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--deadline",
+                      "0.000001"}),
+            4);
+
+  // A generous budget routes to completion: exit 0, not 4.
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--deadline", "300"}), 0);
+
+  // Exit 2: budget flags malformed, or used with a router that cannot
+  // honor them.
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--deadline", "0"}), 2);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--deadline", "x"}), 2);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--max-relax", "0"}), 2);
+  EXPECT_EQ(cli::run({"route", "--design", design_path, "--router", "dac12",
+                      "--deadline", "1"}),
+            2);
+}
+
 TEST(CliSmoke, BaselineRoutersRunToCompletion) {
   const std::string design_path = tmp_path("baseline.design");
   ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);

@@ -4,6 +4,7 @@
 
 #include "benchgen/generator.hpp"
 #include "io/design_io.hpp"
+#include "io/parse_error.hpp"
 #include "support/builders.hpp"
 #include "support/golden.hpp"
 
@@ -141,6 +142,57 @@ TEST(DesignIo, FileRoundTrip) {
 
 TEST(DesignIo, LoadMissingFileThrows) {
   EXPECT_THROW(load_design("/nonexistent/path/x.design"), std::runtime_error);
+}
+
+// ---- structured ParseError surface -------------------------------------
+// Every rejection above is also a ParseError carrying (source, line,
+// token, reason); the CLI maps it to exit code 3 and the fuzzer's parse
+// oracle requires malformed input to land here and nowhere else.
+
+TEST(DesignIo, ParseErrorCarriesLineAndToken) {
+  try {
+    design_from_string("mrtpl-design 1\nname x\ndie 0 0 seven 7\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "<string>");
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.token(), "seven");
+    EXPECT_FALSE(e.reason().empty());
+    EXPECT_NE(std::string(e.what()).find("<string>:3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(DesignIo, MissingFileIsParseErrorWithPathAsSource) {
+  try {
+    load_design("/nonexistent/path/x.design");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "/nonexistent/path/x.design");
+    EXPECT_EQ(e.line(), 0);  // not line-addressable
+  }
+}
+
+TEST(DesignIo, TruncatedInputsNeverEscapeParseError) {
+  // Every strict prefix of a valid file must either parse (impossible
+  // here — the end marker is gone) or throw ParseError specifically.
+  const std::string text =
+      design_to_string(benchgen::generate(benchgen::tiny_case()));
+  for (size_t len : {size_t{0}, size_t{1}, text.size() / 4, text.size() / 2,
+                     text.size() - 2}) {
+    EXPECT_THROW(design_from_string(text.substr(0, len)), ParseError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(DesignIo, NumericOverflowIsParseErrorNotStoiEscape) {
+  // Out-of-range integers must not leak std::out_of_range from std::stoi.
+  EXPECT_THROW(design_from_string(
+                   "mrtpl-design 1\nname x\ndie 0 0 99999999999999999999 7\n"),
+               ParseError);
+  EXPECT_THROW(
+      design_from_string("mrtpl-design 1\nname x\ndie 0 0 7 7\nlayers -3\n"),
+      ParseError);
 }
 
 }  // namespace

@@ -105,6 +105,23 @@ TEST(ScenarioRunner, FlagsBudgetOverrunsAsTimeout) {
   EXPECT_NE(result.note.find("budget"), std::string::npos) << result.note;
 }
 
+TEST(ScenarioRunner, TimeoutPreemptsRoutingAndReportsDegraded) {
+  // With the deadline threaded into the router as a RouteBudget, a
+  // too-small wall budget PREEMPTS routing instead of merely flagging the
+  // overrun after the fact. A full-size congestion scenario cannot finish
+  // inside the runner's 10ms deadline floor, so the router must stop
+  // early and hand back a degraded (but structurally valid) result.
+  const ScenarioSpec* sc = ScenarioRegistry::builtin().find("hotspot_twin_peaks");
+  ASSERT_NE(sc, nullptr);
+  RunnerOptions options;
+  options.quick = false;
+  options.timeout_s = 1e-6;
+  const ScenarioResult result = ScenarioRunner(options).run(*sc);
+  EXPECT_EQ(result.status, Status::kTimeout);
+  EXPECT_TRUE(result.degraded) << result.note;
+  EXPECT_NE(result.note.find("preempted"), std::string::npos) << result.note;
+}
+
 TEST(ScenarioRunner, RunAllStreamsResultsInOrder) {
   const auto& reg = ScenarioRegistry::builtin();
   RunnerOptions options;

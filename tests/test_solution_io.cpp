@@ -4,6 +4,7 @@
 #include "core/mrtpl_router.hpp"
 #include "eval/metrics.hpp"
 #include "global/global_router.hpp"
+#include "io/parse_error.hpp"
 #include "io/solution_io.hpp"
 #include "support/builders.hpp"
 #include "support/golden.hpp"
@@ -79,6 +80,49 @@ TEST(SolutionIo, RejectsUnknownNet) {
   EXPECT_THROW(
       solution_from_string("mrtpl-solution 1\nroute 9999 1 0\nend\n", grid),
       std::runtime_error);
+}
+
+// ---- structured ParseError surface -------------------------------------
+// Rejections carry (source, line, token, reason) so the CLI can map them
+// to exit code 3 with a pinpointed message.
+
+TEST(SolutionIo, ParseErrorCarriesLineAndToken) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  try {
+    solution_from_string("mrtpl-solution 1\nroute 0 1 one\nend\n", grid);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "<string>");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.token(), "one");
+  }
+}
+
+TEST(SolutionIo, TruncatedInputsNeverEscapeParseError) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  core::MrTplRouter router(design, nullptr, core::RouterConfig{});
+  const grid::Solution solution = router.run(grid);
+  const std::string text = solution_to_string(grid, solution);
+  for (size_t len : {size_t{0}, size_t{4}, text.size() / 3, text.size() / 2}) {
+    grid::RoutingGrid scratch(design);
+    EXPECT_THROW(solution_from_string(text.substr(0, len), scratch), ParseError)
+        << "prefix length " << len;
+  }
+}
+
+TEST(SolutionIo, LoadMissingFileIsParseError) {
+  const db::Design design = benchgen::generate(benchgen::tiny_case());
+  grid::RoutingGrid grid(design);
+  try {
+    load_solution("/nonexistent/path/x.sol", grid);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.source(), "/nonexistent/path/x.sol");
+    EXPECT_EQ(e.line(), 0);
+    EXPECT_EQ(e.reason(), "cannot open file");
+  }
 }
 
 TEST(GuideIo, RoundTrip) {

@@ -15,12 +15,17 @@
 ///       Generate a synthetic case and save it.
 ///   route --design <file> [--router mrtpl|dac12|decompose]
 ///       [--solution out.sol] [--svg out.svg] [--no-guides] [--rrr N]
-///       [--threads N] [--rescan-conflicts]
+///       [--threads N] [--rescan-conflicts] [--deadline S] [--max-relax N]
 ///       Route a saved design, print metrics, optionally dump artifacts.
 ///       --threads N routes RRR batches of disjoint-window nets on N
 ///       workers (output is byte-identical to --threads 1);
 ///       --rescan-conflicts swaps the incremental conflict engine for the
-///       full-rescan debug oracle.
+///       full-rescan debug oracle. --deadline / --max-relax bound the run
+///       (route_budget.hpp); a degraded result exits 4.
+///
+/// Exit codes (pinned by test_cli_smoke): 0 success, 1 flow failure
+/// (conflicts, DRC violations, unexpected errors), 2 usage, 3 malformed
+/// input (io::ParseError), 4 budget-degraded result.
 ///   eval --design <file> --solution <file>
 ///       Re-verify a saved solution (conflicts/stitches/cost) offline.
 ///   verify --design <file> --solution <file> [--no-color-check]
@@ -51,6 +56,7 @@
 #include "eval/breakdown.hpp"
 #include "io/design_io.hpp"
 #include "io/json_report.hpp"
+#include "io/parse_error.hpp"
 #include "io/solution_io.hpp"
 #include "layout/recolor.hpp"
 #include "scenario/runner.hpp"
@@ -282,12 +288,37 @@ int cmd_route(const Args& args) {
   }
   if (args.has("rescan-conflicts")) config.incremental_conflicts = false;
 
+  core::RouteBudget route_budget;
+  if (const auto deadline = args.get("deadline")) {
+    try {
+      size_t used = 0;
+      route_budget.deadline_s = std::stod(*deadline, &used);
+      if (used != deadline->size() || route_budget.deadline_s <= 0.0)
+        throw std::invalid_argument(*deadline);
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "route: --deadline wants a positive number (seconds)\n");
+      return 2;
+    }
+  }
+  if (const auto max_relax = args.get("max-relax")) {
+    const auto n = parse_int(*max_relax);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "route: --max-relax wants a positive integer\n");
+      return 2;
+    }
+    route_budget.max_relaxations = static_cast<std::uint64_t>(*n);
+  }
+  if (!route_budget.unlimited() && router_name != "mrtpl") {
+    std::fprintf(stderr, "route: --deadline/--max-relax need --router mrtpl\n");
+    return 2;
+  }
+
   grid::RoutingGrid grid(design);
   util::Timer timer;
   grid::Solution solution;
   if (router_name == "mrtpl") {
     core::MrTplRouter router(design, guides_ptr, config);
-    solution = router.run(grid);
+    solution = router.run(grid, route_budget);
   } else if (router_name == "dac12") {
     baseline::Dac12Router router(design, guides_ptr, config);
     solution = router.run(grid);
@@ -309,6 +340,13 @@ int cmd_route(const Args& args) {
   if (const auto svg_path = args.get("svg")) {
     viz::save_svg(*svg_path, grid);
     std::printf("svg written to %s\n", svg_path->c_str());
+  }
+  if (solution.degraded()) {
+    std::fprintf(stderr,
+                 "route: budget expired, result is degraded "
+                 "(%d partial, %d skipped net(s))\n",
+                 solution.num_partial(), solution.num_skipped());
+    return 4;
   }
   return 0;
 }
@@ -419,8 +457,16 @@ int run(const std::vector<std::string>& argv) {
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "refine") return cmd_refine(args);
     if (args.command == "report") return cmd_report(args);
+  } catch (const io::ParseError& e) {
+    // Malformed input gets its own exit code so scripts (and the fuzzer's
+    // parse-robustness oracle) can tell "bad file" from "router broke".
+    std::fprintf(stderr, "parse error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (...) {
+    std::fprintf(stderr, "error: unknown exception\n");
     return 1;
   }
   std::fprintf(stderr,
@@ -435,6 +481,7 @@ int run(const std::vector<std::string>& argv) {
                "  route    --design <file> [--router mrtpl|dac12|decompose]\n"
                "           [--solution file] [--svg file] [--no-guides] [--rrr N]\n"
                "           [--threads N] [--rescan-conflicts]\n"
+               "           [--deadline S] [--max-relax N]  (degraded result: exit 4)\n"
                "  eval     --design <file> --solution <file>\n"
                "  verify   --design <file> --solution <file> [--no-color-check]\n"
                "  refine   --design <file> --solution <file> [--out file]\n"

@@ -1,0 +1,212 @@
+/// \file fuzz_differential.cpp
+/// Differential fuzzing harness (src/fuzz). Generates mutated routing
+/// cases in two domains — benchgen::CaseSpec knobs and raw serialized
+/// design text — runs each through the cross-checking oracle
+/// (fuzz/differential.hpp), shrinks failing text inputs, and emits repro
+/// files into a corpus directory.
+///
+///   fuzz_differential [--cases N] [--seed S] [--corpus DIR]
+///                     [--max-rrr N] [--no-dac12]
+///       Fixed-seed fuzz run: N cases, alternating spec/text domains.
+///       Failing inputs are shrunk and written to DIR as
+///       fuzz_<seed>_<case>.design. Exit 0 iff no findings.
+///   fuzz_differential --replay DIR [--max-rrr N]
+///       Re-run the oracle over every *.design file in DIR (the committed
+///       regression corpus). Exit 0 iff no findings.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/generator.hpp"
+#include "fuzz/differential.hpp"
+#include "fuzz/mutate.hpp"
+#include "io/design_io.hpp"
+#include "util/rng.hpp"
+
+namespace fs = std::filesystem;
+using namespace mrtpl;
+
+namespace {
+
+struct Options {
+  int cases = 200;
+  std::uint64_t seed = 1;
+  std::string corpus = "tests/golden/fuzz_corpus";
+  std::optional<std::string> replay;
+  int max_rrr = 3;
+  bool run_dac12 = true;
+};
+
+void print_findings(const std::string& label, const fuzz::OracleReport& report) {
+  for (const auto& f : report.findings)
+    std::fprintf(stderr, "FINDING %s [%s] %s\n", label.c_str(), f.check.c_str(),
+                 f.detail.c_str());
+}
+
+/// Shrink a failing text input: adopt any candidate that still fails,
+/// repeat until none does. Terminates because candidates strictly shrink.
+std::string shrink_text(const std::string& text, const fuzz::OracleOptions& oracle) {
+  std::string current = text;
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    for (const auto& candidate : fuzz::shrink_candidates(current)) {
+      if (!fuzz::check_text(candidate, oracle).clean()) {
+        current = candidate;
+        reduced = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+int write_repro(const Options& options, const std::string& name,
+                const std::string& text) {
+  std::error_code ec;
+  fs::create_directories(options.corpus, ec);
+  const fs::path path = fs::path(options.corpus) / name;
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "fuzz: cannot write repro %s\n", path.string().c_str());
+    return 1;
+  }
+  os << text;
+  std::fprintf(stderr, "fuzz: repro written to %s\n", path.string().c_str());
+  return 0;
+}
+
+int run_replay(const Options& options) {
+  fuzz::OracleOptions oracle;
+  oracle.max_rrr = options.max_rrr;
+  oracle.run_dac12 = options.run_dac12;
+  int findings = 0, files = 0;
+  std::vector<fs::path> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(*options.replay, ec))
+    if (entry.path().extension() == ".design") paths.push_back(entry.path());
+  if (ec) {
+    std::fprintf(stderr, "fuzz: cannot read corpus dir %s: %s\n",
+                 options.replay->c_str(), ec.message().c_str());
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& path : paths) {
+    ++files;
+    std::ifstream is(path);
+    std::stringstream buffer;
+    buffer << is.rdbuf();
+    const fuzz::OracleReport report = fuzz::check_text(buffer.str(), oracle);
+    print_findings(path.filename().string(), report);
+    findings += static_cast<int>(report.findings.size());
+  }
+  std::printf("fuzz replay: %d file(s), %d finding(s)\n", files, findings);
+  return findings == 0 ? 0 : 1;
+}
+
+int run_fuzz(const Options& options) {
+  fuzz::OracleOptions oracle;
+  oracle.max_rrr = options.max_rrr;
+  oracle.run_dac12 = options.run_dac12;
+
+  // Base inputs: the unit-test case plus a denser variant — small enough
+  // that one oracle run takes milliseconds, structured enough that
+  // mutations reach interesting generator and parser states.
+  std::vector<benchgen::CaseSpec> bases;
+  bases.push_back(benchgen::tiny_case());
+  {
+    benchgen::CaseSpec dense = benchgen::tiny_case();
+    dense.name = "fuzz_dense";
+    dense.num_nets = 24;
+    dense.local_net_fraction = 1.0;
+    dense.local_span = 8;
+    bases.push_back(dense);
+  }
+  std::vector<std::string> base_texts;
+  for (const auto& spec : bases)
+    base_texts.push_back(io::design_to_string(benchgen::generate(spec)));
+
+  int findings = 0, skipped = 0, repro_errors = 0;
+  for (int i = 0; i < options.cases; ++i) {
+    util::Rng rng(options.seed * 0x9e3779b9u + static_cast<std::uint64_t>(i));
+    const auto& base = bases[static_cast<size_t>(i) % bases.size()];
+    const std::string label =
+        "case_" + std::to_string(i) + (i % 2 == 0 ? "_spec" : "_text");
+
+    fuzz::OracleReport report;
+    std::string repro_text;
+    if (i % 2 == 0) {
+      const benchgen::CaseSpec spec = fuzz::mutate_spec(base, rng);
+      report = fuzz::check_spec(spec, oracle);
+      if (!report.clean() && spec.valid())
+        repro_text = io::design_to_string(benchgen::generate(spec));
+    } else {
+      std::string text = base_texts[static_cast<size_t>(i) % base_texts.size()];
+      const int rounds = rng.next_int(1, 3);
+      for (int r = 0; r < rounds; ++r) text = fuzz::mutate_text(text, rng);
+      report = fuzz::check_text(text, oracle);
+      if (!report.clean()) repro_text = shrink_text(text, oracle);
+    }
+
+    if (report.skipped) ++skipped;
+    if (!report.clean()) {
+      print_findings(label, report);
+      findings += static_cast<int>(report.findings.size());
+      if (!repro_text.empty()) {
+        const std::string name = "fuzz_" + std::to_string(options.seed) + "_" +
+                                 std::to_string(i) + ".design";
+        repro_errors += write_repro(options, name, repro_text);
+      }
+    }
+  }
+  std::printf("fuzz: %d case(s), %d skipped, %d finding(s)\n", options.cases,
+              skipped, findings);
+  return findings == 0 && repro_errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--cases") {
+      if (const char* v = value()) options.cases = std::atoi(v);
+    } else if (arg == "--seed") {
+      if (const char* v = value())
+        options.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--corpus") {
+      if (const char* v = value()) options.corpus = v;
+    } else if (arg == "--replay") {
+      if (const char* v = value()) options.replay = v;
+    } else if (arg == "--max-rrr") {
+      if (const char* v = value()) options.max_rrr = std::atoi(v);
+    } else if (arg == "--no-dac12") {
+      options.run_dac12 = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fuzz_differential [--cases N] [--seed S] "
+                   "[--corpus DIR] [--replay DIR] [--max-rrr N] [--no-dac12]\n");
+      return 2;
+    }
+  }
+  if (options.cases < 0 || options.max_rrr < 0) {
+    std::fprintf(stderr, "fuzz: --cases/--max-rrr must be non-negative\n");
+    return 2;
+  }
+  try {
+    return options.replay ? run_replay(options) : run_fuzz(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fuzz: fatal: %s\n", e.what());
+    return 1;
+  }
+}
