@@ -19,8 +19,12 @@ MrTplRouter::MrTplRouter(const db::Design& design, const global::GuideSet* guide
     : design_(design), guides_(guides), config_(config) {}
 
 std::vector<db::NetId> MrTplRouter::net_order() const {
-  std::vector<db::NetId> order(static_cast<size_t>(design_.num_nets()));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<db::NetId> order;
+  order.reserve(static_cast<size_t>(design_.num_nets()));
+  // Dead nets (zero pins — ECO tombstones) own no metal and are never
+  // routed; run() marks their solution entries trivially routed instead.
+  for (db::NetId id = 0; id < design_.num_nets(); ++id)
+    if (design_.net(id).degree() > 0) order.push_back(id);
   std::stable_sort(order.begin(), order.end(), [&](db::NetId a, db::NetId b) {
     const auto& na = design_.net(a);
     const auto& nb = design_.net(b);
@@ -114,6 +118,14 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
   RouteOutcome outcome;
   grid::NetRoute& route = outcome.route;
   route.net = net_id;
+
+  // A dead net (zero pins) is trivially routed: nothing to connect,
+  // nothing to commit.
+  if (net.pins.empty()) {
+    route.routed = true;
+    route.disposition = grid::NetDisposition::kRouted;
+    return outcome;
+  }
 
   // Fault site kSearchFail: report the net unroutable without searching.
   // Keyed by net id so the decision is independent of thread scheduling,
@@ -548,6 +560,15 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid, const RouteBudget& budg
   extra_margin_.assign(static_cast<size_t>(design_.num_nets()), 0);
   grid::Solution solution;
   solution.routes.resize(static_cast<size_t>(design_.num_nets()));
+  // Dead nets never enter net_order(); mark them trivially routed up front
+  // so the final failed-net count and the dispositions stay honest.
+  for (const auto& net : design_.nets()) {
+    if (!net.pins.empty()) continue;
+    grid::NetRoute& r = solution.routes[static_cast<size_t>(net.id)];
+    r.net = net.id;
+    r.routed = true;
+    r.disposition = grid::NetDisposition::kRouted;
+  }
 
   ColorSearch search(grid, config_);
   if (budget_.active()) search.set_budget(&budget_);
@@ -767,6 +788,140 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid, const RouteBudget& budg
     if (!r.routed) ++stats_.failed_nets;
   stats_.runtime_s = timer.elapsed_s();
   return solution;
+}
+
+grid::SolutionStatus MrTplRouter::reroute(grid::RoutingGrid& grid,
+                                          ConflictIndex* index,
+                                          const std::vector<db::NetId>& dirty,
+                                          grid::Solution& solution,
+                                          const RouteBudget& budget) {
+  util::Timer timer;
+  stats_ = RouterStats{};
+  budget_.arm(budget);
+  extra_margin_.assign(static_cast<size_t>(design_.num_nets()), 0);
+  solution.routes.resize(static_cast<size_t>(design_.num_nets()));
+  // Normalize dead-net entries (ECO removals) to the trivially-routed
+  // marker; their metal was released by the caller.
+  for (const auto& net : design_.nets()) {
+    if (!net.pins.empty()) continue;
+    grid::NetRoute& r = solution.routes[static_cast<size_t>(net.id)];
+    r = grid::NetRoute{};
+    r.net = net.id;
+    r.routed = true;
+    r.disposition = grid::NetDisposition::kRouted;
+  }
+
+  ColorSearch search(grid, config_);
+  if (budget_.active()) search.set_budget(&budget_);
+  std::vector<std::unique_ptr<ColorSearch>> no_workers;
+
+  // Worklist: the dirty nets in global heuristic order (dedup'd, dead and
+  // out-of-range ids dropped). Sessions are strictly serial — no pool —
+  // so live apply and journal replay walk the identical code path.
+  std::vector<char> is_dirty(static_cast<size_t>(design_.num_nets()), 0);
+  for (const db::NetId id : dirty)
+    if (id >= 0 && id < design_.num_nets() && design_.net(id).degree() > 0)
+      is_dirty[static_cast<size_t>(id)] = 1;
+  const auto order = net_order();
+  std::vector<db::NetId> work;
+  for (const db::NetId id : order)
+    if (is_dirty[static_cast<size_t>(id)]) work.push_back(id);
+
+  std::unique_ptr<ConflictIndex> own_index;
+  if (index == nullptr && config_.incremental_conflicts) {
+    own_index = std::make_unique<ConflictIndex>(grid);
+    index = own_index.get();
+  }
+  auto detect = [&] {
+    util::Timer t;
+    auto conflicts = index != nullptr ? index->conflicts() : detect_conflicts(grid);
+    stats_.detect_s += t.elapsed_s();
+    return conflicts;
+  };
+  auto current_score = [&](const std::vector<Conflict>& conflicts) {
+    int failed = 0;
+    for (const auto& r : solution.routes)
+      if (!r.routed && r.net != db::kNoNet) ++failed;
+    return iterate_score(static_cast<int>(conflicts.size()),
+                         grid::count_stitches(grid, solution), failed);
+  };
+  LayoutSnapshot best;
+
+  route_list(grid, search, nullptr, no_workers, work, solution);
+
+  // The localized RRR loop: same policy as run(), seeded by the edit's
+  // delta. Conflicts and failures can only arise where the edit touched
+  // (the pre-edit state was an accepted iterate), so ripping stays local
+  // in practice while remaining globally correct.
+  for (int iter = 0; iter < config_.max_rrr_iterations; ++iter) {
+    if (budget_.active() && budget_.expired(stats_.relaxations)) break;
+    const auto conflicts = detect();
+    stats_.conflicts_per_iter.push_back(static_cast<int>(conflicts.size()));
+    if (const double score = current_score(conflicts); score < best.score)
+      best = LayoutSnapshot::capture(grid, solution, score);
+    std::vector<db::NetId> failed;
+    for (const auto& r : solution.routes)
+      if (!r.routed && r.net != db::kNoNet) failed.push_back(r.net);
+    if (conflicts.empty() && failed.empty()) break;
+    stats_.rrr_iterations = iter + 1;
+
+    std::vector<char> rip(static_cast<size_t>(design_.num_nets()), 0);
+    const double hist = grid.tech().rules().history_increment;
+    for (const auto& c : conflicts) {
+      rip[static_cast<size_t>(c.net_a)] = 1;
+      rip[static_cast<size_t>(c.net_b)] = 1;
+      for (const auto& [v, u] : c.pairs) {
+        grid.add_history(v, hist);
+        grid.add_history(u, hist);
+      }
+    }
+    const int margin_cap =
+        std::max(design_.die().width(), design_.die().height());
+    for (const db::NetId id : failed) {
+      int& extra = extra_margin_[static_cast<size_t>(id)];
+      extra = std::min(margin_cap,
+                       extra == 0 ? config_.search_margin : 2 * extra);
+      rip[static_cast<size_t>(id)] = 1;
+      for (const db::NetId b :
+           blockers_of(grid, design_, id, config_.search_margin + extra))
+        rip[static_cast<size_t>(b)] = 1;
+    }
+    std::vector<db::NetId> ripped;
+    for (const db::NetId id : failed) {
+      ripped.push_back(id);
+      rip[static_cast<size_t>(id)] = 2;
+    }
+    for (const db::NetId id : order)
+      if (rip[static_cast<size_t>(id)] == 1) ripped.push_back(id);
+    if (ripped.empty()) break;
+    for (const db::NetId id : ripped)
+      grid::release_route(grid, solution.routes[static_cast<size_t>(id)]);
+    route_list(grid, search, nullptr, no_workers, ripped, solution);
+    for (const db::NetId id : ripped)
+      if (solution.routes[static_cast<size_t>(id)].routed)
+        extra_margin_[static_cast<size_t>(id)] = 0;
+  }
+  {
+    const auto conflicts = detect();
+    if (static_cast<int>(stats_.conflicts_per_iter.size()) ==
+        config_.max_rrr_iterations)
+      stats_.conflicts_per_iter.push_back(static_cast<int>(conflicts.size()));
+    if (const double score = current_score(conflicts); score < best.score)
+      best = LayoutSnapshot::capture(grid, solution, score);
+  }
+  if (!best.masks.empty()) {
+    best.restore(grid, solution);
+    solution = best.solution;
+  }
+
+  const bool degraded = budget_.active() && budget_.tripped();
+  solution.status =
+      degraded ? grid::SolutionStatus::kDegraded : grid::SolutionStatus::kComplete;
+  stats_.budget_hit = degraded;
+  for (const auto& r : solution.routes)
+    if (!r.routed && r.net != db::kNoNet) ++stats_.failed_nets;
+  stats_.runtime_s = timer.elapsed_s();
+  return solution.status;
 }
 
 }  // namespace mrtpl::core

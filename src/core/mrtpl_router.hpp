@@ -20,6 +20,8 @@
 
 namespace mrtpl::core {
 
+class ConflictIndex;  // conflict_index.hpp
+
 /// Aggregate statistics of one routing run.
 struct RouterStats {
   int rrr_iterations = 0;             ///< executed RRR rounds
@@ -92,6 +94,22 @@ class MrTplRouter {
                      RouterCheckpoint* checkpoint = nullptr);
 
   [[nodiscard]] const RouterStats& stats() const { return stats_; }
+
+  /// Incremental ECO reroute for resident sessions. `dirty` names the nets
+  /// whose routes the caller has already released from `grid` (plus any
+  /// newly added nets); they are rerouted into the otherwise-committed
+  /// layout, then the standard RRR loop repairs whatever conflicts or
+  /// failures the delta caused — globally correct, local in practice.
+  /// `index` is the caller's resident conflict engine (null: one is built,
+  /// or the full-rescan oracle runs per config). Strictly serial, so a
+  /// journal replay of the same (state, dirty, budget) is byte-identical
+  /// to the live apply. `solution` is updated in place (entries resize to
+  /// the design; dead nets normalize to trivially-routed markers); returns
+  /// the run status (kDegraded when `budget` tripped).
+  grid::SolutionStatus reroute(grid::RoutingGrid& grid, ConflictIndex* index,
+                               const std::vector<db::NetId>& dirty,
+                               grid::Solution& solution,
+                               const RouteBudget& budget = {});
 
   /// Route one net in isolation (exposed for tests and the quickstart
   /// example, which narrates Fig. 3 step by step). Commits the result.

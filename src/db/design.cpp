@@ -39,11 +39,34 @@ void Design::add_pin(NetId net, Pin pin) {
 
 void Design::add_obstacle(Obstacle obs) { obstacles_.push_back(std::move(obs)); }
 
+void Design::remove_net(NetId net) {
+  if (net < 0 || net >= num_nets())
+    throw std::out_of_range("Design::remove_net: bad net id");
+  nets_[static_cast<size_t>(net)].pins.clear();
+}
+
+void Design::set_pin(NetId net, int pin_index, Pin pin) {
+  if (net < 0 || net >= num_nets())
+    throw std::out_of_range("Design::set_pin: bad net id");
+  auto& pins = nets_[static_cast<size_t>(net)].pins;
+  if (pin_index < 0 || pin_index >= static_cast<int>(pins.size()))
+    throw std::out_of_range("Design::set_pin: bad pin index");
+  pins[static_cast<size_t>(pin_index)] = std::move(pin);
+}
+
+bool Design::remove_obstacle(int layer, const geom::Rect& shape) {
+  for (auto it = obstacles_.begin(); it != obstacles_.end(); ++it) {
+    if (it->layer == layer && it->shape == shape) {
+      obstacles_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 void Design::validate() const {
   const int nl = tech_.num_layers();
   for (const auto& net : nets_) {
-    if (net.pins.empty())
-      throw std::invalid_argument(util::format("net %s has no pins", net.name.c_str()));
     for (const auto& pin : net.pins) {
       if (pin.layer < 0 || pin.layer >= nl)
         throw std::invalid_argument(util::format("pin %s on bad layer %d", pin.name.c_str(), pin.layer));

@@ -44,7 +44,10 @@ struct Net {
   [[nodiscard]] geom::Rect bbox() const;
 };
 
-/// Immutable-after-build routing instance.
+/// Routing instance. Built once (benchgen/io), then optionally mutated by
+/// the session subsystem's ECO edits — net ids are stable handles, so a
+/// removed net stays in the vector as a *dead* net (zero pins) rather than
+/// shifting its successors.
 class Design {
  public:
   Design(std::string name, Tech tech, geom::Rect die);
@@ -54,9 +57,20 @@ class Design {
   void add_pin(NetId net, Pin pin);
   void add_obstacle(Obstacle obs);
 
+  /// ECO mutators (session subsystem). remove_net keeps the id allocated
+  /// but drops every pin — the net is dead from then on (degree() == 0)
+  /// and routers skip it. set_pin replaces one pin in place. Both throw
+  /// std::out_of_range on a bad net/pin index.
+  void remove_net(NetId net);
+  void set_pin(NetId net, int pin_index, Pin pin);
+  /// Remove the first obstacle matching (layer, shape) exactly; returns
+  /// false when none matches.
+  bool remove_obstacle(int layer, const geom::Rect& shape);
+
   /// Validation: every pin shape inside the die, on a real layer, every
-  /// net non-empty. Throws std::invalid_argument on violation; call once
-  /// after building.
+  /// pin non-empty. Dead nets (zero pins — the remove_net tombstone) are
+  /// legal so ECO'd designs round-trip serialization. Throws
+  /// std::invalid_argument on violation.
   void validate() const;
 
   [[nodiscard]] const std::string& name() const { return name_; }

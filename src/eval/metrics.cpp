@@ -19,6 +19,11 @@ Metrics evaluate(const grid::RoutingGrid& grid, const grid::Solution& solution,
   m.conflicts = static_cast<int>(core::detect_conflicts(grid).size());
   m.stitches = mrtpl::grid::count_stitches(grid, solution);
   for (const auto& route : solution.routes) {
+    // Dead nets (zero pins — ECO removals) have nothing to route; their
+    // empty entries are success, not failure.
+    if (route.net >= 0 && route.net < grid.design().num_nets() &&
+        grid.design().net(route.net).degree() == 0)
+      continue;
     if (!route.empty() && !route.routed) ++m.failed_nets;
     if (route.empty()) {
       ++m.failed_nets;

@@ -141,6 +141,50 @@ void RoutingGrid::release(VertexId v) {
   }
 }
 
+void RoutingGrid::rerasterize(int layer, const geom::Rect& region) {
+  if (layer < 0 || layer >= nl_) return;
+  const geom::Rect die{{0, 0}, {nx_ - 1, ny_ - 1}};
+  const geom::Rect r = region.intersected(die);
+  if (!r.valid()) return;
+  for (int y = r.lo.y; y <= r.hi.y; ++y) {
+    for (int x = r.lo.x; x <= r.hi.x; ++x) {
+      const VertexId v = vertex(layer, x, y);
+      const geom::Point p{x, y};
+      bool is_blocked = false;
+      for (const auto& obs : design_->obstacles()) {
+        if (obs.layer == layer && obs.shape.contains(p)) {
+          is_blocked = true;
+          break;
+        }
+      }
+      // Construction order: nets in id order, later assignments overwrite,
+      // so the highest covering net id owns an overlapped pin vertex.
+      db::NetId pin_net = db::kNoNet;
+      if (!is_blocked) {
+        for (const auto& net : design_->nets()) {
+          for (const auto& pin : net.pins) {
+            if (pin.layer != layer) continue;
+            for (const auto& s : pin.shapes) {
+              if (s.contains(p)) {
+                pin_net = net.id;
+                break;
+              }
+            }
+          }
+        }
+      }
+      const db::NetId new_owner = pin_net;
+      note_change(v, new_owner, kNoMask);
+      update_color_field(v, owner_[v], mask_[v], new_owner, kNoMask);
+      owner_[v] = new_owner;
+      mask_[v] = kNoMask;
+      blocked_[v] = is_blocked ? 1 : 0;
+      pin_vertex_[v] = pin_net != db::kNoNet ? 1 : 0;
+      pin_owner_[v] = pin_net;
+    }
+  }
+}
+
 void RoutingGrid::clear_history() {
   std::fill(history_.begin(), history_.end(), 0.0f);
 }

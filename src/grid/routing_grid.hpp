@@ -154,6 +154,17 @@ class RoutingGrid {
   /// search sources/targets (not blocked by obstacles).
   [[nodiscard]] std::vector<VertexId> pin_vertices(const db::Pin& pin) const;
 
+  // ---- incremental re-rasterization (ECO edits) -----------------------
+  /// Recompute the static layout state (blocked / pin vertex / pin owner)
+  /// of every vertex of `region` on `layer` from the design's CURRENT
+  /// obstacles and pins, mirroring construction exactly: obstacles win
+  /// over pins, and of overlapping pins the highest net id wins. Owner
+  /// and mask transitions flow through the dirty log and the congestion
+  /// field like any commit/release. Callers (the session subsystem) must
+  /// release all committed wire in the region first — any leftover wire
+  /// ownership is dropped here, not preserved.
+  void rerasterize(int layer, const geom::Rect& region);
+
   // ---- failure injection (tests) --------------------------------------
   /// Block an arbitrary vertex; used by tests to create unroutable or
   /// congested instances deterministically.

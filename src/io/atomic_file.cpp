@@ -1,0 +1,70 @@
+#include "io/atomic_file.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/fault_injector.hpp"
+
+namespace mrtpl::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  // The temp file must live in the destination directory: rename(2) is
+  // only atomic within one filesystem.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) fail("atomic_write_file: cannot create", tmp);
+
+  bool ok = true;
+  std::string error;
+  const size_t half = content.size() / 2;
+  if (half != 0 && std::fwrite(content.data(), 1, half, f) != half) ok = false;
+  if (ok && util::FaultInjector::enabled() &&
+      util::FaultInjector::instance().should_fail(
+          util::FaultSite::kIoWriteAbort)) {
+    ok = false;
+    error = "atomic_write_file: injected write abort for " + path;
+  }
+  if (ok && content.size() - half != 0 &&
+      std::fwrite(content.data() + half, 1, content.size() - half, f) !=
+          content.size() - half)
+    ok = false;
+  if (ok && std::fflush(f) != 0) ok = false;
+  if (ok && ::fsync(::fileno(f)) != 0) ok = false;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    if (!error.empty()) throw std::runtime_error(error);
+    fail("atomic_write_file: write failed for", tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail("atomic_write_file: rename failed for", path);
+  }
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  out->clear();
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace mrtpl::io

@@ -1,0 +1,23 @@
+#pragma once
+/// \file atomic_file.hpp
+/// Crash-safe whole-file writes: content goes to a unique temp file in the
+/// destination directory, is fsync'd, and is renamed over the target in one
+/// atomic step. A process killed at any point leaves either the old file
+/// (or no file) or the complete new file — never a truncated hybrid. Used
+/// by save_design/save_solution and the session snapshot writer; the
+/// io_write_abort fault site simulates the mid-write kill.
+
+#include <string>
+
+namespace mrtpl::io {
+
+/// Atomically replace `path` with `content`. Throws std::runtime_error on
+/// I/O failure (including the injected io_write_abort), in which case the
+/// destination is untouched and the temp file has been cleaned up.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Read a whole file into a string. Returns false (leaving *out empty) if
+/// the file cannot be opened; throws nothing.
+bool read_file(const std::string& path, std::string* out);
+
+}  // namespace mrtpl::io

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/atomic_file.hpp"
 #include "io/parse_error.hpp"
 #include "util/fault_injector.hpp"
 
@@ -253,10 +254,9 @@ db::Design design_from_string(const std::string& text) {
 }
 
 void save_design(const std::string& path, const db::Design& design) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("design_io: cannot open " + path);
-  write_design(os, design);
-  if (!os) throw std::runtime_error("design_io: write failed for " + path);
+  // Crash-safe: a killed process leaves the previous design (or no file),
+  // never a truncated one (atomic_file.hpp).
+  atomic_write_file(path, design_to_string(design));
 }
 
 db::Design load_design(const std::string& path) {

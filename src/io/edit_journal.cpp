@@ -1,0 +1,170 @@
+#include "io/edit_journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "io/parse_error.hpp"
+#include "util/crc32.hpp"
+#include "util/fault_injector.hpp"
+
+namespace mrtpl::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("edit_journal: " + what + " " + path + ": " +
+                           std::strerror(errno));
+}
+
+std::uint32_t read_u32le(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         static_cast<std::uint32_t>(u[1]) << 8 |
+         static_cast<std::uint32_t>(u[2]) << 16 |
+         static_cast<std::uint32_t>(u[3]) << 24;
+}
+
+void put_u32le(std::uint32_t v, char* p) {
+  p[0] = static_cast<char>(v & 0xFF);
+  p[1] = static_cast<char>(v >> 8 & 0xFF);
+  p[2] = static_cast<char>(v >> 16 & 0xFF);
+  p[3] = static_cast<char>(v >> 24 & 0xFF);
+}
+
+void write_all(int fd, const char* data, size_t len, const std::string& path) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed for", path);
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Scan a raw image: returns the byte offset just past the last valid
+/// record and fills *records (optional) with the valid payloads.
+size_t scan_valid_prefix(const std::string& bytes,
+                         std::vector<std::string>* records) {
+  size_t pos = EditJournal::kHeaderBytes;
+  while (pos + EditJournal::kRecordOverhead <= bytes.size()) {
+    const std::uint32_t len = read_u32le(bytes.data() + pos);
+    if (len == 0 || len > EditJournal::kMaxRecordBytes) break;
+    if (pos + EditJournal::kRecordOverhead + len > bytes.size()) break;
+    const std::uint32_t want = read_u32le(bytes.data() + pos + 4);
+    const char* payload = bytes.data() + pos + EditJournal::kRecordOverhead;
+    if (util::crc32(payload, len) != want) break;
+    if (records != nullptr) records->emplace_back(payload, len);
+    pos += EditJournal::kRecordOverhead + len;
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::unique_ptr<EditJournal> EditJournal::create(const std::string& path) {
+  const int fd =
+      ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) fail("cannot create", path);
+  std::unique_ptr<EditJournal> journal(new EditJournal(path, fd));
+  write_all(fd, kMagic.data(), kMagic.size(), path);
+  journal->sync();
+  return journal;
+}
+
+std::unique_ptr<EditJournal> EditJournal::open(const std::string& path,
+                                               std::vector<std::string>* records,
+                                               ScanReport* report) {
+  if (records != nullptr) records->clear();
+  ScanReport scan;
+
+  std::string bytes;
+  if (!read_file(path, &bytes)) {
+    // Absent journal: a crash before create() finished. Start fresh.
+    scan.rebuilt_header = true;
+    auto journal = create(path);
+    if (report != nullptr) *report = scan;
+    return journal;
+  }
+
+  util::FaultInjector::maybe_corrupt_journal(bytes, kHeaderBytes);
+
+  if (bytes.size() < kHeaderBytes) {
+    // Torn during create(): nothing was committed; reinitialize.
+    scan.rebuilt_header = true;
+    scan.truncated_tail = !bytes.empty();
+    scan.dropped_bytes = bytes.size();
+    auto journal = create(path);
+    if (report != nullptr) *report = scan;
+    return journal;
+  }
+  if (bytes.compare(0, kHeaderBytes, kMagic) != 0)
+    throw ParseError(path, 0, bytes.substr(0, kHeaderBytes),
+                     "not an mrtpl edit journal (bad magic)");
+
+  const size_t valid_end = scan_valid_prefix(bytes, records);
+  scan.valid_records = records != nullptr ? records->size() : 0;
+  scan.dropped_bytes = bytes.size() - valid_end;
+  scan.truncated_tail = scan.dropped_bytes != 0;
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) fail("cannot reopen", path);
+  std::unique_ptr<EditJournal> journal(new EditJournal(path, fd));
+  // Drop the invalid suffix on disk too (the on-disk file may differ from
+  // our fault-corrupted image only in bytes we are discarding anyway), so
+  // subsequent appends extend the committed prefix.
+  if (::ftruncate(fd, static_cast<off_t>(valid_end)) != 0)
+    fail("cannot truncate", path);
+  if (::lseek(fd, 0, SEEK_END) < 0) fail("cannot seek", path);
+  if (scan.truncated_tail) journal->sync();
+  journal->records_written_ = scan.valid_records;
+  if (report != nullptr) *report = scan;
+  return journal;
+}
+
+EditJournal::~EditJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void EditJournal::append(std::string_view payload) {
+  if (payload.empty() || payload.size() > kMaxRecordBytes)
+    throw std::runtime_error("edit_journal: record size out of range: " +
+                             std::to_string(payload.size()));
+  char frame[kRecordOverhead];
+  put_u32le(static_cast<std::uint32_t>(payload.size()), frame);
+  put_u32le(util::crc32(payload.data(), payload.size()), frame + 4);
+  write_all(fd_, frame, sizeof frame, path_);
+  write_all(fd_, payload.data(), payload.size(), path_);
+  ++records_written_;
+}
+
+void EditJournal::sync() {
+  if (::fsync(fd_) != 0) fail("fsync failed for", path_);
+}
+
+std::vector<size_t> EditJournal::boundaries(const std::string& bytes) {
+  std::vector<size_t> out;
+  if (bytes.size() < kHeaderBytes ||
+      bytes.compare(0, kHeaderBytes, kMagic) != 0)
+    return out;
+  out.push_back(kHeaderBytes);
+  size_t pos = kHeaderBytes;
+  while (pos + kRecordOverhead <= bytes.size()) {
+    const std::uint32_t len = read_u32le(bytes.data() + pos);
+    if (len == 0 || len > kMaxRecordBytes) break;
+    if (pos + kRecordOverhead + len > bytes.size()) break;
+    const std::uint32_t want = read_u32le(bytes.data() + pos + 4);
+    if (util::crc32(bytes.data() + pos + kRecordOverhead, len) != want) break;
+    pos += kRecordOverhead + len;
+    out.push_back(pos);
+  }
+  return out;
+}
+
+}  // namespace mrtpl::io

@@ -1,0 +1,94 @@
+#pragma once
+/// \file edit_journal.hpp
+/// Append-only write-ahead log for resident routing sessions. The journal
+/// is payload-agnostic: session::SessionStore puts one committed edit per
+/// record; this layer only guarantees that what comes back out is exactly
+/// a prefix of what was fsync'd in.
+///
+/// On-disk layout:
+///
+///   magic   8 bytes "MRTPLJ01"
+///   record  [u32 payload_len LE][u32 crc32(payload) LE][payload bytes]
+///   ...     records repeat to EOF
+///
+/// Durability contract: append() buffers; sync() fsyncs — a record is
+/// *committed* once sync() returns. open() scans the file front to back,
+/// accepts the longest prefix of CRC-valid, length-sane records, and
+/// truncates the file to that boundary. A torn tail (crash mid-append), a
+/// bit-flipped record, or a garbage length field therefore costs at most
+/// the uncommitted suffix — it is never parsed into garbage. A file that
+/// is too short to hold the magic is treated as an interrupted create and
+/// reinitialized; a full-size header with the wrong magic is somebody
+/// else's file and raises ParseError rather than being clobbered.
+///
+/// Fault sites journal_torn_tail / journal_bitflip corrupt the in-memory
+/// image between read and scan (the recovery path under test is the same
+/// scan-and-truncate).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrtpl::io {
+
+class EditJournal {
+ public:
+  static constexpr std::string_view kMagic = "MRTPLJ01";
+  static constexpr size_t kHeaderBytes = 8;
+  static constexpr size_t kRecordOverhead = 8;  ///< len + crc framing
+  /// Length-field sanity bound: a torn/flipped length larger than this is
+  /// rejected without trusting it (edits are line-sized; 16 MiB is far
+  /// above any legitimate record).
+  static constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+  /// What open()'s validity scan found and did.
+  struct ScanReport {
+    size_t valid_records = 0;
+    std::uint64_t dropped_bytes = 0;  ///< torn/corrupt suffix truncated away
+    bool truncated_tail = false;      ///< dropped_bytes > 0
+    bool rebuilt_header = false;      ///< file shorter than the magic; reinit
+  };
+
+  /// Create a fresh journal at `path`, truncating any existing file.
+  /// Throws std::runtime_error on I/O failure.
+  static std::unique_ptr<EditJournal> create(const std::string& path);
+
+  /// Open an existing journal (or create one if absent): scan, truncate
+  /// the invalid suffix in place, return the committed payloads in
+  /// *records and the scan outcome in *report (optional). Throws
+  /// ParseError if the file exists but carries a foreign magic.
+  static std::unique_ptr<EditJournal> open(const std::string& path,
+                                           std::vector<std::string>* records,
+                                           ScanReport* report = nullptr);
+
+  ~EditJournal();
+  EditJournal(const EditJournal&) = delete;
+  EditJournal& operator=(const EditJournal&) = delete;
+
+  /// Buffer one record. Not durable until sync().
+  void append(std::string_view payload);
+
+  /// fsync the file — the commit point for everything appended so far.
+  void sync();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] size_t records_written() const { return records_written_; }
+
+  /// Byte offsets of every record boundary in a raw journal image,
+  /// starting with the header boundary — the kill points of the sweep
+  /// test. Offsets past the first invalid record are not included.
+  [[nodiscard]] static std::vector<size_t> boundaries(const std::string& bytes);
+
+ private:
+  EditJournal(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  size_t records_written_ = 0;
+};
+
+}  // namespace mrtpl::io

@@ -63,7 +63,36 @@ void write_degrees(std::ostream& os,
   os << "]";
 }
 
+void write_dispositions(std::ostream& os,
+                        const std::vector<DispositionEntry>& entries) {
+  os << "[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    if (i) os << ",";
+    os << "{\"net\":" << e.net << ",\"name\":" << json_escape(e.name)
+       << ",\"state\":" << json_escape(e.state) << "}";
+  }
+  os << "]";
+}
+
 }  // namespace
+
+std::vector<DispositionEntry> dispositions_of(const grid::Solution& solution,
+                                              const db::Design& design) {
+  std::vector<DispositionEntry> out;
+  for (const auto& route : solution.routes) {
+    if (route.net == db::kNoNet ||
+        route.disposition == grid::NetDisposition::kRouted)
+      continue;
+    DispositionEntry e;
+    e.net = route.net;
+    if (route.net >= 0 && route.net < design.num_nets())
+      e.name = design.net(route.net).name;
+    e.state = grid::to_string(route.disposition);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
 
 void write_scenario_line(std::ostream& os, const ScenarioReport& r) {
   os << "{\"scenario\":" << json_escape(r.scenario)
@@ -76,8 +105,14 @@ void write_scenario_line(std::ostream& os, const ScenarioReport& r) {
      << ",\"failed_nets\":" << r.metrics.failed_nets
      << ",\"drc_clean\":" << (r.drc_clean ? "true" : "false")
      << ",\"detect_s\":" << r.detect_s << ",\"route_s\":" << r.route_s
-     << ",\"total_s\":" << r.total_s << ",\"note\":" << json_escape(r.note)
-     << "}\n";
+     << ",\"total_s\":" << r.total_s << ",\"note\":" << json_escape(r.note);
+  // Only non-routed nets are listed; a clean run omits the key entirely,
+  // keeping historical BENCH_scenarios.json lines byte-stable.
+  if (!r.dispositions.empty()) {
+    os << ",\"dispositions\":";
+    write_dispositions(os, r.dispositions);
+  }
+  os << "}\n";
 }
 
 std::string scenario_line_to_string(const ScenarioReport& report) {
@@ -95,6 +130,10 @@ void write_case_report(std::ostream& os, const CaseReport& report) {
   write_layers(os, report.layers);
   os << ",\"degrees\":";
   write_degrees(os, report.degrees);
+  if (!report.dispositions.empty()) {
+    os << ",\"dispositions\":";
+    write_dispositions(os, report.dispositions);
+  }
   os << "}";
 }
 

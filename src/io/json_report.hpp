@@ -14,8 +14,22 @@
 
 #include "eval/breakdown.hpp"
 #include "eval/metrics.hpp"
+#include "grid/route_result.hpp"
 
 namespace mrtpl::io {
+
+/// One net that did not come out fully routed: serialized into reports so
+/// degraded runs and session responses can NAME the skipped/partial nets
+/// instead of only counting them. Fully-routed nets are omitted.
+struct DispositionEntry {
+  int net = -1;
+  std::string name;    ///< design net name (may be empty for raw ids)
+  std::string state;   ///< grid::to_string(NetDisposition): "failed" | ...
+};
+
+/// Collect the non-routed entries of a solution in net-id order.
+[[nodiscard]] std::vector<DispositionEntry> dispositions_of(
+    const grid::Solution& solution, const db::Design& design);
 
 /// One flow's results on one case.
 struct CaseReport {
@@ -25,6 +39,7 @@ struct CaseReport {
   eval::Metrics metrics;
   std::vector<eval::LayerBreakdown> layers;    ///< optional (may be empty)
   std::vector<eval::DegreeBreakdown> degrees;  ///< optional (may be empty)
+  std::vector<DispositionEntry> dispositions;  ///< non-routed nets (optional)
 };
 
 /// One stress scenario's end-to-end outcome, emitted as a single JSON
@@ -42,6 +57,7 @@ struct ScenarioReport {
   double detect_s = 0.0;  ///< conflict-detection wall time
   double route_s = 0.0;   ///< detailed-routing wall time
   double total_s = 0.0;   ///< whole scenario: generate through DRC verify
+  std::vector<DispositionEntry> dispositions;  ///< non-routed nets (optional)
 };
 
 /// Serialize one scenario report as a single JSON line (trailing newline

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "io/atomic_file.hpp"
 #include "io/parse_error.hpp"
 #include "util/fault_injector.hpp"
 #include "util/strings.hpp"
@@ -174,10 +175,9 @@ grid::Solution solution_from_string(const std::string& text, grid::RoutingGrid& 
 
 void save_solution(const std::string& path, const grid::RoutingGrid& grid,
                    const grid::Solution& solution) {
-  std::ofstream os(path);
-  if (!os) throw std::runtime_error("solution_io: cannot open " + path);
-  write_solution(os, grid, solution);
-  if (!os) throw std::runtime_error("solution_io: write failed for " + path);
+  // Crash-safe: a killed process leaves the previous solution (or no
+  // file), never a truncated one (atomic_file.hpp).
+  atomic_write_file(path, solution_to_string(grid, solution));
 }
 
 grid::Solution load_solution(const std::string& path, grid::RoutingGrid& grid) {

@@ -7,6 +7,8 @@
 #include "drc/checker.hpp"
 #include "global/global_router.hpp"
 #include "grid/routing_grid.hpp"
+#include "session/invariant_audit.hpp"
+#include "session/router_session.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
 
@@ -48,32 +50,92 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& scenario) const {
     global::GlobalRouter gr(design, gconfig);
     const global::GuideSet guides = gr.route_all();
 
-    grid::RoutingGrid grid(design);
-    util::Timer route_timer;
-    core::MrTplRouter router(design, &guides, options_.config);
-    // Preemptive timeout: hand the router whatever wall budget remains
-    // after generation + global routing, so a runaway case stops ripping
-    // mid-run and returns its best iterate instead of blowing through the
-    // budget and only being flagged post-hoc.
-    core::RouteBudget budget;
-    if (options_.timeout_s > 0)
-      budget.deadline_s = std::max(0.01, options_.timeout_s - total.elapsed_s());
-    const grid::Solution solution = router.run(grid, budget);
-    result.route_s = route_timer.elapsed_s();
-    result.detect_s = router.stats().detect_s;
-    result.degraded = solution.degraded();
+    drc::DrcReport drc_report;
+    int num_partial = 0;
+    int num_skipped = 0;
+    if (scenario.via_session) {
+      // Session path: route through a resident RouterSession (as
+      // `mrtpl_cli session` would), push one ECO blockage round-trip
+      // through it, and require the design ↔ grid ↔ solution ↔ index
+      // coherence audit to pass on top of the usual metrics/DRC bar.
+      util::Timer route_timer;
+      session::SessionConfig sconfig;
+      sconfig.router = options_.config;
+      // The runner's wall budget preempts the initial route exactly as it
+      // does the one-shot path below.
+      if (options_.timeout_s > 0)
+        sconfig.initial_deadline_s =
+            std::max(0.01, options_.timeout_s - total.elapsed_s());
+      session::RouterSession sess(design, sconfig, &guides);
 
-    result.metrics = eval::evaluate(grid, solution, &guides);
-    const drc::DrcReport drc_report = drc::verify(grid, design, solution);
+      if (!sess.solution().degraded()) {
+        session::Edit blockage;
+        blockage.kind = session::EditKind::kAddBlockage;
+        blockage.layer = 0;
+        // Quarter-die anchor: off the hotspot windows, so the round-trip
+        // rips committed wire rather than burying anyone's pin metal.
+        const geom::Point anchor{
+            design.die().lo.x + (design.die().hi.x - design.die().lo.x) / 4,
+            design.die().lo.y + (design.die().hi.y - design.die().lo.y) / 4};
+        blockage.rect = geom::Rect(anchor, anchor).inflated(1)
+                            .intersected(design.die());
+        const session::EditResponse dropped = sess.submit(blockage);
+        blockage.kind = session::EditKind::kRemoveBlockage;
+        const session::EditResponse lifted = sess.submit(blockage);
+        if (dropped.status != session::EditStatus::kApplied ||
+            lifted.status != session::EditStatus::kApplied) {
+          result.note = util::format(
+              "session edits not applied (%s, %s)", to_string(dropped.status),
+              to_string(lifted.status));
+        } else if (const session::AuditReport audit =
+                       session::audit_session(sess);
+                   !audit.ok) {
+          result.note = "session audit: " +
+                        (audit.problems.empty() ? std::string("incoherent")
+                                                : audit.problems.front());
+        }
+      }
+      result.route_s = route_timer.elapsed_s();
+      result.detect_s = sess.initial_stats().detect_s;
+      result.degraded = sess.solution().degraded();
+
+      result.metrics = eval::evaluate(sess.grid(), sess.solution(), &guides);
+      drc_report = drc::verify(sess.grid(), sess.design(), sess.solution());
+      num_partial = sess.solution().num_partial();
+      num_skipped = sess.solution().num_skipped();
+    } else {
+      grid::RoutingGrid grid(design);
+      util::Timer route_timer;
+      core::MrTplRouter router(design, &guides, options_.config);
+      // Preemptive timeout: hand the router whatever wall budget remains
+      // after generation + global routing, so a runaway case stops ripping
+      // mid-run and returns its best iterate instead of blowing through the
+      // budget and only being flagged post-hoc.
+      core::RouteBudget budget;
+      if (options_.timeout_s > 0)
+        budget.deadline_s = std::max(0.01, options_.timeout_s - total.elapsed_s());
+      const grid::Solution solution = router.run(grid, budget);
+      result.route_s = route_timer.elapsed_s();
+      result.detect_s = router.stats().detect_s;
+      result.degraded = solution.degraded();
+
+      result.metrics = eval::evaluate(grid, solution, &guides);
+      drc_report = drc::verify(grid, design, solution);
+      num_partial = solution.num_partial();
+      num_skipped = solution.num_skipped();
+    }
     result.drc_clean = drc_report.clean();
     result.total_s = total.elapsed_s();
 
-    if (result.metrics.failed_nets > 0)
+    if (!result.note.empty()) {
+      // session-path problem already recorded
+    } else if (result.metrics.failed_nets > 0) {
       result.note = util::format("%d net(s) failed to route", result.metrics.failed_nets);
-    else if (result.metrics.conflicts > 0)
+    } else if (result.metrics.conflicts > 0) {
       result.note = util::format("%d color conflict(s) remain", result.metrics.conflicts);
-    else if (!result.drc_clean)
+    } else if (!result.drc_clean) {
       result.note = "DRC: " + drc_report.summary();
+    }
 
     if (result.degraded) {
       // The deadline preempted the run. Reported as timeout regardless of
@@ -82,7 +144,7 @@ ScenarioResult ScenarioRunner::run(const ScenarioSpec& scenario) const {
       result.status = Status::kTimeout;
       result.note = util::format(
           "deadline preempted routing after %.2fs (%d partial, %d skipped)",
-          result.total_s, solution.num_partial(), solution.num_skipped());
+          result.total_s, num_partial, num_skipped);
     } else if (!result.note.empty()) {
       result.status = Status::kFail;
     } else if (options_.timeout_s > 0 && result.total_s > options_.timeout_s) {

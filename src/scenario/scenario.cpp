@@ -90,9 +90,13 @@ ScenarioRegistry build_builtin() {
     quick.width = quick.height = 32;
     quick.num_nets = 20;
     quick.local_span = 10;
-    reg.add(make("hotspot_twin_peaks", Family::kCongestion,
-                 "two pin clusters exceeding their local track supply",
-                 full, quick));
+    ScenarioSpec spec = make(
+        "hotspot_twin_peaks", Family::kCongestion,
+        "two pin clusters exceeding their local track supply", full, quick);
+    // Route this one through a resident RouterSession so the suite keeps
+    // the session/ECO path under the same conflict-free regression bar.
+    spec.via_session = true;
+    reg.add(std::move(spec));
   }
   {
     benchgen::CaseSpec full = scenario_base("hotspot_quad", 4);

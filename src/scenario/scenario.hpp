@@ -36,6 +36,12 @@ struct ScenarioSpec {
   benchgen::CaseSpec full;
   benchgen::CaseSpec quick;
 
+  /// Route through a resident session::RouterSession (initial route plus
+  /// an ECO blockage round-trip) instead of a one-shot MrTplRouter, and
+  /// audit design ↔ grid ↔ solution coherence afterwards. Keeps the
+  /// session path exercised by every `mrtpl_cli suite --quick` run.
+  bool via_session = false;
+
   [[nodiscard]] const benchgen::CaseSpec& spec(bool quick_mode) const {
     return quick_mode ? quick : full;
   }

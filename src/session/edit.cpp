@@ -1,0 +1,245 @@
+#include "session/edit.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "io/parse_error.hpp"
+
+namespace mrtpl::session {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream ss(line);
+  std::vector<std::string> tokens;
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// Single-token name encoding shared with design_io: '-' is the empty
+/// name, embedded whitespace becomes '_'.
+std::string encode_name(const std::string& name) {
+  if (name.empty()) return "-";
+  std::string out = name;
+  for (char& c : out)
+    if (c == ' ' || c == '\t') c = '_';
+  return out;
+}
+
+std::string decode_name(const std::string& tok) {
+  return tok == "-" ? std::string() : tok;
+}
+
+/// Tokenized single-line parser cursor with ParseError reporting.
+struct Cursor {
+  const std::vector<std::string>& t;
+  size_t pos = 0;
+  const std::string& source;
+  int line_no;
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw io::ParseError(source, line_no, pos < t.size() ? t[pos] : "", reason);
+  }
+
+  const std::string& next(const char* what) {
+    if (pos >= t.size())
+      throw io::ParseError(source, line_no, "", std::string("expected ") + what);
+    return t[pos++];
+  }
+
+  int next_int(const char* what) {
+    const std::string& tok = next(what);
+    try {
+      size_t end = 0;
+      const int v = std::stoi(tok, &end);
+      if (end != tok.size()) throw std::invalid_argument(tok);
+      return v;
+    } catch (const std::exception&) {
+      throw io::ParseError(source, line_no, tok, "expected integer");
+    }
+  }
+
+  geom::Rect next_rect() {
+    const int x0 = next_int("x0");
+    const int y0 = next_int("y0");
+    const int x1 = next_int("x1");
+    const int y1 = next_int("y1");
+    return {x0, y0, x1, y1};
+  }
+
+  void done() const {
+    if (pos != t.size())
+      throw io::ParseError(source, line_no, t[pos], "trailing tokens");
+  }
+};
+
+void append_rect(std::string& out, const geom::Rect& r) {
+  out += ' ';
+  out += std::to_string(r.lo.x);
+  out += ' ';
+  out += std::to_string(r.lo.y);
+  out += ' ';
+  out += std::to_string(r.hi.x);
+  out += ' ';
+  out += std::to_string(r.hi.y);
+}
+
+}  // namespace
+
+const char* to_string(EditKind kind) {
+  switch (kind) {
+    case EditKind::kAddNet: return "add_net";
+    case EditKind::kRemoveNet: return "remove_net";
+    case EditKind::kMovePin: return "move_pin";
+    case EditKind::kAddBlockage: return "add_blockage";
+    case EditKind::kRemoveBlockage: return "remove_blockage";
+  }
+  return "?";
+}
+
+std::string format_edit(const Edit& edit) {
+  std::string out = to_string(edit.kind);
+  switch (edit.kind) {
+    case EditKind::kAddNet: {
+      out += ' ';
+      out += encode_name(edit.name);
+      out += ' ';
+      out += std::to_string(edit.pins.size());
+      for (const auto& pin : edit.pins) {
+        out += " pin ";
+        out += encode_name(pin.name);
+        out += ' ';
+        out += std::to_string(pin.layer);
+        out += ' ';
+        out += std::to_string(pin.shapes.size());
+        for (const auto& s : pin.shapes) append_rect(out, s);
+      }
+      break;
+    }
+    case EditKind::kRemoveNet:
+      out += ' ';
+      out += std::to_string(edit.net);
+      break;
+    case EditKind::kMovePin: {
+      const db::Pin& pin = edit.pins.empty() ? db::Pin{} : edit.pins.front();
+      out += ' ';
+      out += std::to_string(edit.net);
+      out += ' ';
+      out += std::to_string(edit.pin_index);
+      out += ' ';
+      out += std::to_string(pin.layer);
+      out += ' ';
+      out += std::to_string(pin.shapes.size());
+      for (const auto& s : pin.shapes) append_rect(out, s);
+      break;
+    }
+    case EditKind::kAddBlockage:
+    case EditKind::kRemoveBlockage:
+      out += ' ';
+      out += std::to_string(edit.layer);
+      append_rect(out, edit.rect);
+      break;
+  }
+  return out;
+}
+
+Edit parse_edit(const std::string& line, const std::string& source, int line_no) {
+  const auto tokens = tokenize(line);
+  Cursor cur{tokens, 0, source, line_no};
+  const std::string& verb = cur.next("edit verb");
+  Edit edit;
+  if (verb == "add_net") {
+    edit.kind = EditKind::kAddNet;
+    edit.name = decode_name(cur.next("net name"));
+    const int npins = cur.next_int("pin count");
+    if (npins < 1) cur.fail("add_net needs at least one pin");
+    for (int p = 0; p < npins; ++p) {
+      if (cur.next("'pin'") != "pin") cur.fail("expected 'pin'");
+      db::Pin pin;
+      pin.name = decode_name(cur.next("pin name"));
+      pin.layer = cur.next_int("pin layer");
+      const int nshapes = cur.next_int("shape count");
+      if (nshapes < 1) cur.fail("pin needs at least one shape");
+      for (int s = 0; s < nshapes; ++s) pin.shapes.push_back(cur.next_rect());
+      edit.pins.push_back(std::move(pin));
+    }
+  } else if (verb == "remove_net") {
+    edit.kind = EditKind::kRemoveNet;
+    edit.net = cur.next_int("net id");
+  } else if (verb == "move_pin") {
+    edit.kind = EditKind::kMovePin;
+    edit.net = cur.next_int("net id");
+    edit.pin_index = cur.next_int("pin index");
+    db::Pin pin;
+    pin.layer = cur.next_int("pin layer");
+    const int nshapes = cur.next_int("shape count");
+    if (nshapes < 1) cur.fail("pin needs at least one shape");
+    for (int s = 0; s < nshapes; ++s) pin.shapes.push_back(cur.next_rect());
+    edit.pins.push_back(std::move(pin));
+  } else if (verb == "add_blockage" || verb == "remove_blockage") {
+    edit.kind = verb == "add_blockage" ? EditKind::kAddBlockage
+                                       : EditKind::kRemoveBlockage;
+    edit.layer = cur.next_int("layer");
+    edit.rect = cur.next_rect();
+  } else {
+    throw io::ParseError(source, line_no, verb, "unknown edit verb");
+  }
+  cur.done();
+  return edit;
+}
+
+std::vector<Edit> read_edit_script(std::istream& is, const std::string& source) {
+  std::vector<Edit> edits;
+  std::string line;
+  int line_no = 0;
+  bool have_header = false;
+  bool ended = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments; skip blank lines.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) continue;
+    if (!have_header) {
+      if (tokens != std::vector<std::string>{"mrtpl-edits", "1"})
+        throw io::ParseError(source, line_no, tokens[0],
+                             "missing 'mrtpl-edits 1' header");
+      have_header = true;
+      continue;
+    }
+    if (tokens.size() == 1 && tokens[0] == "end") {
+      ended = true;
+      break;
+    }
+    edits.push_back(parse_edit(line, source, line_no));
+  }
+  if (!have_header)
+    throw io::ParseError(source, line_no, "", "missing 'mrtpl-edits 1' header");
+  if (!ended) throw io::ParseError(source, line_no, "", "missing 'end'");
+  return edits;
+}
+
+std::vector<Edit> edits_from_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_edit_script(ss, "<string>");
+}
+
+std::string edits_to_string(const std::vector<Edit>& edits) {
+  std::string out = "mrtpl-edits 1\n";
+  for (const auto& e : edits) {
+    out += format_edit(e);
+    out += '\n';
+  }
+  out += "end\n";
+  return out;
+}
+
+std::vector<Edit> load_edit_script(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw io::ParseError(path, 0, "", "cannot open file");
+  return read_edit_script(is, path);
+}
+
+}  // namespace mrtpl::session

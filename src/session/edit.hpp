@@ -1,0 +1,83 @@
+#pragma once
+/// \file edit.hpp
+/// ECO edit records for resident routing sessions. An Edit is one
+/// incremental change to a live design — add/remove a net, move a pin,
+/// add/remove a blockage — expressed as a single whitespace-tokenized
+/// line so the same grammar serves three masters: the edit-script files
+/// `mrtpl_cli session` drives, the journal payloads SessionStore
+/// persists, and the human reading either one.
+///
+/// Line grammar (one edit per line):
+///
+///   add_net <name> <npins> { pin <pname> <layer> <nshapes> {x0 y0 x1 y1}* }*
+///   remove_net <net>
+///   move_pin <net> <pin_index> <layer> <nshapes> {x0 y0 x1 y1}*
+///   add_blockage <layer> <x0> <y0> <x1> <y1>
+///   remove_blockage <layer> <x0> <y0> <x1> <y1>
+///
+/// Names are single tokens; '-' stands for the empty name (the same
+/// convention design_io uses). move_pin carries only geometry — the pin
+/// keeps its existing name, so a journal replay reproduces the design
+/// text byte for byte.
+///
+/// Edit-script files wrap the lines in a versioned envelope:
+///
+///   mrtpl-edits 1
+///   # comment / blank lines ignored
+///   <edit line>*
+///   end
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "db/design.hpp"
+#include "geom/rect.hpp"
+
+namespace mrtpl::session {
+
+enum class EditKind : std::uint8_t {
+  kAddNet = 0,
+  kRemoveNet,
+  kMovePin,
+  kAddBlockage,
+  kRemoveBlockage,
+};
+
+/// Stable grammar keyword ("add_net", ...).
+[[nodiscard]] const char* to_string(EditKind kind);
+
+/// One ECO edit. Field use by kind:
+///   kAddNet         name, pins (>= 1, each with >= 1 shape)
+///   kRemoveNet      net
+///   kMovePin        net, pin_index, pins[0] (new geometry; name ignored)
+///   kAddBlockage    layer, rect
+///   kRemoveBlockage layer, rect (must match an obstacle exactly)
+struct Edit {
+  EditKind kind = EditKind::kAddNet;
+  std::string name;
+  db::NetId net = db::kNoNet;
+  int pin_index = 0;
+  std::vector<db::Pin> pins;
+  int layer = 0;
+  geom::Rect rect;
+};
+
+/// Serialize an edit as one grammar line (no trailing newline).
+[[nodiscard]] std::string format_edit(const Edit& edit);
+
+/// Parse one grammar line. Throws io::ParseError with (source, line_no)
+/// attached on any structural problem; semantic checks (ids in range, pin
+/// shapes inside the die, ...) are the session's job.
+[[nodiscard]] Edit parse_edit(const std::string& line, const std::string& source,
+                              int line_no);
+
+/// Read a whole edit-script file (header + lines + end).
+[[nodiscard]] std::vector<Edit> read_edit_script(std::istream& is,
+                                                 const std::string& source);
+[[nodiscard]] std::vector<Edit> edits_from_string(const std::string& text);
+[[nodiscard]] std::string edits_to_string(const std::vector<Edit>& edits);
+[[nodiscard]] std::vector<Edit> load_edit_script(const std::string& path);
+
+}  // namespace mrtpl::session

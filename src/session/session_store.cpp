@@ -1,0 +1,226 @@
+#include "session/session_store.hpp"
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+
+#include "io/atomic_file.hpp"
+#include "io/design_io.hpp"
+#include "io/parse_error.hpp"
+#include "io/solution_io.hpp"
+#include "util/crc32.hpp"
+#include "util/fault_injector.hpp"
+
+namespace mrtpl::session {
+
+namespace {
+
+constexpr std::string_view kSnapshotHeader = "mrtpl-session 1";
+
+void append_blob(std::string* body, const char* tag, const std::string& blob) {
+  *body += tag;
+  *body += ' ';
+  *body += std::to_string(blob.size());
+  *body += '\n';
+  *body += blob;
+}
+
+/// Byte-offset snapshot parser: blobs are length-prefixed raw bytes, so
+/// line-oriented reading only works between them.
+struct SnapshotCursor {
+  const std::string& bytes;
+  const std::string& path;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& reason) const {
+    throw io::ParseError(path, 0, "", reason);
+  }
+
+  std::string line() {
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) fail("unexpected end of snapshot");
+    std::string out = bytes.substr(pos, nl - pos);
+    pos = nl + 1;
+    return out;
+  }
+
+  std::string blob(const char* tag) {
+    std::istringstream ss(line());
+    std::string word;
+    std::uint64_t n = 0;
+    if (!(ss >> word >> n) || word != tag || !ss.eof())
+      fail(std::string("expected '") + tag + " <bytes>'");
+    if (pos + n > bytes.size()) fail("snapshot blob truncated");
+    std::string out = bytes.substr(pos, n);
+    pos += n;
+    return out;
+  }
+};
+
+/// One journal record: "<seq> <relax_cap> <edit line>".
+void parse_record(const std::string& payload, const std::string& path,
+                  int record_no, std::uint64_t* seq, std::uint64_t* cap,
+                  std::string* edit_line) {
+  std::istringstream ss(payload);
+  if (!(ss >> *seq >> *cap))
+    throw io::ParseError(path, record_no, payload.substr(0, 32),
+                         "malformed journal record framing");
+  std::getline(ss, *edit_line);
+  if (!edit_line->empty() && edit_line->front() == ' ')
+    edit_line->erase(0, 1);
+  if (edit_line->empty())
+    throw io::ParseError(path, record_no, "", "journal record without an edit");
+}
+
+}  // namespace
+
+std::string SessionStore::journal_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "journal.mrtpl").string();
+}
+
+std::string SessionStore::snapshot_path(const std::string& dir) {
+  return (std::filesystem::path(dir) / "snapshot.mrtpl").string();
+}
+
+SessionStore::SessionStore(std::string dir, SessionConfig config)
+    : dir_(std::move(dir)), config_(config) {}
+
+std::unique_ptr<SessionStore> SessionStore::create(const std::string& dir,
+                                                   const db::Design& design,
+                                                   SessionConfig config,
+                                                   const global::GuideSet* guides) {
+  std::filesystem::create_directories(dir);
+  std::unique_ptr<SessionStore> store(new SessionStore(dir, config));
+  store->session_ = std::make_unique<RouterSession>(design, config, guides);
+  store->journal_ = io::EditJournal::create(journal_path(dir));
+  store->write_snapshot(false);  // snapshot 0: the base every recovery needs
+  store->wire_hook();
+  return store;
+}
+
+std::unique_ptr<SessionStore> SessionStore::recover(const std::string& dir,
+                                                    SessionConfig config,
+                                                    RecoveryReport* report) {
+  const std::string snap_path = snapshot_path(dir);
+  std::string snap;
+  if (!io::read_file(snap_path, &snap))
+    throw io::ParseError(snap_path, 0, "", "cannot open snapshot");
+
+  SnapshotCursor cur{snap, snap_path};
+  if (cur.line() != kSnapshotHeader)
+    cur.fail("missing 'mrtpl-session 1' header");
+  std::uint64_t snapshot_seq = 0;
+  {
+    std::istringstream ss(cur.line());
+    std::string word;
+    if (!(ss >> word >> snapshot_seq) || word != "seq" || !ss.eof())
+      cur.fail("expected 'seq <n>'");
+  }
+  const std::string design_text = cur.blob("design");
+  const std::string guides_text = cur.blob("guides");
+  const std::string solution_text = cur.blob("solution");
+  const std::size_t sealed = cur.pos;  // CRC seals everything before it
+  {
+    std::istringstream ss(cur.line());
+    std::string word;
+    std::uint64_t stored = 0;
+    if (!(ss >> word >> stored) || word != "crc" || !ss.eof())
+      cur.fail("expected 'crc <n>'");
+    if (stored != util::crc32(std::string_view(snap.data(), sealed)))
+      cur.fail("snapshot checksum mismatch");
+  }
+  if (cur.line() != "end") cur.fail("missing 'end'");
+
+  const db::Design design = io::design_from_string(design_text);
+  global::GuideSet guides;
+  const bool has_guides = !guides_text.empty();
+  if (has_guides) guides = io::guides_from_string(guides_text);
+
+  std::unique_ptr<SessionStore> store(new SessionStore(dir, config));
+  store->session_ = std::make_unique<RouterSession>(
+      design, config, has_guides ? &guides : nullptr, solution_text,
+      snapshot_seq);
+
+  std::vector<std::string> records;
+  io::EditJournal::ScanReport scan;
+  store->journal_ = io::EditJournal::open(journal_path(dir), &records, &scan);
+
+  RecoveryReport rep;
+  rep.snapshot_seq = snapshot_seq;
+  rep.truncated_tail = scan.truncated_tail;
+  rep.dropped_bytes = scan.dropped_bytes;
+  const std::string jpath = journal_path(dir);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    std::uint64_t seq = 0;
+    std::uint64_t cap = 0;
+    std::string line;
+    parse_record(records[i], jpath, static_cast<int>(i) + 1, &seq, &cap, &line);
+    if (seq <= snapshot_seq) {
+      ++rep.skipped;
+      continue;
+    }
+    if (seq != store->session_->seq() + 1)
+      throw io::ParseError(jpath, static_cast<int>(i) + 1, "",
+                           "journal sequence gap");
+    const Edit edit = parse_edit(line, jpath, static_cast<int>(i) + 1);
+    store->session_->replay(edit, cap);
+    ++rep.replayed;
+  }
+  store->wire_hook();
+  // Re-bound the next recovery's replay cost. Subject to snapshot_stale
+  // like any periodic snapshot; the journal stays authoritative.
+  if (rep.replayed > 0) store->write_snapshot(true);
+  if (report != nullptr) *report = rep;
+  return store;
+}
+
+EditResponse SessionStore::submit(const Edit& edit) {
+  return session_->submit(edit);
+}
+
+void SessionStore::snapshot_now() { write_snapshot(true); }
+
+void SessionStore::wire_hook() {
+  session_->set_commit_hook([this](const CommittedEdit& c) {
+    // Journal-after-apply: the fsync below is the commit point — an edit
+    // that dies before it simply never happened, which recovery's
+    // committed-prefix replay is built around.
+    std::string payload = std::to_string(c.seq);
+    payload += ' ';
+    payload += std::to_string(c.max_relaxations);
+    payload += ' ';
+    payload += format_edit(c.edit);
+    journal_->append(payload);
+    journal_->sync();
+    ++since_snapshot_;
+    if (config_.snapshot_every > 0 && since_snapshot_ >= config_.snapshot_every)
+      write_snapshot(true);
+  });
+}
+
+void SessionStore::write_snapshot(bool faultable) {
+  since_snapshot_ = 0;
+  // snapshot_stale: simulate dying between the journal fsync and the
+  // snapshot rename — recovery must replay the longer journal suffix.
+  if (faultable && util::FaultInjector::enabled() &&
+      util::FaultInjector::instance().should_fail(
+          util::FaultSite::kSnapshotStale))
+    return;
+  std::string body(kSnapshotHeader);
+  body += "\nseq ";
+  body += std::to_string(session_->seq());
+  body += '\n';
+  append_blob(&body, "design", session_->design_text());
+  append_blob(&body, "guides",
+              session_->guides() != nullptr
+                  ? io::guides_to_string(*session_->guides())
+                  : std::string());
+  append_blob(&body, "solution", session_->solution_text());
+  const std::uint32_t seal = util::crc32(body);  // seals everything above
+  body += "crc ";
+  body += std::to_string(seal);
+  body += "\nend\n";
+  io::atomic_write_file(snapshot_path(dir_), body);
+}
+
+}  // namespace mrtpl::session

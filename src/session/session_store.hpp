@@ -1,0 +1,92 @@
+#pragma once
+/// \file session_store.hpp
+/// Crash-consistent persistence for RouterSession: an append-only edit
+/// journal (io/edit_journal.hpp) plus a periodic atomic snapshot, both
+/// living in one store directory:
+///
+///   <dir>/journal.mrtpl    WAL — one record per committed edit:
+///                          "<seq> <relax_cap> <edit line>"
+///   <dir>/snapshot.mrtpl   checkpoint — seq + design/guides/solution
+///                          texts, CRC-sealed, written via atomic rename
+///
+/// Write protocol per committed edit (the session's commit hook):
+/// journal append + fsync FIRST (the durability point), then every
+/// `snapshot_every` commits a snapshot rewrite. Recovery loads the
+/// snapshot, truncates any torn/corrupt journal tail, and replays the
+/// committed records newer than the snapshot — producing a session
+/// byte-identical to one that applied the same committed prefix without
+/// interruption (pinned by the kill-point sweep test).
+///
+/// Fault sites: journal_torn_tail / journal_bitflip corrupt the journal
+/// image before the recovery scan; snapshot_stale suppresses a periodic
+/// snapshot write, forcing recovery to replay a longer suffix.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "io/edit_journal.hpp"
+#include "session/router_session.hpp"
+
+namespace mrtpl::session {
+
+/// What recover() found and replayed.
+struct RecoveryReport {
+  std::uint64_t snapshot_seq = 0;  ///< committed seq the snapshot held
+  int replayed = 0;                ///< journal records applied on top
+  int skipped = 0;                 ///< records the snapshot already covered
+  bool truncated_tail = false;     ///< journal had a torn/corrupt suffix
+  std::uint64_t dropped_bytes = 0; ///< bytes that suffix cost
+};
+
+class SessionStore {
+ public:
+  /// Fresh store: route the design from scratch, then persist snapshot 0
+  /// and an empty journal into `dir` (created if absent).
+  static std::unique_ptr<SessionStore> create(const std::string& dir,
+                                              const db::Design& design,
+                                              SessionConfig config,
+                                              const global::GuideSet* guides);
+
+  /// Recover a store from disk: parse the snapshot, scan-and-truncate
+  /// the journal, replay the committed suffix. Throws io::ParseError on
+  /// a missing/corrupt snapshot or a foreign journal file.
+  static std::unique_ptr<SessionStore> recover(const std::string& dir,
+                                               SessionConfig config,
+                                               RecoveryReport* report = nullptr);
+
+  SessionStore(const SessionStore&) = delete;
+  SessionStore& operator=(const SessionStore&) = delete;
+
+  /// Apply one edit through the resident session; committed edits are
+  /// journaled + fsync'd before this returns (and may trigger a
+  /// snapshot).
+  EditResponse submit(const Edit& edit);
+
+  [[nodiscard]] RouterSession& session() { return *session_; }
+  [[nodiscard]] const RouterSession& session() const { return *session_; }
+
+  /// Force a snapshot now (ignores snapshot_every; still subject to the
+  /// snapshot_stale fault site).
+  void snapshot_now();
+
+  [[nodiscard]] static std::string journal_path(const std::string& dir);
+  [[nodiscard]] static std::string snapshot_path(const std::string& dir);
+
+ private:
+  SessionStore(std::string dir, SessionConfig config);
+
+  /// Journal-after-apply commit hook + periodic snapshot trigger.
+  void wire_hook();
+  /// `faultable` snapshots honor the snapshot_stale fault site; the
+  /// create-time snapshot 0 is the recovery base and must always land.
+  void write_snapshot(bool faultable);
+
+  std::string dir_;
+  SessionConfig config_;
+  std::unique_ptr<RouterSession> session_;
+  std::unique_ptr<io::EditJournal> journal_;
+  int since_snapshot_ = 0;
+};
+
+}  // namespace mrtpl::session

@@ -61,6 +61,10 @@ const char* to_string(FaultSite site) {
     case FaultSite::kSearchFail: return "search_fail";
     case FaultSite::kIoTruncate: return "io_truncate";
     case FaultSite::kIoBitFlip: return "io_bitflip";
+    case FaultSite::kIoWriteAbort: return "io_write_abort";
+    case FaultSite::kJournalTornTail: return "journal_torn_tail";
+    case FaultSite::kJournalBitFlip: return "journal_bitflip";
+    case FaultSite::kSnapshotStale: return "snapshot_stale";
   }
   return "unknown";
 }
@@ -205,6 +209,25 @@ void FaultInjector::maybe_corrupt_io(std::string& text) {
     const std::uint64_t h = splitmix64(text.size() ^ (inj.seed_ + 1));
     const size_t pos = static_cast<size_t>(h % text.size());
     text[pos] = static_cast<char>(text[pos] ^ static_cast<char>(1u << (h >> 32 & 7u)));
+  }
+}
+
+void FaultInjector::maybe_corrupt_journal(std::string& bytes, size_t header) {
+  if (!enabled() || bytes.size() <= header) return;
+  FaultInjector& inj = instance();
+  const size_t body = bytes.size() - header;
+  if (inj.should_fail(FaultSite::kJournalTornTail)) {
+    // Chop a deterministic number of tail bytes, leaving the magic header
+    // intact — exactly what an interrupted append leaves behind.
+    const std::uint64_t h = splitmix64(bytes.size() ^ (inj.seed_ + 2));
+    const size_t drop = 1 + static_cast<size_t>(h % body);
+    bytes.resize(bytes.size() - drop);
+  }
+  if (bytes.size() > header && inj.should_fail(FaultSite::kJournalBitFlip)) {
+    const std::uint64_t h = splitmix64(bytes.size() ^ (inj.seed_ + 3));
+    const size_t pos = header + static_cast<size_t>(h % (bytes.size() - header));
+    bytes[pos] = static_cast<char>(bytes[pos] ^
+                                   static_cast<char>(1u << (h >> 32 & 7u)));
   }
 }
 

@@ -22,13 +22,32 @@
 ///                    file content before parsing (ParseError path).
 ///   io_bitflip       load_design/load_solution flip one byte of the
 ///                    content before parsing.
+///   io_write_abort   io::atomic_write_file throws mid-write, before the
+///                    rename — simulating a crash during save. Contract:
+///                    the destination file is untouched (old content or
+///                    absent), never a truncated hybrid.
+///   journal_torn_tail  io::EditJournal::open drops trailing bytes of the
+///                    journal before the validity scan — simulating a
+///                    crash mid-append. Contract: the scan truncates to
+///                    the last whole record; recovery replays that
+///                    committed prefix and exits cleanly.
+///   journal_bitflip  io::EditJournal::open flips one bit of the journal
+///                    bytes before the scan. Contract: the CRC gate stops
+///                    the scan at the corrupt record; everything before it
+///                    replays, nothing after it is parsed.
+///   snapshot_stale   session::SessionStore skips writing a periodic
+///                    snapshot — simulating a crash between the journal
+///                    fsync and the snapshot rename. Contract: recovery
+///                    replays the longer journal suffix onto the older
+///                    snapshot and reproduces the same state.
 ///
 /// Spec syntax (MRTPL_FAULT_SPEC or configure()):
 ///
 ///   spec    := entry (';' entry)* | ''
 ///   entry   := 'seed=' N | site ':' every [':' offset]
 ///   site    := arena_grow | spec_invalidate | search_fail
-///            | io_truncate | io_bitflip
+///            | io_truncate | io_bitflip | io_write_abort
+///            | journal_torn_tail | journal_bitflip | snapshot_stale
 ///
 /// A site entry fires when `index % every == offset` (default offset 0),
 /// where `index` is the site's hit counter for counter sites
@@ -59,8 +78,12 @@ enum class FaultSite : int {
   kSearchFail,
   kIoTruncate,
   kIoBitFlip,
+  kIoWriteAbort,
+  kJournalTornTail,
+  kJournalBitFlip,
+  kSnapshotStale,
 };
-inline constexpr int kNumFaultSites = 5;
+inline constexpr int kNumFaultSites = 9;
 
 /// Canonical spec name of a site ("arena_grow", ...).
 [[nodiscard]] const char* to_string(FaultSite site);
@@ -96,6 +119,12 @@ class FaultInjector {
   /// io_truncate nor io_bitflip is armed). Truncation keeps a prefix;
   /// bit-flip XORs one bit; positions derive from the seed and length.
   static void maybe_corrupt_io(std::string& text);
+
+  /// Corrupt raw journal bytes in place per the armed journal sites
+  /// (journal_torn_tail chops 1+ tail bytes; journal_bitflip XORs one bit
+  /// past the `header`-byte magic prefix, which stays intact). Called by
+  /// io::EditJournal::open between read and scan.
+  static void maybe_corrupt_journal(std::string& bytes, size_t header);
 
   [[nodiscard]] std::uint64_t fired(FaultSite site) const {
     return sites_[static_cast<size_t>(site)].fired.load();

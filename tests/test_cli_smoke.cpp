@@ -180,6 +180,68 @@ TEST(CliSmoke, ExitCodesDistinguishFailureClasses) {
             2);
 }
 
+TEST(CliSmoke, SessionAppliesScriptAndRecoversFromStore) {
+  const std::string design_path = tmp_path("session.design");
+  const std::string script_path = tmp_path("session.edits");
+  const std::string store_dir = tmp_path("session_store");
+  const std::string live_path = tmp_path("session_live.sol");
+  const std::string recovered_path = tmp_path("session_recovered.sol");
+  ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);
+  {
+    std::ofstream os(script_path);
+    os << "mrtpl-edits 1\n"
+          "# one edit of every flavor that exercises the reroute delta\n"
+          "add_net eco_a 2 pin a0 0 1 2 2 2 2 pin a1 0 1 10 10 10 10\n"
+          "add_blockage 0 5 5 6 6\n"
+          "remove_blockage 0 5 5 6 6\n"
+          "remove_net 0\n"
+          "end\n";
+  }
+
+  ASSERT_EQ(cli::run({"session", "--design", design_path, "--no-guides",
+                      "--store", store_dir, "--script", script_path, "--audit",
+                      "--out", live_path}),
+            0);
+
+  // Recovery replays the journal onto the snapshot: byte-identical
+  // solution, coherent audit, exit 0.
+  ASSERT_EQ(cli::run({"session", "--recover", "--store", store_dir, "--audit",
+                      "--out", recovered_path}),
+            0);
+  EXPECT_EQ(slurp(live_path), slurp(recovered_path));
+
+  // Usage errors: exit 2, before any state is touched.
+  EXPECT_EQ(cli::run({"session", "--recover"}), 2);  // needs --store
+  EXPECT_EQ(cli::run({"session", "--store", store_dir}), 2);  // needs --design
+  EXPECT_EQ(cli::run({"session", "--design", design_path, "--deadline", "0"}), 2);
+  EXPECT_EQ(cli::run({"session", "--design", design_path, "--max-queue", "x"}), 2);
+
+  // A rejected edit in the script is exit 1 (and outranks shed/degraded).
+  const std::string bad_script = tmp_path("session_bad.edits");
+  {
+    std::ofstream os(bad_script);
+    os << "mrtpl-edits 1\nremove_net 9999\nend\n";
+  }
+  EXPECT_EQ(cli::run({"session", "--design", design_path, "--no-guides",
+                      "--script", bad_script}),
+            1);
+
+  // A malformed script is a parse error: exit 3.
+  const std::string ugly_script = tmp_path("session_ugly.edits");
+  {
+    std::ofstream os(ugly_script);
+    os << "mrtpl-edits 1\nfrobnicate 1\nend\n";
+  }
+  EXPECT_EQ(cli::run({"session", "--design", design_path, "--no-guides",
+                      "--script", ugly_script}),
+            3);
+
+  // Recovering a directory that never held a session: exit 3, no crash.
+  EXPECT_EQ(cli::run({"session", "--recover", "--store",
+                      tmp_path("no_such_store")}),
+            3);
+}
+
 TEST(CliSmoke, BaselineRoutersRunToCompletion) {
   const std::string design_path = tmp_path("baseline.design");
   ASSERT_EQ(cli::run({"generate", "--case", "tiny", "--out", design_path}), 0);

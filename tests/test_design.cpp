@@ -59,10 +59,46 @@ TEST(Design, ValidatePasses) {
   EXPECT_NO_THROW(d.validate());
 }
 
-TEST(Design, ValidateRejectsEmptyNet) {
+// Zero-pin nets are legal: remove_net leaves a dead id behind (the ECO
+// tombstone contract) and a freshly added net is pinless until its first
+// add_pin — validate() must accept both.
+TEST(Design, ValidateAllowsDeadNet) {
   Design d = make_design();
-  d.add_net("empty");
-  EXPECT_THROW(d.validate(), std::invalid_argument);
+  const NetId a = d.add_net("eco");
+  Pin p;
+  p.name = "p";
+  p.layer = 0;
+  p.shapes = {{1, 1, 1, 1}};
+  d.add_pin(a, p);
+  d.remove_net(a);
+  EXPECT_EQ(d.net(a).degree(), 0);
+  EXPECT_EQ(d.num_nets(), 1);  // id stays allocated
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Design, SetPinReplacesGeometryInPlace) {
+  Design d = make_design();
+  const NetId a = d.add_net("n");
+  Pin p;
+  p.name = "p0";
+  p.layer = 0;
+  p.shapes = {{1, 1, 2, 2}};
+  d.add_pin(a, p);
+  Pin moved = p;
+  moved.shapes = {{10, 10, 11, 11}};
+  d.set_pin(a, 0, moved);
+  EXPECT_EQ(d.net(a).degree(), 1);
+  EXPECT_EQ(d.net(a).pins[0].shapes[0], geom::Rect(10, 10, 11, 11));
+  EXPECT_THROW(d.set_pin(a, 5, moved), std::out_of_range);
+}
+
+TEST(Design, RemoveObstacleRequiresExactMatch) {
+  Design d = make_design();
+  d.add_obstacle({0, {5, 5, 8, 8}});
+  EXPECT_FALSE(d.remove_obstacle(0, {5, 5, 8, 7}));  // near miss
+  EXPECT_FALSE(d.remove_obstacle(1, {5, 5, 8, 8}));  // wrong layer
+  EXPECT_TRUE(d.remove_obstacle(0, {5, 5, 8, 8}));
+  EXPECT_FALSE(d.remove_obstacle(0, {5, 5, 8, 8}));  // already gone
 }
 
 TEST(Design, ValidateRejectsBadLayer) {

@@ -1,0 +1,181 @@
+/// \file test_edit_journal.cpp
+/// Write-ahead journal (io/edit_journal.hpp): record framing, the
+/// scan-and-truncate recovery contract for torn tails / bit flips /
+/// garbage length fields, foreign-magic rejection, and the boundary
+/// enumeration the kill-point sweep is built on.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/edit_journal.hpp"
+#include "io/parse_error.hpp"
+
+namespace mrtpl::io {
+namespace {
+
+std::string temp_path(const char* name) { return ::testing::TempDir() + name; }
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Fresh journal holding `payloads`, all committed.
+std::string write_journal(const char* name,
+                          const std::vector<std::string>& payloads) {
+  const std::string path = temp_path(name);
+  auto journal = EditJournal::create(path);
+  for (const auto& p : payloads) journal->append(p);
+  journal->sync();
+  return path;
+}
+
+TEST(EditJournal, RoundTripsCommittedRecords) {
+  const std::vector<std::string> payloads = {"1 0 remove_net 3", "2 0 x",
+                                             std::string(300, 'x')};
+  const std::string path = write_journal("ej_roundtrip.mrtpl", payloads);
+
+  std::vector<std::string> records;
+  EditJournal::ScanReport report;
+  auto journal = EditJournal::open(path, &records, &report);
+  EXPECT_EQ(records, payloads);
+  EXPECT_EQ(report.valid_records, payloads.size());
+  EXPECT_FALSE(report.truncated_tail);
+  EXPECT_EQ(report.dropped_bytes, 0u);
+  journal.reset();
+  std::remove(path.c_str());
+}
+
+TEST(EditJournal, AppendAfterReopenExtendsTheLog) {
+  const std::string path = write_journal("ej_extend.mrtpl", {"1 0 a", "2 0 b"});
+  {
+    std::vector<std::string> records;
+    auto journal = EditJournal::open(path, &records);
+    journal->append("3 0 c");
+    journal->sync();
+  }
+  std::vector<std::string> records;
+  auto journal = EditJournal::open(path, &records);
+  EXPECT_EQ(records, (std::vector<std::string>{"1 0 a", "2 0 b", "3 0 c"}));
+  journal.reset();
+  std::remove(path.c_str());
+}
+
+TEST(EditJournal, TornTailTruncatesToLastWholeRecord) {
+  const std::vector<std::string> payloads = {"1 0 aaaa", "2 0 bbbb", "3 0 cccc"};
+  const std::string path = write_journal("ej_torn.mrtpl", payloads);
+  const std::string intact = slurp(path);
+
+  // Chop at every byte offset inside the last record: the scan must keep
+  // exactly the records whose bytes fully survive, and rewrite the file
+  // to that committed prefix.
+  const std::vector<size_t> bounds = EditJournal::boundaries(intact);
+  ASSERT_EQ(bounds.size(), 4u);  // header + one per record
+  for (size_t cut = bounds[2] + 1; cut < intact.size(); ++cut) {
+    spit(path, intact.substr(0, cut));
+    std::vector<std::string> records;
+    EditJournal::ScanReport report;
+    auto journal = EditJournal::open(path, &records, &report);
+    EXPECT_EQ(records, (std::vector<std::string>{"1 0 aaaa", "2 0 bbbb"}))
+        << "cut at " << cut;
+    EXPECT_TRUE(report.truncated_tail);
+    EXPECT_EQ(report.dropped_bytes, cut - bounds[2]);
+    journal.reset();
+    EXPECT_EQ(slurp(path).size(), bounds[2]) << "file not truncated in place";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EditJournal, BitFlipStopsTheScanAtTheCorruptRecord) {
+  const std::vector<std::string> payloads = {"1 0 aaaa", "2 0 bbbb", "3 0 cccc"};
+  const std::string path = write_journal("ej_flip.mrtpl", payloads);
+  const std::string intact = slurp(path);
+  const std::vector<size_t> bounds = EditJournal::boundaries(intact);
+
+  // Flip one bit in the middle record's payload: records before it
+  // survive, it and everything after are dropped.
+  std::string bytes = intact;
+  bytes[bounds[1] + EditJournal::kRecordOverhead] ^= 0x10;
+  spit(path, bytes);
+  std::vector<std::string> records;
+  EditJournal::ScanReport report;
+  auto journal = EditJournal::open(path, &records, &report);
+  EXPECT_EQ(records, (std::vector<std::string>{"1 0 aaaa"}));
+  EXPECT_TRUE(report.truncated_tail);
+  EXPECT_EQ(report.dropped_bytes, intact.size() - bounds[1]);
+  journal.reset();
+  std::remove(path.c_str());
+}
+
+TEST(EditJournal, InsaneLengthFieldIsNotTrusted) {
+  const std::string path = write_journal("ej_len.mrtpl", {"1 0 aaaa"});
+  std::string bytes = slurp(path);
+  // Overwrite the length field with 0xFFFFFFFF: the scan must reject it
+  // via the sanity bound instead of attempting a 4 GiB read.
+  for (size_t i = 0; i < 4; ++i)
+    bytes[EditJournal::kHeaderBytes + i] = static_cast<char>(0xFF);
+  spit(path, bytes);
+  std::vector<std::string> records;
+  EditJournal::ScanReport report;
+  auto journal = EditJournal::open(path, &records, &report);
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(report.truncated_tail);
+  journal.reset();
+  std::remove(path.c_str());
+}
+
+TEST(EditJournal, ForeignMagicRaisesParseError) {
+  const std::string path = temp_path("ej_foreign.mrtpl");
+  spit(path, "NOTMRTPL some other file format entirely\n");
+  std::vector<std::string> records;
+  EXPECT_THROW((void)EditJournal::open(path, &records), ParseError);
+  // The foreign file must not have been clobbered by the failed open.
+  EXPECT_EQ(slurp(path), "NOTMRTPL some other file format entirely\n");
+  std::remove(path.c_str());
+}
+
+TEST(EditJournal, ShortFileIsReinitialized) {
+  const std::string path = temp_path("ej_short.mrtpl");
+  spit(path, "MRT");  // interrupted create: shorter than the magic
+  std::vector<std::string> records;
+  EditJournal::ScanReport report;
+  auto journal = EditJournal::open(path, &records, &report);
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(report.rebuilt_header);
+  journal->append("1 0 a");
+  journal->sync();
+  journal.reset();
+  std::vector<std::string> again;
+  auto reopened = EditJournal::open(path, &again);
+  EXPECT_EQ(again, (std::vector<std::string>{"1 0 a"}));
+  reopened.reset();
+  std::remove(path.c_str());
+}
+
+TEST(EditJournal, BoundariesEnumerateRecordStarts) {
+  const std::vector<std::string> payloads = {"a", "bb", "ccc"};
+  const std::string path = write_journal("ej_bounds.mrtpl", payloads);
+  const std::string bytes = slurp(path);
+  const std::vector<size_t> bounds = EditJournal::boundaries(bytes);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_EQ(bounds[0], EditJournal::kHeaderBytes);
+  size_t expect = EditJournal::kHeaderBytes;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(bounds[i], expect);
+    expect += EditJournal::kRecordOverhead + payloads[i].size();
+  }
+  EXPECT_EQ(bounds.back(), bytes.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mrtpl::io

@@ -13,6 +13,7 @@
 #include "benchgen/generator.hpp"
 #include "core/mrtpl_router.hpp"
 #include "drc/checker.hpp"
+#include "io/atomic_file.hpp"
 #include "io/design_io.hpp"
 #include "io/parse_error.hpp"
 #include "io/solution_io.hpp"
@@ -59,6 +60,13 @@ TEST_F(FaultInjectorTest, SpecParsing) {
   EXPECT_TRUE(FaultInjector::enabled());
 
   EXPECT_TRUE(inj.configure("search_fail:3:1;io_truncate:2", &error)) << error;
+  EXPECT_TRUE(FaultInjector::enabled());
+
+  // The persistence sites parse too.
+  EXPECT_TRUE(inj.configure(
+      "io_write_abort:1;journal_torn_tail:2;journal_bitflip:3;snapshot_stale:4",
+      &error))
+      << error;
   EXPECT_TRUE(FaultInjector::enabled());
 
   // Malformed specs disarm and report.
@@ -221,6 +229,60 @@ TEST_F(FaultInjectorTest, IoBitFlipEitherParsesOrThrowsParseError) {
   }
   inj.disarm();
   std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectorTest, WriteAbortLeavesDestinationUntouched) {
+  const std::string path = ::testing::TempDir() + "fault_write_abort.txt";
+  io::atomic_write_file(path, "old content\n");
+
+  auto& inj = FaultInjector::instance();
+  ASSERT_TRUE(inj.configure("io_write_abort:1"));
+  // The abort lands mid-write, before the rename: the old file must
+  // survive byte for byte — never a truncated hybrid.
+  EXPECT_THROW(io::atomic_write_file(path, "new content\n"),
+               std::runtime_error);
+  EXPECT_GT(inj.fired(FaultSite::kIoWriteAbort), 0u);
+  inj.disarm();
+
+  std::string bytes;
+  ASSERT_TRUE(io::read_file(path, &bytes));
+  EXPECT_EQ(bytes, "old content\n");
+
+  // Disarmed, the replacement goes through.
+  io::atomic_write_file(path, "new content\n");
+  ASSERT_TRUE(io::read_file(path, &bytes));
+  EXPECT_EQ(bytes, "new content\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectorTest, JournalCorruptionSitesMangleTheImage) {
+  const std::string intact = "MRTPLJ01" + std::string(64, 'r');
+  auto& inj = FaultInjector::instance();
+
+  ASSERT_TRUE(inj.configure("journal_torn_tail:1"));
+  std::string torn = intact;
+  FaultInjector::maybe_corrupt_journal(torn, 8);
+  EXPECT_LT(torn.size(), intact.size());
+  EXPECT_GE(torn.size(), 8u) << "magic header must survive";
+  EXPECT_EQ(torn.compare(0, 8, "MRTPLJ01"), 0);
+  EXPECT_EQ(inj.fired(FaultSite::kJournalTornTail), 1u);
+
+  ASSERT_TRUE(inj.configure("journal_bitflip:1;seed=7"));
+  std::string flipped = intact;
+  FaultInjector::maybe_corrupt_journal(flipped, 8);
+  EXPECT_EQ(flipped.size(), intact.size());
+  EXPECT_EQ(flipped.compare(0, 8, "MRTPLJ01"), 0) << "flip never hits the magic";
+  int diffs = 0;
+  for (size_t i = 8; i < intact.size(); ++i)
+    if (flipped[i] != intact[i]) ++diffs;
+  EXPECT_EQ(diffs, 1);
+  EXPECT_EQ(inj.fired(FaultSite::kJournalBitFlip), 1u);
+  inj.disarm();
+
+  // Disarmed: a no-op.
+  std::string untouched = intact;
+  FaultInjector::maybe_corrupt_journal(untouched, 8);
+  EXPECT_EQ(untouched, intact);
 }
 
 }  // namespace

@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <sstream>
 #include <string>
 
+#include "db/design.hpp"
+#include "grid/route_result.hpp"
 #include "io/json_report.hpp"
 
 namespace mrtpl::io {
@@ -120,6 +123,57 @@ TEST(JsonReport, EmptyArray) {
   const std::string s = report_array_to_string({});
   EXPECT_TRUE(well_formed(s));
   EXPECT_EQ(s.substr(0, 1), "[");
+}
+
+TEST(JsonReport, DispositionsCollectOnlyNonRoutedNets) {
+  db::Design design("d", db::Tech::make_default(2, 2), {0, 0, 15, 15});
+  for (const char* name : {"ok", "stuck", "late"}) {
+    const db::NetId id = design.add_net(name);
+    db::Pin p;
+    p.layer = 0;
+    p.shapes = {{id, 1, id, 1}};
+    design.add_pin(id, p);
+  }
+  grid::Solution solution;
+  solution.routes.resize(3);
+  for (int i = 0; i < 3; ++i) solution.routes[static_cast<size_t>(i)].net = i;
+  solution.routes[0].routed = true;
+  solution.routes[0].disposition = grid::NetDisposition::kRouted;
+  solution.routes[1].disposition = grid::NetDisposition::kFailed;
+  solution.routes[2].disposition = grid::NetDisposition::kSkipped;
+
+  const auto entries = dispositions_of(solution, design);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].net, 1);
+  EXPECT_EQ(entries[0].name, "stuck");
+  EXPECT_EQ(entries[0].state, "failed");
+  EXPECT_EQ(entries[1].net, 2);
+  EXPECT_EQ(entries[1].state, "skipped");
+}
+
+TEST(JsonReport, DispositionsEmittedOnlyWhenPresent) {
+  CaseReport r = sample_report();
+  std::ostringstream os;
+  write_case_report(os, r);
+  EXPECT_EQ(os.str().find("\"dispositions\""), std::string::npos);
+
+  r.dispositions.push_back({4, "net\"4", "partial"});
+  std::ostringstream os2;
+  write_case_report(os2, r);
+  const std::string s = os2.str();
+  EXPECT_TRUE(well_formed(s)) << s;
+  EXPECT_NE(s.find("\"dispositions\":[{\"net\":4"), std::string::npos);
+  EXPECT_NE(s.find("\"state\":\"partial\""), std::string::npos);
+
+  // Scenario lines carry the same block.
+  ScenarioReport sr;
+  sr.scenario = "s";
+  sr.family = "congestion";
+  sr.status = "fail";
+  sr.dispositions.push_back({1, "n1", "failed"});
+  const std::string line = scenario_line_to_string(sr);
+  EXPECT_TRUE(well_formed(line)) << line;
+  EXPECT_NE(line.find("\"dispositions\":[{\"net\":1"), std::string::npos);
 }
 
 TEST(JsonReport, EscapesHostileCaseName) {

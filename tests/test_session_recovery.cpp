@@ -1,0 +1,360 @@
+/// \file test_session_recovery.cpp
+/// Crash-consistency property tests for SessionStore (session/
+/// session_store.hpp). The central sweep kills a recorded session at
+/// every journal record boundary AND at offsets inside every record,
+/// then recovers and requires the result to be byte-identical to the
+/// uninterrupted session at the recovered sequence number, with the
+/// invariant auditor passing. Bit-flip and stale-snapshot sweeps pin the
+/// other two fault contracts.
+///
+/// MRTPL_KILL_SWEEP_ROUNDS=N (nightly CI) multiplies the intra-record
+/// sampling density; the default keeps the sweep PR-sized.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "io/edit_journal.hpp"
+#include "io/parse_error.hpp"
+#include "session/edit.hpp"
+#include "session/invariant_audit.hpp"
+#include "session/session_store.hpp"
+#include "support/builders.hpp"
+#include "util/fault_injector.hpp"
+
+namespace mrtpl::session {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct StateRef {
+  std::string design;
+  std::string solution;
+};
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(is), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The sweep's edit schedule: every edit kind at least once, on the
+/// shared parallel-nets fixture (base nets 0 and 1; added nets get ids
+/// 2, 3, 4).
+std::vector<Edit> sweep_edits() {
+  const auto add_net = [](const std::string& name, int y) {
+    Edit e;
+    e.kind = EditKind::kAddNet;
+    e.name = name;
+    db::Pin pin;
+    pin.name = "p0";
+    pin.layer = 0;
+    pin.shapes = {{2, y, 2, y}};
+    e.pins.push_back(pin);
+    pin.name = "p1";
+    pin.shapes = {{13, y, 13, y}};
+    e.pins.push_back(pin);
+    return e;
+  };
+  std::vector<Edit> edits;
+  edits.push_back(add_net("eco_a", 3));
+  {
+    Edit e;
+    e.kind = EditKind::kAddBlockage;
+    e.layer = 0;
+    e.rect = {7, 7, 8, 8};
+    edits.push_back(e);
+  }
+  {
+    Edit e;
+    e.kind = EditKind::kMovePin;
+    e.net = 0;
+    e.pin_index = 1;
+    db::Pin pin;
+    pin.layer = 0;
+    pin.shapes = {{13, 5, 13, 5}};
+    e.pins.push_back(pin);
+    edits.push_back(e);
+  }
+  {
+    Edit e;
+    e.kind = EditKind::kRemoveBlockage;
+    e.layer = 0;
+    e.rect = {7, 7, 8, 8};
+    edits.push_back(e);
+  }
+  edits.push_back(add_net("eco_b", 11));
+  {
+    Edit e;
+    e.kind = EditKind::kRemoveNet;
+    e.net = 1;
+    edits.push_back(e);
+  }
+  edits.push_back(add_net("eco_c", 13));
+  {
+    Edit e;
+    e.kind = EditKind::kRemoveNet;
+    e.net = 3;  // eco_b: a net this very session added
+    edits.push_back(e);
+  }
+  return edits;
+}
+
+/// Run the live session in `dir` under `config`, recording the canonical
+/// state at every committed sequence number (0 = right after create).
+std::map<std::uint64_t, StateRef> record_live_run(const std::string& dir,
+                                                  const SessionConfig& config) {
+  std::map<std::uint64_t, StateRef> refs;
+  auto store = SessionStore::create(dir, test::parallel_nets_design(2), config,
+                                    nullptr);
+  refs[0] = {store->session().design_text(), store->session().solution_text()};
+  for (const Edit& edit : sweep_edits()) {
+    const EditResponse resp = store->submit(edit);
+    EXPECT_EQ(resp.status, EditStatus::kApplied) << format_edit(edit);
+    refs[resp.seq] = {store->session().design_text(),
+                      store->session().solution_text()};
+  }
+  return refs;
+}
+
+/// Recover `dir` and assert the recovered session is byte-identical to
+/// the live session at whatever sequence recovery landed on, and that
+/// the resident structures are coherent.
+std::uint64_t recover_and_check(const std::string& dir,
+                                const SessionConfig& config,
+                                const std::map<std::uint64_t, StateRef>& refs,
+                                const std::string& what) {
+  RecoveryReport report;
+  auto store = SessionStore::recover(dir, config, &report);
+  const std::uint64_t seq = store->session().seq();
+  const auto it = refs.find(seq);
+  EXPECT_NE(it, refs.end()) << what << ": recovered to unknown seq " << seq;
+  if (it != refs.end()) {
+    EXPECT_EQ(store->session().design_text(), it->second.design)
+        << what << ": design diverged at seq " << seq;
+    EXPECT_EQ(store->session().solution_text(), it->second.solution)
+        << what << ": solution diverged at seq " << seq;
+  }
+  const AuditReport audit = audit_session(store->session());
+  EXPECT_TRUE(audit.ok) << what << ": "
+                        << (audit.problems.empty() ? "incoherent"
+                                                   : audit.problems.front());
+  return seq;
+}
+
+/// Copy the recorded store into a scratch dir with the journal replaced
+/// by `journal_bytes`.
+std::string make_crashed_copy(const std::string& base_dir,
+                              const std::string& scratch_name,
+                              const std::string& journal_bytes) {
+  const std::string dir = ::testing::TempDir() + scratch_name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::copy_file(SessionStore::snapshot_path(base_dir),
+                SessionStore::snapshot_path(dir));
+  spit(SessionStore::journal_path(dir), journal_bytes);
+  return dir;
+}
+
+int sweep_rounds() {
+  if (const char* env = std::getenv("MRTPL_KILL_SWEEP_ROUNDS"))
+    if (const int n = std::atoi(env); n > 0) return n;
+  return 1;
+}
+
+// ---- the kill-point sweep ----------------------------------------------
+
+TEST(SessionRecovery, KillPointSweepRecoversByteIdentically) {
+  const std::string base = ::testing::TempDir() + "sweep_base";
+  fs::remove_all(base);
+  SessionConfig config;
+  config.router.rrr_threads = 1;
+  config.snapshot_every = 0;  // snapshot 0 only: every cut replays its prefix
+  const auto refs = record_live_run(base, config);
+  ASSERT_EQ(refs.size(), sweep_edits().size() + 1);
+
+  const std::string journal = slurp(SessionStore::journal_path(base));
+  const std::vector<size_t> bounds = io::EditJournal::boundaries(journal);
+  ASSERT_EQ(bounds.size(), sweep_edits().size() + 1);
+
+  // Kill at every record boundary: recovery must land exactly on the
+  // prefix the surviving records spell out.
+  for (size_t k = 0; k < bounds.size(); ++k) {
+    const std::string dir =
+        make_crashed_copy(base, "sweep_cut", journal.substr(0, bounds[k]));
+    const std::uint64_t seq = recover_and_check(
+        dir, config, refs, "boundary cut " + std::to_string(k));
+    EXPECT_EQ(seq, k) << "boundary cut " << k;
+  }
+
+  // Kill inside every record (torn tail): the partial record must be
+  // truncated away, landing on the previous boundary.
+  const int rounds = sweep_rounds();
+  for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+    const size_t len = bounds[k + 1] - bounds[k];
+    std::vector<size_t> cuts = {bounds[k] + 1, bounds[k] + len / 2,
+                                bounds[k + 1] - 1};
+    for (int r = 1; r < rounds; ++r)
+      cuts.push_back(bounds[k] + 1 + (r * 7919) % (len - 1));
+    for (const size_t cut : cuts) {
+      const std::string dir =
+          make_crashed_copy(base, "sweep_tear", journal.substr(0, cut));
+      const std::uint64_t seq = recover_and_check(
+          dir, config, refs, "tear at " + std::to_string(cut));
+      EXPECT_EQ(seq, k) << "tear at " << cut;
+    }
+  }
+  fs::remove_all(base);
+}
+
+TEST(SessionRecovery, BitFlipSweepTruncatesAtTheCorruptRecord) {
+  const std::string base = ::testing::TempDir() + "flip_base";
+  fs::remove_all(base);
+  SessionConfig config;
+  config.router.rrr_threads = 1;
+  config.snapshot_every = 0;
+  const auto refs = record_live_run(base, config);
+  const std::string journal = slurp(SessionStore::journal_path(base));
+  const std::vector<size_t> bounds = io::EditJournal::boundaries(journal);
+
+  // Flip one bit in the middle of each record: recovery must stop at the
+  // record before it, never crash, never parse garbage.
+  for (size_t k = 0; k + 1 < bounds.size(); ++k) {
+    std::string bytes = journal;
+    bytes[bounds[k] + (bounds[k + 1] - bounds[k]) / 2] ^= 0x40;
+    const std::string dir = make_crashed_copy(base, "flip_case", bytes);
+    const std::uint64_t seq = recover_and_check(
+        dir, config, refs, "flip in record " + std::to_string(k + 1));
+    EXPECT_EQ(seq, k) << "flip in record " << k + 1;
+  }
+  fs::remove_all(base);
+}
+
+TEST(SessionRecovery, PeriodicSnapshotsOnlyShortenTheReplay) {
+  const std::string base = ::testing::TempDir() + "snap_base";
+  fs::remove_all(base);
+  SessionConfig config;
+  config.router.rrr_threads = 1;
+  config.snapshot_every = 3;  // snapshots at seq 3 and 6
+  const auto refs = record_live_run(base, config);
+  const std::string journal = slurp(SessionStore::journal_path(base));
+  const std::vector<size_t> bounds = io::EditJournal::boundaries(journal);
+
+  for (size_t k = 0; k < bounds.size(); ++k) {
+    const std::string dir =
+        make_crashed_copy(base, "snap_cut", journal.substr(0, bounds[k]));
+    RecoveryReport report;
+    auto store = SessionStore::recover(dir, config, &report);
+    EXPECT_EQ(report.snapshot_seq, 6u);
+    // The snapshot floor: cuts below it recover to it (their records are
+    // skipped as already covered); cuts above replay the difference.
+    const std::uint64_t want = std::max<std::uint64_t>(k, 6);
+    EXPECT_EQ(store->session().seq(), want) << "cut " << k;
+    const auto it = refs.find(want);
+    ASSERT_NE(it, refs.end());
+    EXPECT_EQ(store->session().design_text(), it->second.design) << "cut " << k;
+    EXPECT_EQ(store->session().solution_text(), it->second.solution)
+        << "cut " << k;
+    EXPECT_TRUE(audit_session(store->session()).ok) << "cut " << k;
+  }
+  fs::remove_all(base);
+}
+
+// ---- fault-site integration --------------------------------------------
+
+class SessionFaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::instance().disarm(); }
+};
+
+TEST_F(SessionFaultTest, SnapshotStaleForcesALongerReplay) {
+  const std::string base = ::testing::TempDir() + "stale_base";
+  fs::remove_all(base);
+  SessionConfig config;
+  config.router.rrr_threads = 1;
+  config.snapshot_every = 3;
+
+  // Every periodic snapshot write is suppressed; only the create-time
+  // snapshot 0 lands. The journal alone must carry the whole history.
+  auto& inj = util::FaultInjector::instance();
+  ASSERT_TRUE(inj.configure("snapshot_stale:1"));
+  const auto refs = record_live_run(base, config);
+  EXPECT_GT(inj.fired(util::FaultSite::kSnapshotStale), 0u);
+  inj.disarm();
+
+  RecoveryReport report;
+  auto store = SessionStore::recover(base, config, &report);
+  EXPECT_EQ(report.snapshot_seq, 0u);
+  EXPECT_EQ(report.replayed, static_cast<int>(sweep_edits().size()));
+  const auto& final_ref = refs.rbegin()->second;
+  EXPECT_EQ(store->session().design_text(), final_ref.design);
+  EXPECT_EQ(store->session().solution_text(), final_ref.solution);
+  EXPECT_TRUE(audit_session(store->session()).ok);
+  fs::remove_all(base);
+}
+
+TEST_F(SessionFaultTest, JournalFaultSitesRecoverCleanly) {
+  const std::string base = ::testing::TempDir() + "jfault_base";
+  fs::remove_all(base);
+  SessionConfig config;
+  config.router.rrr_threads = 1;
+  config.snapshot_every = 0;
+  const auto refs = record_live_run(base, config);
+
+  auto& inj = util::FaultInjector::instance();
+  for (const char* spec : {"journal_torn_tail:1", "journal_bitflip:1;seed=4"}) {
+    // Fresh copy per leg: recovery truncates the journal it reads.
+    const std::string dir = make_crashed_copy(
+        base, "jfault_case", slurp(SessionStore::journal_path(base)));
+    ASSERT_TRUE(inj.configure(spec));
+    RecoveryReport report;
+    std::unique_ptr<SessionStore> store;
+    ASSERT_NO_THROW(store = SessionStore::recover(dir, config, &report)) << spec;
+    inj.disarm();
+    // The corruption must have cost something — either the scan reported
+    // a truncation or the chop landed exactly on a record boundary and
+    // silently shortened the replayable prefix.
+    EXPECT_TRUE(report.truncated_tail || store->session().seq() < 8u) << spec;
+    const auto it = refs.find(store->session().seq());
+    ASSERT_NE(it, refs.end()) << spec;
+    EXPECT_EQ(store->session().design_text(), it->second.design) << spec;
+    EXPECT_EQ(store->session().solution_text(), it->second.solution) << spec;
+    EXPECT_TRUE(audit_session(store->session()).ok) << spec;
+  }
+  fs::remove_all(base);
+}
+
+TEST(SessionRecovery, MissingSnapshotIsAParseError) {
+  const std::string dir = ::testing::TempDir() + "no_snapshot_store";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  SessionConfig config;
+  EXPECT_THROW((void)SessionStore::recover(dir, config), io::ParseError);
+  fs::remove_all(dir);
+}
+
+TEST(SessionRecovery, CorruptSnapshotIsAParseError) {
+  const std::string base = ::testing::TempDir() + "badsnap_base";
+  fs::remove_all(base);
+  SessionConfig config;
+  config.router.rrr_threads = 1;
+  record_live_run(base, config);
+  std::string snap = slurp(SessionStore::snapshot_path(base));
+  snap[snap.size() / 2] ^= 0x01;
+  spit(SessionStore::snapshot_path(base), snap);
+  EXPECT_THROW((void)SessionStore::recover(base, config), io::ParseError);
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace mrtpl::session

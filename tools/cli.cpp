@@ -34,6 +34,18 @@
 ///       Apply the post-hoc recoloring repair pass and report the delta.
 ///   report --design <file> --solution <file> [--flow name]
 ///       Emit the evaluation as JSON (metrics + per-layer/degree breakdowns).
+///   session --design <file> [--store dir] [--script edits.txt] [--recover]
+///       [--snapshot-every N] [--deadline S] [--degrade-relax N]
+///       [--latency-watermark S] [--max-queue N] [--audit] [--out file]
+///       Resident routing session: route the design once, then apply the
+///       ECO edit script incrementally, one response line per edit. With
+///       --store the session is crash-consistent (journal + snapshot in
+///       the store directory); --recover resumes from that directory
+///       instead of routing from scratch — a torn/corrupt journal tail is
+///       truncated and reported, and still exits 0. --audit cross-checks
+///       design/grid/solution coherence at the end. Exit 4 when any edit
+///       was degraded/shed/deadlined, 1 when any was rejected (or the
+///       audit failed).
 
 #include "cli.hpp"
 
@@ -61,6 +73,10 @@
 #include "layout/recolor.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "session/edit.hpp"
+#include "session/invariant_audit.hpp"
+#include "session/router_session.hpp"
+#include "session/session_store.hpp"
 #include "util/timer.hpp"
 #include "viz/svg_render.hpp"
 
@@ -444,6 +460,160 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+/// Positive-double flag parser (deadline/watermark seconds).
+std::optional<double> parse_seconds(const std::string& word) {
+  try {
+    size_t used = 0;
+    const double value = std::stod(word, &used);
+    if (used != word.size() || value <= 0.0) return std::nullopt;
+    return value;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+int cmd_session(const Args& args) {
+  session::SessionConfig config;
+  if (const auto every = args.get("snapshot-every")) {
+    const auto n = parse_int(*every);
+    if (!n || *n < 0) {
+      std::fprintf(stderr, "session: --snapshot-every wants an integer >= 0\n");
+      return 2;
+    }
+    config.snapshot_every = *n;
+  }
+  if (const auto deadline = args.get("deadline")) {
+    const auto s = parse_seconds(*deadline);
+    if (!s) {
+      std::fprintf(stderr, "session: --deadline wants a positive number (seconds)\n");
+      return 2;
+    }
+    config.deadline_s = *s;
+  }
+  if (const auto relax = args.get("degrade-relax")) {
+    const auto n = parse_int(*relax);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "session: --degrade-relax wants a positive integer\n");
+      return 2;
+    }
+    config.degrade_relax_cap = static_cast<std::uint64_t>(*n);
+  }
+  if (const auto watermark = args.get("latency-watermark")) {
+    const auto s = parse_seconds(*watermark);
+    if (!s) {
+      std::fprintf(stderr,
+                   "session: --latency-watermark wants a positive number (seconds)\n");
+      return 2;
+    }
+    config.latency_watermark_s = *s;
+  }
+  if (const auto depth = args.get("max-queue")) {
+    const auto n = parse_int(*depth);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "session: --max-queue wants a positive integer\n");
+      return 2;
+    }
+    config.max_queue_depth = *n;
+  }
+
+  std::unique_ptr<session::SessionStore> store;
+  std::unique_ptr<session::RouterSession> bare;
+  if (args.has("recover")) {
+    const auto dir = args.get("store");
+    if (!dir) {
+      std::fprintf(stderr, "session: --recover needs --store <dir>\n");
+      return 2;
+    }
+    session::RecoveryReport rep;
+    store = session::SessionStore::recover(*dir, config, &rep);
+    std::printf("recovered: snapshot seq=%llu, %d replayed, %d skipped, "
+                "session seq=%llu%s\n",
+                static_cast<unsigned long long>(rep.snapshot_seq), rep.replayed,
+                rep.skipped,
+                static_cast<unsigned long long>(store->session().seq()),
+                rep.truncated_tail ? ", torn journal tail truncated" : "");
+    if (rep.dropped_bytes > 0)
+      std::printf("recovered: %llu uncommitted byte(s) dropped from the journal\n",
+                  static_cast<unsigned long long>(rep.dropped_bytes));
+  } else {
+    const auto design_path = args.get("design");
+    if (!design_path) {
+      std::fprintf(stderr, "session: missing --design <file> (or --recover)\n");
+      return 2;
+    }
+    const db::Design design = io::load_design(*design_path);
+    global::GuideSet guides;
+    const global::GuideSet* guides_ptr = nullptr;
+    if (!args.has("no-guides")) {
+      global::GlobalRouter gr(design);
+      guides = gr.route_all();
+      guides_ptr = &guides;
+    }
+    if (const auto dir = args.get("store")) {
+      store = session::SessionStore::create(*dir, design, config, guides_ptr);
+    } else {
+      bare = std::make_unique<session::RouterSession>(design, config, guides_ptr);
+    }
+    session::RouterSession& s = store ? store->session() : *bare;
+    std::printf("session: %d nets routed, %d conflict(s) initially\n",
+                s.design().num_nets(),
+                s.conflict_index() != nullptr
+                    ? static_cast<int>(s.conflict_index()->conflicts().size())
+                    : static_cast<int>(core::detect_conflicts(s.grid()).size()));
+  }
+  session::RouterSession& sess = store ? store->session() : *bare;
+
+  // Worst outcome wins the exit code; "rejected" (1) outranks
+  // "degraded/shed/deadline" (4), matching 1 = flow failure elsewhere.
+  int worst = 0;
+  const auto fold = [&worst](session::EditStatus status) {
+    int code = 0;
+    if (status == session::EditStatus::kRejected) code = 1;
+    else if (status != session::EditStatus::kApplied) code = 4;
+    if (code == 1 || worst == 1) worst = 1;
+    else if (code > worst) worst = code;
+  };
+
+  if (const auto script = args.get("script")) {
+    const std::vector<session::Edit> edits = session::load_edit_script(*script);
+    for (size_t i = 0; i < edits.size(); ++i) {
+      const session::EditResponse resp =
+          store ? store->submit(edits[i]) : bare->submit(edits[i]);
+      std::printf("edit %zu %s: %s seq=%llu dirty=%d conflicts=%d failed=%d "
+                  "%.3fs%s%s\n",
+                  i + 1, session::to_string(edits[i].kind),
+                  session::to_string(resp.status),
+                  static_cast<unsigned long long>(resp.seq), resp.dirty_nets,
+                  resp.conflicts, resp.failed, resp.apply_s,
+                  resp.note.empty() ? "" : "  # ", resp.note.c_str());
+      for (const auto& d : resp.dispositions)
+        std::printf("  net %d (%s): %s\n", d.net, d.name.c_str(),
+                    d.state.c_str());
+      fold(resp.status);
+    }
+  }
+
+  if (args.has("audit")) {
+    const session::AuditReport audit = session::audit_session(sess);
+    if (audit.ok) {
+      std::printf("audit: coherent (design ↔ grid ↔ solution ↔ index)\n");
+    } else {
+      for (const auto& p : audit.problems)
+        std::fprintf(stderr, "audit: %s\n", p.c_str());
+      worst = 1;
+    }
+  }
+
+  if (const auto out = args.get("out")) {
+    io::save_solution(*out, sess.grid(), sess.solution());
+    std::printf("solution written to %s\n", out->c_str());
+  }
+  std::printf("session: seq=%llu routed=%d failed=%d\n",
+              static_cast<unsigned long long>(sess.seq()),
+              sess.solution().num_routed(), sess.solution().num_failed());
+  return worst;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& argv) {
@@ -457,6 +627,7 @@ int run(const std::vector<std::string>& argv) {
     if (args.command == "verify") return cmd_verify(args);
     if (args.command == "refine") return cmd_refine(args);
     if (args.command == "report") return cmd_report(args);
+    if (args.command == "session") return cmd_session(args);
   } catch (const io::ParseError& e) {
     // Malformed input gets its own exit code so scripts (and the fuzzer's
     // parse-robustness oracle) can tell "bad file" from "router broke".
@@ -471,8 +642,8 @@ int run(const std::vector<std::string>& argv) {
   }
   std::fprintf(stderr,
                "usage: mrtpl_cli "
-               "<list-cases|suite|generate|route|eval|verify|refine|report> "
-               "[options]\n"
+               "<list-cases|suite|generate|route|eval|verify|refine|report"
+               "|session> [options]\n"
                "  suite    [--filter <substr>] [--quick] [--json file]\n"
                "           [--threads N] [--timeout S] [--list]\n"
                "           Run the stress-scenario registry end to end; one\n"
@@ -485,7 +656,13 @@ int run(const std::vector<std::string>& argv) {
                "  eval     --design <file> --solution <file>\n"
                "  verify   --design <file> --solution <file> [--no-color-check]\n"
                "  refine   --design <file> --solution <file> [--out file]\n"
-               "  report   --design <file> --solution <file> [--flow name]\n");
+               "  report   --design <file> --solution <file> [--flow name]\n"
+               "  session  --design <file> [--store dir] [--script edits.txt]\n"
+               "           [--recover] [--snapshot-every N] [--deadline S]\n"
+               "           [--degrade-relax N] [--latency-watermark S]\n"
+               "           [--max-queue N] [--no-guides] [--audit] [--out file]\n"
+               "           Resident ECO session; --store makes it\n"
+               "           crash-consistent, --recover resumes it.\n");
   return 2;
 }
 
