@@ -1,5 +1,6 @@
 #include "io/atomic_file.hpp"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -55,6 +56,25 @@ void atomic_write_file(const std::string& path, const std::string& content) {
     std::remove(tmp.c_str());
     fail("atomic_write_file: rename failed for", path);
   }
+  // The rename is atomic but not yet durable: only the directory fsync
+  // pins the new directory entry. A crash before it can resurface the old
+  // file — acceptable only if the caller was told, hence the throw path.
+  fsync_parent_dir(path);
+}
+
+void fsync_parent_dir(const std::string& path) {
+  if (util::FaultInjector::enabled() &&
+      util::FaultInjector::instance().should_fail(util::FaultSite::kDirFsync))
+    throw std::runtime_error("fsync_parent_dir: injected dir fsync failure for " +
+                             path);
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) fail("fsync_parent_dir: cannot open directory", dir);
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) fail("fsync_parent_dir: fsync failed for", dir);
 }
 
 bool read_file(const std::string& path, std::string* out) {

@@ -13,8 +13,17 @@ namespace mrtpl::io {
 
 /// Atomically replace `path` with `content`. Throws std::runtime_error on
 /// I/O failure (including the injected io_write_abort), in which case the
-/// destination is untouched and the temp file has been cleaned up.
+/// destination is untouched and the temp file has been cleaned up. The
+/// parent directory is fsync'd after the rename: without that, a power
+/// loss can undo the rename itself even though the call returned — the
+/// new bytes would exist but the directory still point at the old file.
 void atomic_write_file(const std::string& path, const std::string& content);
+
+/// fsync the directory containing `path`, making a rename() into it or a
+/// file created in it durable. Throws std::runtime_error on failure
+/// (including the injected dir_fsync fault) — callers must surface the
+/// error rather than claim durability they do not have.
+void fsync_parent_dir(const std::string& path);
 
 /// Read a whole file into a string. Returns false (leaving *out empty) if
 /// the file cannot be opened; throws nothing.

@@ -75,6 +75,10 @@ std::unique_ptr<EditJournal> EditJournal::create(const std::string& path) {
   std::unique_ptr<EditJournal> journal(new EditJournal(path, fd));
   write_all(fd, kMagic.data(), kMagic.size(), path);
   journal->sync();
+  // The file's bytes are durable, but the file ITSELF is not until its
+  // directory entry is fsync'd — a crash here could lose the whole
+  // journal, not just a tail.
+  fsync_parent_dir(path);
   return journal;
 }
 

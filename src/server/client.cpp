@@ -1,0 +1,178 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+namespace mrtpl::server {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Retry `try_connect` (returns fd or -1) for up to wait_s seconds.
+int connect_with_retry(const std::function<int()>& try_connect, double wait_s,
+                       const std::string& target) {
+  const int attempts = 1 + static_cast<int>(wait_s / 0.05);
+  for (int i = 0; i < attempts; ++i) {
+    const int fd = try_connect();
+    if (fd >= 0) return fd;
+    if (i + 1 < attempts)
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  throw std::runtime_error("cannot connect to " + target + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+Client Client::connect_unix(const std::string& path, double wait_s) {
+  const int fd = connect_with_retry(
+      [&path]() -> int {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        sockaddr_un addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sun_family = AF_UNIX;
+        if (path.size() >= sizeof addr.sun_path) {
+          ::close(fd);
+          errno = ENAMETOOLONG;
+          return -1;
+        }
+        std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0) {
+          ::close(fd);
+          return -1;
+        }
+        return fd;
+      },
+      wait_s, path);
+  return Client(fd);
+}
+
+Client Client::connect_tcp(int port, double wait_s) {
+  const int fd = connect_with_retry(
+      [port]() -> int {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0) return -1;
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof addr);
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+            0) {
+          ::close(fd);
+          return -1;
+        }
+        return fd;
+      },
+      wait_s, "127.0.0.1:" + std::to_string(port));
+  return Client(fd);
+}
+
+Client::Client(int fd) : fd_(fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#endif
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      sent_magic_(other.sent_magic_),
+      decoder_(std::move(other.decoder_)) {
+  other.fd_ = -1;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_request(const std::string& payload) {
+  std::string bytes;
+  if (!sent_magic_) {
+    append_magic(&bytes);
+    sent_magic_ = true;
+  }
+  append_frame(&bytes, payload);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send to daemon failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Response Client::read_response() {
+  char buf[4096];
+  while (true) {
+    if (decoder_.failed())
+      throw std::runtime_error("daemon stream corrupt: " + decoder_.error());
+    std::optional<std::string> payload = decoder_.next();
+    if (payload.has_value()) {
+      std::string error;
+      std::optional<Response> resp = parse_response(*payload, &error);
+      if (!resp.has_value())
+        throw std::runtime_error("bad daemon response: " + error);
+      return *resp;
+    }
+    if (decoder_.failed()) continue;  // next() just latched the error
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0)
+      throw std::runtime_error(
+          "daemon closed the connection mid-response (was it killed? "
+          "`mrtpl_cli session --recover` replays committed edits)");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv from daemon failed");
+    }
+    decoder_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+}
+
+Response Client::hello(const std::string& name) {
+  send_request("hello " + (name.empty() ? std::string("-") : name));
+  return read_response();
+}
+
+Response Client::submit(const std::string& edit_line) {
+  // Fail fast on garbage before it crosses the wire; the daemon would
+  // reject it identically (same parser), this just gives a better message.
+  (void)session::parse_edit(edit_line, "send", 0);
+  send_request("edit " + edit_line);
+  return read_response();
+}
+
+Response Client::ping(const std::string& token) {
+  send_request("ping " + (token.empty() ? std::string("-") : token));
+  return read_response();
+}
+
+Response Client::drain() {
+  send_request("drain");
+  return read_response();
+}
+
+Response Client::bye() {
+  send_request("bye");
+  return read_response();
+}
+
+}  // namespace mrtpl::server

@@ -1,0 +1,57 @@
+#pragma once
+/// \file client.hpp
+/// Blocking client for the routing daemon: connect over a Unix-domain or
+/// TCP socket, speak the MRTPLW01 protocol (protocol.hpp), and get typed
+/// Response objects back. One request in flight at a time — the CLI
+/// `send` subcommand and the daemon tests are the consumers; anything
+/// fancier should pipeline through the sans-IO layer directly.
+///
+/// Every call either returns a decoded Response or throws
+/// std::runtime_error (connect/socket failures, stream corruption,
+/// server hangup). A Response with ok == false is NOT an exception —
+/// shed/malformed/state errors are part of the protocol and the caller
+/// decides what they mean (the CLI maps shed to exit 4).
+
+#include <cstdint>
+#include <string>
+
+#include "server/protocol.hpp"
+#include "session/edit.hpp"
+
+namespace mrtpl::server {
+
+class Client {
+ public:
+  /// Connect to a Unix-domain socket. Retries for up to `wait_s` seconds
+  /// (50 ms steps) while the path is missing or refuses — covers the
+  /// daemon-still-starting race in scripts.
+  static Client connect_unix(const std::string& path, double wait_s = 0.0);
+  /// Connect to 127.0.0.1:port with the same retry discipline.
+  static Client connect_tcp(int port, double wait_s = 0.0);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&&) = delete;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// `hello <name>` — must be first; returns the server's committed seq.
+  Response hello(const std::string& name);
+  /// `edit <line>` — parse-checked locally first (throws io::ParseError on
+  /// a bad line, same as the script path), then round-tripped.
+  Response submit(const std::string& edit_line);
+  Response ping(const std::string& token);
+  Response drain();
+  Response bye();
+
+ private:
+  explicit Client(int fd);
+  void send_request(const std::string& payload);
+  Response read_response();
+
+  int fd_ = -1;
+  bool sent_magic_ = false;
+  FrameDecoder decoder_;
+};
+
+}  // namespace mrtpl::server

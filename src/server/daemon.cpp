@@ -1,0 +1,390 @@
+#include "server/daemon.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/fault_injector.hpp"
+
+namespace mrtpl::server {
+
+namespace {
+
+Daemon* g_signal_daemon = nullptr;
+
+void on_drain_signal(int /*sig*/) {
+  if (g_signal_daemon != nullptr) g_signal_daemon->request_drain();
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Daemon::Daemon(session::SessionStore& store, DaemonConfig config)
+    : session_(store.session()),
+      config_(std::move(config)),
+      clock_(config_.clock ? config_.clock : util::monotonic_seconds),
+      dispatcher_(store, config_.dispatch) {}
+
+Daemon::Daemon(session::RouterSession& session, DaemonConfig config)
+    : session_(session),
+      config_(std::move(config)),
+      clock_(config_.clock ? config_.clock : util::monotonic_seconds),
+      dispatcher_(session, config_.dispatch) {}
+
+Daemon::~Daemon() {
+  for (auto& conn : conns_)
+    if (conn->fd >= 0) ::close(conn->fd);
+  for (const int fd : listeners_)
+    if (fd >= 0) ::close(fd);
+  if (!config_.unix_path.empty()) ::unlink(config_.unix_path.c_str());
+  if (g_signal_daemon == this) g_signal_daemon = nullptr;
+}
+
+void Daemon::install_signal_handlers() {
+  g_signal_daemon = this;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = on_drain_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  // A client vanishing mid-write must surface as EPIPE, not kill us.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+void Daemon::listen() {
+  if (!config_.unix_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(AF_UNIX)");
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    if (config_.unix_path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      throw std::runtime_error("unix socket path too long: " +
+                               config_.unix_path);
+    }
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(config_.unix_path.c_str());  // stale socket from a kill -9
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      fail("bind(" + config_.unix_path + ")");
+    }
+    if (::listen(fd, 64) != 0) {
+      ::close(fd);
+      fail("listen(" + config_.unix_path + ")");
+    }
+    set_nonblocking(fd);
+    listeners_.push_back(fd);
+  }
+
+  if (config_.tcp_port > 0 || (config_.tcp_port == 0 && listeners_.empty())) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port =
+        htons(static_cast<std::uint16_t>(std::max(config_.tcp_port, 0)));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+      ::close(fd);
+      fail("bind(127.0.0.1:" + std::to_string(config_.tcp_port) + ")");
+    }
+    if (::listen(fd, 64) != 0) {
+      ::close(fd);
+      fail("listen(tcp)");
+    }
+    socklen_t len = sizeof addr;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+      bound_port_ = ntohs(addr.sin_port);
+    set_nonblocking(fd);
+    listeners_.push_back(fd);
+  }
+
+  if (listeners_.empty())
+    throw std::runtime_error("daemon has no listeners configured");
+  for (const int fd : listeners_)
+    loop_.add(fd, POLLIN, [this, fd](short) { accept_ready(fd); });
+}
+
+int Daemon::run() {
+  if (listeners_.empty()) listen();
+  loop_.set_after_poll([this] { after_poll(); });
+  loop_.set_tick(0.05, [this] { tick(); });
+  return loop_.run();
+}
+
+void Daemon::accept_ready(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // transient accept errors: try again next round
+    }
+    if (draining_) {
+      ::close(fd);  // drain = stop accepting
+      continue;
+    }
+    set_nonblocking(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->last_active = clock_();
+    Conn* raw = conn.get();
+    conns_.push_back(std::move(conn));
+    loop_.add(fd, POLLIN, [this, raw](short revents) { conn_ready(*raw, revents); });
+  }
+}
+
+void Daemon::conn_ready(Conn& conn, short revents) {
+  if (conn.fd < 0) return;
+  if ((revents & (POLLERR | POLLNVAL)) != 0) {
+    conn.closing = true;
+    conn.out.clear();
+    conn.out_off = 0;
+    return;
+  }
+  if ((revents & POLLOUT) != 0) flush_conn(conn);
+  if ((revents & (POLLIN | POLLHUP)) != 0) read_conn(conn);
+}
+
+void Daemon::read_conn(Conn& conn) {
+  util::FaultInjector* faults =
+      util::FaultInjector::enabled() ? &util::FaultInjector::instance() : nullptr;
+  char buf[4096];
+  bool got_request = false;
+  while (conn.fd >= 0 && !conn.closing) {
+    // slow_client: the kernel hands us one byte per round, exercising the
+    // resume-anywhere property of the frame decoder.
+    const bool slow =
+        faults != nullptr && faults->should_fail(util::FaultSite::kSlowClient);
+    const ssize_t n = ::recv(conn.fd, buf, slow ? 1 : sizeof buf, 0);
+    if (n == 0) {  // orderly EOF from the peer
+      conn.closing = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn.closing = true;
+      conn.out.clear();
+      conn.out_off = 0;
+      break;
+    }
+    conn.last_active = clock_();
+    std::vector<Protocol::Event> events =
+        conn.proto.ingest(std::string_view(buf, static_cast<std::size_t>(n)));
+    for (Protocol::Event& ev : events) {
+      got_request = true;
+      queue_event(conn, std::move(ev));
+    }
+    if (conn.proto.want_close()) conn.closing = true;
+    if (slow) break;  // one byte per poll round
+  }
+  // conn_drop: hang up right after a request — admitted edits still apply
+  // (the dispatcher owns them now); the client just never hears back.
+  // Exactly the torn-connection case `session --recover` must tolerate.
+  if (got_request && faults != nullptr &&
+      faults->should_fail(util::FaultSite::kConnDrop)) {
+    conn.closing = true;
+    conn.out.clear();
+    conn.out_off = 0;
+    (void)conn.proto.take_output();  // responses die with the connection
+  }
+}
+
+void Daemon::queue_event(Conn& conn, Protocol::Event event) {
+  // An unanswered edit is in the pump's queue; anything pipelined behind
+  // it must wait so responses leave in request order.
+  if (conn.pending > 0 || !conn.deferred.empty()) {
+    conn.deferred.push_back(std::move(event));
+    return;
+  }
+  apply_event(conn, event);
+}
+
+void Daemon::apply_event(Conn& conn, const Protocol::Event& event) {
+  switch (event.kind) {
+    case Protocol::Event::Kind::kHello:
+      conn.proto.respond_hello(session_.seq());
+      break;
+    case Protocol::Event::Kind::kPing:
+      conn.proto.respond_ping(event.text);
+      break;
+    case Protocol::Event::Kind::kEdit: {
+      const Dispatcher::Offer offer = dispatcher_.offer(conn.id, event.edit);
+      if (offer.admitted) {
+        ++conn.pending;  // answered from the pump, in apply order
+      } else {
+        ++edits_shed_;
+        conn.proto.respond_shed(offer.shed_reason);
+      }
+      break;
+    }
+    case Protocol::Event::Kind::kDrain:
+      conn.proto.respond_drain();
+      draining_ = true;
+      break;
+    case Protocol::Event::Kind::kBye:
+      conn.proto.respond_bye();
+      conn.closing = true;
+      break;
+  }
+}
+
+void Daemon::drain_deferred(Conn& conn) {
+  while (conn.fd >= 0 && !conn.closing && conn.pending == 0 &&
+         !conn.deferred.empty()) {
+    const Protocol::Event event = std::move(conn.deferred.front());
+    conn.deferred.erase(conn.deferred.begin());
+    apply_event(conn, event);
+  }
+}
+
+void Daemon::flush_conn(Conn& conn) {
+  util::FaultInjector* faults =
+      util::FaultInjector::enabled() ? &util::FaultInjector::instance() : nullptr;
+  while (conn.fd >= 0 && conn.out_off < conn.out.size()) {
+    const std::size_t left = conn.out.size() - conn.out_off;
+    // partial_write: the socket accepts one byte, leaving the rest for the
+    // next POLLOUT round — same path a full kernel buffer takes.
+    const bool partial =
+        faults != nullptr && faults->should_fail(util::FaultSite::kPartialWrite);
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                             partial ? 1 : left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      conn.closing = true;  // EPIPE and friends: peer is gone
+      conn.out.clear();
+      conn.out_off = 0;
+      return;
+    }
+    conn.out_off += static_cast<std::size_t>(n);
+    conn.last_active = clock_();
+    if (partial) return;  // rest next round
+  }
+  if (conn.out_off >= conn.out.size()) {
+    conn.out.clear();
+    conn.out_off = 0;
+  }
+}
+
+void Daemon::update_interest(Conn& conn) {
+  if (conn.fd < 0) return;
+  short events = 0;
+  if (!conn.closing) events |= POLLIN;
+  if (conn.out_off < conn.out.size()) events |= POLLOUT;
+  if (events == 0) {
+    // Flushed and closing: done with this connection.
+    close_conn(conn);
+    return;
+  }
+  loop_.set_events(conn.fd, events);
+}
+
+void Daemon::close_conn(Conn& conn) {
+  if (conn.fd < 0) return;
+  loop_.remove(conn.fd);
+  ::close(conn.fd);
+  conn.fd = -1;
+}
+
+void Daemon::after_poll() {
+  // Apply every edit admitted this round, strictly in arrival order, and
+  // route responses back to whichever connections still exist.
+  dispatcher_.pump([this](int client, const session::EditResponse& resp) {
+    ++edits_applied_;
+    for (auto& conn : conns_) {
+      if (conn->id != client) continue;
+      if (conn->pending > 0) --conn->pending;
+      // A dead/closing connection never hears back — the edit is applied
+      // (and journaled) regardless; that's the torn-connection contract.
+      if (conn->fd >= 0 && !conn->closing) conn->proto.respond_edit(resp);
+      break;
+    }
+  });
+
+  for (auto& conn : conns_) {
+    if (conn->fd < 0) continue;
+    drain_deferred(*conn);
+    if (conn->proto.has_output()) {
+      conn->out.append(conn->proto.take_output());
+      flush_conn(*conn);
+    }
+    update_interest(*conn);
+  }
+  conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                              [](const std::unique_ptr<Conn>& c) {
+                                return c->fd < 0;
+                              }),
+               conns_.end());
+
+  if (draining_) {
+    for (int& fd : listeners_) {
+      if (fd >= 0) {
+        loop_.remove(fd);
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    if (dispatcher_.pending_total() == 0 && fully_flushed()) {
+      // Everything admitted is applied (and journaled, for a durable
+      // backend) and every response is on the wire: checkpoint and exit.
+      if (dispatcher_.store() != nullptr) dispatcher_.store()->snapshot_now();
+      loop_.stop(0);
+    }
+  }
+}
+
+void Daemon::tick() {
+  if (drain_requested_ && !draining_) draining_ = true;
+  if (config_.idle_timeout_s > 0) {
+    const double now = clock_();
+    for (auto& conn : conns_) {
+      if (conn->fd < 0 || conn->pending > 0 ||
+          conn->out_off < conn->out.size())
+        continue;
+      if (now - conn->last_active > config_.idle_timeout_s) close_conn(*conn);
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const std::unique_ptr<Conn>& c) {
+                                  return c->fd < 0;
+                                }),
+                 conns_.end());
+  }
+  if (draining_) after_poll();  // a signal-driven drain with no fd traffic
+}
+
+bool Daemon::fully_flushed() const {
+  for (const auto& conn : conns_) {
+    if (conn->fd < 0) continue;
+    if (conn->out_off < conn->out.size() || conn->proto.has_output())
+      return false;
+    if (conn->pending > 0) return false;
+  }
+  return true;
+}
+
+}  // namespace mrtpl::server

@@ -1,0 +1,133 @@
+#pragma once
+/// \file daemon.hpp
+/// The routing-as-a-service daemon (README "Routing as a service"): a
+/// single-threaded poll() server that fronts one resident RouterSession
+/// (optionally store-backed for crash consistency) with the MRTPLW01 wire
+/// protocol.
+///
+/// Per connection: a server::Protocol state machine plus read/write
+/// buffers with full partial-read/partial-write handling (the kernel may
+/// deliver one byte at a time — the slow_client / partial_write fault
+/// sites force exactly that). Edits from all connections are admitted by
+/// the Dispatcher and applied FIFO in arrival order, so the resulting
+/// store is byte-identical to the same stream driven through
+/// `mrtpl_cli session --script`.
+///
+/// Lifecycle: run() serves until
+///  * a client sends `drain`, or
+///  * request_drain() is called (SIGTERM/SIGINT handlers do), or
+///  * a fatal listener error.
+/// Graceful drain = stop accepting, apply everything admitted, flush all
+/// responses, snapshot the store (the journal is already fsync'd at every
+/// commit), close, return 0. A kill -9 instead of a drain loses nothing
+/// committed: `mrtpl_cli session --recover` replays the journal.
+///
+/// Fault sites (util/fault_injector.hpp): conn_drop closes a connection
+/// right after a request, partial_write clamps a flush to one byte,
+/// slow_client clamps a read to one byte. None of them can corrupt the
+/// store — they act strictly on the socket side of the Dispatcher.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/dispatcher.hpp"
+#include "server/event_loop.hpp"
+#include "server/protocol.hpp"
+#include "util/monotonic.hpp"
+
+namespace mrtpl::server {
+
+struct DaemonConfig {
+  /// Unix-domain socket path; empty = no unix listener.
+  std::string unix_path;
+  /// TCP port on 127.0.0.1; <= 0 = no TCP listener.
+  int tcp_port = 0;
+  /// Close connections with no traffic and no pending work after this
+  /// many seconds; <= 0 disables.
+  double idle_timeout_s = 0.0;
+  /// Admission watermarks (see dispatcher.hpp).
+  DispatchConfig dispatch;
+  /// Monotonic time source for idle timeouts (tests inject ManualClock).
+  util::ClockFn clock;
+};
+
+class Daemon {
+ public:
+  /// Durable backend: the store journals every commit.
+  Daemon(session::SessionStore& store, DaemonConfig config);
+  /// Volatile backend: a bare resident session.
+  Daemon(session::RouterSession& session, DaemonConfig config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Bind + listen on the configured endpoints. Throws std::runtime_error
+  /// on bind failure. Separate from run() so callers can publish the
+  /// socket (and tests can connect) before the loop starts.
+  void listen();
+
+  /// Serve until drained; returns the exit code (0 = graceful drain).
+  int run();
+
+  /// Ask the loop to drain and exit (safe from a signal handler via the
+  /// static signal trampoline; see install_signal_handlers).
+  void request_drain() { drain_requested_ = true; }
+
+  /// Route SIGINT/SIGTERM to request_drain() of this daemon (one daemon
+  /// per process; the CLI uses it).
+  void install_signal_handlers();
+
+  [[nodiscard]] int port() const { return bound_port_; }
+  [[nodiscard]] std::size_t connections() const { return conns_.size(); }
+  [[nodiscard]] std::uint64_t edits_applied() const { return edits_applied_; }
+  [[nodiscard]] std::uint64_t edits_shed() const { return edits_shed_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    int id = 0;
+    Protocol proto;
+    std::string out;          ///< encoded responses awaiting the socket
+    std::size_t out_off = 0;  ///< flushed prefix of `out`
+    double last_active = 0.0;
+    int pending = 0;          ///< admitted edits not yet answered
+    bool closing = false;     ///< close once `out` is flushed
+    /// Requests pipelined behind an unanswered edit: handled only after
+    /// the pump answers it, preserving strict request/response order.
+    std::vector<Protocol::Event> deferred;
+  };
+
+  void accept_ready(int listen_fd);
+  void conn_ready(Conn& conn, short revents);
+  void read_conn(Conn& conn);
+  /// Handle one request now, or park it behind the connection's pending
+  /// edits (strict per-connection response ordering).
+  void queue_event(Conn& conn, Protocol::Event event);
+  void apply_event(Conn& conn, const Protocol::Event& event);
+  void drain_deferred(Conn& conn);
+  void flush_conn(Conn& conn);
+  void update_interest(Conn& conn);
+  void close_conn(Conn& conn);
+  void after_poll();
+  void tick();
+  [[nodiscard]] bool fully_flushed() const;
+
+  session::RouterSession& session_;
+  DaemonConfig config_;
+  util::ClockFn clock_;
+  Dispatcher dispatcher_;
+  EventLoop loop_;
+  std::vector<int> listeners_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  int next_conn_id_ = 1;
+  int bound_port_ = 0;
+  bool draining_ = false;
+  volatile bool drain_requested_ = false;
+  std::uint64_t edits_applied_ = 0;
+  std::uint64_t edits_shed_ = 0;
+};
+
+}  // namespace mrtpl::server

@@ -1,0 +1,48 @@
+#include "server/dispatcher.hpp"
+
+namespace mrtpl::server {
+
+Dispatcher::Dispatcher(session::SessionStore& store, DispatchConfig config)
+    : session_(store.session()), store_(&store), config_(config) {}
+
+Dispatcher::Dispatcher(session::RouterSession& session, DispatchConfig config)
+    : session_(session), config_(config) {}
+
+int Dispatcher::pending_of(int client) const {
+  int n = 0;
+  for (const Queued& q : queue_)
+    if (q.client == client) ++n;
+  return n;
+}
+
+Dispatcher::Offer Dispatcher::offer(int client, session::Edit edit) {
+  Offer result;
+  if (config_.max_pending > 0 &&
+      static_cast<int>(queue_.size()) >= config_.max_pending) {
+    result.shed_reason = "queue depth exceeded";
+    return result;
+  }
+  if (config_.per_client_pending > 0 &&
+      pending_of(client) >= config_.per_client_pending) {
+    result.shed_reason = "client quota exceeded";
+    return result;
+  }
+  queue_.push_back(Queued{client, std::move(edit)});
+  result.admitted = true;
+  return result;
+}
+
+void Dispatcher::pump(
+    const std::function<void(int, const session::EditResponse&)>& deliver) {
+  // Strictly FIFO, one at a time: the pop happens before the apply so a
+  // re-entrant offer() (not that the daemon does one) could not reorder.
+  while (!queue_.empty()) {
+    Queued q = std::move(queue_.front());
+    queue_.pop_front();
+    const session::EditResponse resp =
+        store_ != nullptr ? store_->submit(q.edit) : session_.submit(q.edit);
+    deliver(q.client, resp);
+  }
+}
+
+}  // namespace mrtpl::server

@@ -1,0 +1,87 @@
+#pragma once
+/// \file dispatcher.hpp
+/// Multi-client admission control + deterministic FIFO serialization of
+/// edits onto one resident RouterSession. Sans-IO: clients are integer
+/// ids, "arrival" is the order offer() is called — the daemon maps
+/// connections onto ids, the determinism test drives a fixed interleave
+/// directly.
+///
+/// Admission generalizes PR 8's single-session watermarks to many
+/// clients:
+///  * per-client quota — at most `per_client_pending` un-applied edits
+///    per client; excess offers are shed with "client quota exceeded".
+///  * global queue depth — at most `max_pending` un-applied edits across
+///    all clients; excess offers are shed with "queue depth exceeded".
+///  * EWMA-latency degrade — lives in the session itself
+///    (latency_watermark_s / degrade_relax_cap, fed by every client's
+///    applies through the shared monotonic-clock EWMA), so one pathological
+///    client degrades the service honestly for everyone instead of
+///    stalling it.
+///
+/// Determinism contract: pump() applies queued edits strictly in offer()
+/// order through SessionStore::submit (journal + fsync per commit) or
+/// RouterSession::submit. For any fixed offer order, the resulting store
+/// is byte-identical to the same edit sequence driven through
+/// `mrtpl_cli session --script` — the property the multi-client
+/// determinism test pins with cmp.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "session/router_session.hpp"
+#include "session/session_store.hpp"
+
+namespace mrtpl::server {
+
+struct DispatchConfig {
+  /// Max un-applied edits per client; 0 = unlimited.
+  int per_client_pending = 0;
+  /// Max un-applied edits across all clients; 0 = unlimited.
+  int max_pending = 0;
+};
+
+class Dispatcher {
+ public:
+  /// Durable backend: edits go through the store (journal + snapshot).
+  Dispatcher(session::SessionStore& store, DispatchConfig config);
+  /// Volatile backend: edits go straight to the resident session.
+  Dispatcher(session::RouterSession& session, DispatchConfig config);
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  struct Offer {
+    bool admitted = false;
+    std::string shed_reason;  ///< set when !admitted
+  };
+
+  /// Admission check + FIFO enqueue of one edit from `client`.
+  Offer offer(int client, session::Edit edit);
+
+  /// Apply every queued edit in offer() order; `deliver(client, response)`
+  /// fires per edit (the daemon routes it back to the connection — which
+  /// may be gone; admitted edits apply regardless, matching the journal's
+  /// "committed is committed" discipline).
+  void pump(
+      const std::function<void(int, const session::EditResponse&)>& deliver);
+
+  [[nodiscard]] int pending_total() const { return static_cast<int>(queue_.size()); }
+  [[nodiscard]] int pending_of(int client) const;
+  [[nodiscard]] session::RouterSession& session() { return session_; }
+  [[nodiscard]] session::SessionStore* store() { return store_; }
+
+ private:
+  struct Queued {
+    int client = 0;
+    session::Edit edit;
+  };
+
+  session::RouterSession& session_;
+  session::SessionStore* store_ = nullptr;  ///< null for the volatile backend
+  DispatchConfig config_;
+  std::deque<Queued> queue_;
+};
+
+}  // namespace mrtpl::server

@@ -1,0 +1,76 @@
+#include "server/event_loop.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace mrtpl::server {
+
+void EventLoop::add(int fd, short events, FdCallback cb) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd && !e.dead) {
+      e.events = events;
+      e.cb = std::move(cb);
+      return;
+    }
+  }
+  entries_.push_back(Entry{fd, events, std::move(cb), false});
+}
+
+void EventLoop::set_events(int fd, short events) {
+  for (Entry& e : entries_) {
+    if (e.fd == fd && !e.dead) {
+      e.events = events;
+      return;
+    }
+  }
+}
+
+void EventLoop::remove(int fd) {
+  // Mark-dead instead of erase: remove() is legal from inside a callback
+  // while run() is iterating the entry list.
+  for (Entry& e : entries_) {
+    if (e.fd == fd) e.dead = true;
+  }
+}
+
+int EventLoop::run() {
+  std::vector<pollfd> fds;
+  while (!stopped_) {
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [](const Entry& e) { return e.dead; }),
+                   entries_.end());
+    fds.clear();
+    fds.reserve(entries_.size());
+    for (const Entry& e : entries_)
+      fds.push_back(pollfd{e.fd, e.events, 0});
+
+    const int timeout_ms =
+        tick_s_ > 0 ? std::max(1, static_cast<int>(tick_s_ * 1000.0)) : -1;
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        // A signal (SIGTERM drain request) — let the tick hook see it.
+        if (on_tick_) on_tick_();
+        continue;
+      }
+      stop(1);
+      break;
+    }
+
+    // Dispatch on a snapshot of size: callbacks may add() new entries
+    // (accepted connections) which have no pollfd this round.
+    const std::size_t n = std::min(fds.size(), entries_.size());
+    for (std::size_t i = 0; i < n && !stopped_; ++i) {
+      if (fds[i].revents == 0 || entries_[i].dead) continue;
+      if (entries_[i].fd != fds[i].fd) continue;  // paranoia: list shifted
+      if (entries_[i].cb) entries_[i].cb(fds[i].revents);
+    }
+    if (!stopped_ && after_poll_) after_poll_();
+    if (!stopped_ && on_tick_) on_tick_();
+  }
+  return stop_code_;
+}
+
+}  // namespace mrtpl::server

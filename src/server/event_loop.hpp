@@ -1,0 +1,66 @@
+#pragma once
+/// \file event_loop.hpp
+/// Single-threaded poll(2) reactor for the routing daemon. Deliberately
+/// minimal: fds with interest masks and callbacks, a periodic tick, an
+/// after-poll hook, and a stop code. All callbacks run on the loop
+/// thread; there is no cross-thread queue — the daemon is single-threaded
+/// by design (edits serialize onto one RouterSession anyway, so threads
+/// would only buy nondeterminism).
+///
+/// Callback rules:
+///  * add/modify/remove may be called from inside callbacks; removals
+///    take effect before the next dispatch of that fd.
+///  * after_poll runs once per poll round after all fd callbacks — the
+///    daemon drains its edit FIFO there so edits admitted in one round
+///    apply in that round, in arrival order.
+///  * on_tick runs at least every `tick_s` seconds regardless of fd
+///    traffic (idle-timeout scans).
+
+#include <functional>
+#include <vector>
+
+namespace mrtpl::server {
+
+class EventLoop {
+ public:
+  /// revents is the poll(2) bitmask for the wakeup (POLLIN/POLLOUT/...).
+  using FdCallback = std::function<void(short)>;
+
+  /// Register `fd` with poll interest `events` (POLLIN and/or POLLOUT).
+  void add(int fd, short events, FdCallback cb);
+  /// Change the interest mask of a registered fd (no-op if unknown).
+  void set_events(int fd, short events);
+  /// Unregister an fd (no-op if unknown). Does not close it.
+  void remove(int fd);
+
+  void set_after_poll(std::function<void()> hook) { after_poll_ = std::move(hook); }
+  void set_tick(double tick_s, std::function<void()> hook) {
+    tick_s_ = tick_s;
+    on_tick_ = std::move(hook);
+  }
+
+  /// Run until stop(); returns the stop code.
+  int run();
+  void stop(int code) {
+    stopped_ = true;
+    stop_code_ = code;
+  }
+  [[nodiscard]] bool stopping() const { return stopped_; }
+
+ private:
+  struct Entry {
+    int fd = -1;
+    short events = 0;
+    FdCallback cb;
+    bool dead = false;
+  };
+
+  std::vector<Entry> entries_;
+  std::function<void()> after_poll_;
+  std::function<void()> on_tick_;
+  double tick_s_ = 0.1;
+  bool stopped_ = false;
+  int stop_code_ = 0;
+};
+
+}  // namespace mrtpl::server

@@ -1,0 +1,354 @@
+#include "server/protocol.hpp"
+
+#include <sstream>
+
+#include "io/parse_error.hpp"
+#include "util/crc32.hpp"
+
+namespace mrtpl::server {
+
+namespace {
+
+std::uint32_t read_u32le(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         static_cast<std::uint32_t>(u[1]) << 8 |
+         static_cast<std::uint32_t>(u[2]) << 16 |
+         static_cast<std::uint32_t>(u[3]) << 24;
+}
+
+void put_u32le(std::uint32_t v, char* p) {
+  p[0] = static_cast<char>(v & 0xFF);
+  p[1] = static_cast<char>(v >> 8 & 0xFF);
+  p[2] = static_cast<char>(v >> 16 & 0xFF);
+  p[3] = static_cast<char>(v >> 24 & 0xFF);
+}
+
+/// design_io's empty-name convention: '-' stands for "".
+std::string name_token(const std::string& name) {
+  return name.empty() ? "-" : name;
+}
+
+std::string untoken_name(const std::string& token) {
+  return token == "-" ? "" : token;
+}
+
+}  // namespace
+
+// ---- frame layer --------------------------------------------------------
+
+void append_magic(std::string* out) { out->append(kWireMagic); }
+
+void append_frame(std::string* out, std::string_view payload) {
+  char frame[kFrameOverhead];
+  put_u32le(static_cast<std::uint32_t>(payload.size()), frame);
+  put_u32le(util::crc32(payload.data(), payload.size()), frame + 4);
+  out->append(frame, sizeof frame);
+  out->append(payload);
+}
+
+void FrameDecoder::feed(std::string_view bytes) {
+  if (state_ == State::kError) return;  // sticky: discard post-error bytes
+  buf_.append(bytes);
+}
+
+void FrameDecoder::fail(std::string reason) {
+  state_ = State::kError;
+  error_ = std::move(reason);
+  buf_.clear();
+  pos_ = 0;
+}
+
+std::optional<std::string> FrameDecoder::next() {
+  if (state_ == State::kError) return std::nullopt;
+  if (state_ == State::kMagic) {
+    if (buf_.size() - pos_ < kMagicBytes) return std::nullopt;
+    if (buf_.compare(pos_, kMagicBytes, kWireMagic) != 0) {
+      fail("bad stream magic (not MRTPLW01)");
+      return std::nullopt;
+    }
+    pos_ += kMagicBytes;
+    state_ = State::kFrames;
+  }
+  if (buf_.size() - pos_ < kFrameOverhead) return std::nullopt;
+  const std::uint32_t len = read_u32le(buf_.data() + pos_);
+  if (len == 0 || len > kMaxFrameBytes) {
+    fail("insane frame length " + std::to_string(len));
+    return std::nullopt;
+  }
+  if (buf_.size() - pos_ < kFrameOverhead + len) return std::nullopt;
+  const std::uint32_t want = read_u32le(buf_.data() + pos_ + 4);
+  const char* payload = buf_.data() + pos_ + kFrameOverhead;
+  if (util::crc32(payload, len) != want) {
+    fail("frame checksum mismatch");
+    return std::nullopt;
+  }
+  std::string out(payload, len);
+  pos_ += kFrameOverhead + len;
+  // Compact once the consumed prefix dominates, keeping feed() amortized.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return out;
+}
+
+// ---- message layer ------------------------------------------------------
+
+const char* to_string(Verb verb) {
+  switch (verb) {
+    case Verb::kHello: return "hello";
+    case Verb::kPing: return "ping";
+    case Verb::kEdit: return "edit";
+    case Verb::kDrain: return "drain";
+    case Verb::kBye: return "bye";
+  }
+  return "?";
+}
+
+std::optional<session::EditStatus> edit_status_of(std::string_view word) {
+  using session::EditStatus;
+  for (const EditStatus s :
+       {EditStatus::kApplied, EditStatus::kDegraded, EditStatus::kShed,
+        EditStatus::kRejected, EditStatus::kDeadline}) {
+    if (word == session::to_string(s)) return s;
+  }
+  return std::nullopt;
+}
+
+std::string format_edit_response(const session::EditResponse& r) {
+  std::string out = "ok edit ";
+  out += session::to_string(r.status);
+  out += " seq " + std::to_string(r.seq);
+  out += " dirty " + std::to_string(r.dirty_nets);
+  out += " conflicts " + std::to_string(r.conflicts);
+  out += " failed " + std::to_string(r.failed);
+  if (!r.note.empty()) out += "\nnote " + r.note;
+  for (const auto& d : r.dispositions) {
+    out += "\ndisposition " + std::to_string(d.net) + ' ' + name_token(d.name) +
+           ' ' + d.state;
+  }
+  return out;
+}
+
+// ---- server-side protocol state machine ---------------------------------
+
+void Protocol::emit(std::string_view payload) {
+  if (!sent_magic_) {
+    append_magic(&out_);
+    sent_magic_ = true;
+  }
+  append_frame(&out_, payload);
+}
+
+void Protocol::emit_error(std::string_view code, std::string_view reason) {
+  std::string payload = "err ";
+  payload += code;
+  payload += ' ';
+  payload += reason;
+  emit(payload);
+}
+
+std::string Protocol::take_output() {
+  std::string out = std::move(out_);
+  out_.clear();
+  return out;
+}
+
+std::vector<Protocol::Event> Protocol::ingest(std::string_view bytes) {
+  std::vector<Event> events;
+  if (want_close_) return events;  // closing: ignore the rest of the stream
+  decoder_.feed(bytes);
+  while (true) {
+    if (decoder_.failed()) {
+      // Frame corruption is unrecoverable: the byte stream has lost sync,
+      // so answer once and hang up.
+      emit_error("frame", decoder_.error());
+      want_close_ = true;
+      break;
+    }
+    const std::optional<std::string> payload = decoder_.next();
+    if (!payload.has_value()) {
+      if (decoder_.failed()) continue;  // next() just latched the error
+      break;
+    }
+
+    std::istringstream ss(*payload);
+    std::string verb;
+    ss >> verb;
+    if (verb == "hello") {
+      std::string name;
+      ss >> name;
+      if (handshaken_) {
+        emit_error("state", "duplicate hello");
+        continue;
+      }
+      if (name.empty()) {
+        emit_error("malformed", "hello needs a client name ('-' for anonymous)");
+        continue;
+      }
+      handshaken_ = true;
+      client_name_ = untoken_name(name);
+      Event ev;
+      ev.kind = Event::Kind::kHello;
+      ev.text = client_name_;
+      events.push_back(std::move(ev));
+    } else if (verb == "ping") {
+      std::string token;
+      ss >> token;
+      Event ev;
+      ev.kind = Event::Kind::kPing;
+      ev.text = token;
+      events.push_back(std::move(ev));
+    } else if (verb == "edit") {
+      if (!handshaken_) {
+        emit_error("state", "edit before hello");
+        continue;
+      }
+      std::string line;
+      std::getline(ss, line);
+      if (!line.empty() && line.front() == ' ') line.erase(0, 1);
+      if (line.empty()) {
+        emit_error("malformed", "edit without an edit line");
+        continue;
+      }
+      try {
+        Event ev;
+        ev.kind = Event::Kind::kEdit;
+        ev.edit = session::parse_edit(line, "wire", 0);
+        ev.text = std::move(line);
+        events.push_back(std::move(ev));
+      } catch (const io::ParseError& e) {
+        emit_error("malformed", e.what());
+      }
+    } else if (verb == "drain") {
+      if (!handshaken_) {
+        emit_error("state", "drain before hello");
+        continue;
+      }
+      events.push_back(Event{Event::Kind::kDrain, {}, {}});
+    } else if (verb == "bye") {
+      events.push_back(Event{Event::Kind::kBye, {}, {}});
+    } else {
+      emit_error("malformed",
+                 verb.empty() ? "empty request" : "unknown verb '" + verb + "'");
+    }
+  }
+  return events;
+}
+
+void Protocol::respond_hello(std::uint64_t seq) {
+  emit("ok hello proto 1 seq " + std::to_string(seq));
+}
+
+void Protocol::respond_ping(const std::string& token) {
+  emit(token.empty() ? std::string("ok ping -") : "ok ping " + token);
+}
+
+void Protocol::respond_edit(const session::EditResponse& response) {
+  emit(format_edit_response(response));
+}
+
+void Protocol::respond_drain() { emit("ok drain"); }
+
+void Protocol::respond_bye() {
+  emit("ok bye");
+  want_close_ = true;
+}
+
+void Protocol::respond_shed(const std::string& reason) {
+  emit_error("shed", reason);
+}
+
+// ---- client-side message parsing ----------------------------------------
+
+std::optional<Response> parse_response(const std::string& payload,
+                                       std::string* error) {
+  const auto bad = [error](const std::string& why) -> std::optional<Response> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+
+  std::istringstream ss(payload);
+  std::string head;
+  ss >> head;
+  Response resp;
+  if (head == "err") {
+    resp.ok = false;
+    ss >> resp.code;
+    std::getline(ss, resp.text);
+    if (!resp.text.empty() && resp.text.front() == ' ') resp.text.erase(0, 1);
+    if (resp.code.empty()) return bad("err without a code");
+    return resp;
+  }
+  if (head != "ok") return bad("response is neither ok nor err");
+  resp.ok = true;
+
+  std::string verb;
+  ss >> verb;
+  if (verb == "hello") {
+    std::string kw;
+    int proto = 0;
+    std::string seq_kw;
+    if (!(ss >> kw >> proto >> seq_kw >> resp.seq) || kw != "proto" ||
+        seq_kw != "seq")
+      return bad("malformed ok hello");
+    if (proto != 1) return bad("unsupported protocol version");
+    resp.verb = Verb::kHello;
+    return resp;
+  }
+  if (verb == "ping") {
+    ss >> resp.text;
+    resp.verb = Verb::kPing;
+    return resp;
+  }
+  if (verb == "drain") {
+    resp.verb = Verb::kDrain;
+    return resp;
+  }
+  if (verb == "bye") {
+    resp.verb = Verb::kBye;
+    return resp;
+  }
+  if (verb != "edit") return bad("unknown response verb '" + verb + "'");
+
+  resp.verb = Verb::kEdit;
+  std::string status_word;
+  std::string kw_seq, kw_dirty, kw_conflicts, kw_failed;
+  if (!(ss >> status_word >> kw_seq >> resp.edit.seq >> kw_dirty >>
+        resp.edit.dirty_nets >> kw_conflicts >> resp.edit.conflicts >>
+        kw_failed >> resp.edit.failed) ||
+      kw_seq != "seq" || kw_dirty != "dirty" || kw_conflicts != "conflicts" ||
+      kw_failed != "failed")
+    return bad("malformed ok edit header");
+  const auto status = edit_status_of(status_word);
+  if (!status.has_value()) return bad("unknown edit status '" + status_word + "'");
+  resp.edit.status = *status;
+  // Swallow the rest of the header line, then the optional note /
+  // disposition lines.
+  std::string rest;
+  std::getline(ss, rest);
+  std::string line;
+  while (std::getline(ss, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "note") {
+      std::getline(ls, resp.edit.note);
+      if (!resp.edit.note.empty() && resp.edit.note.front() == ' ')
+        resp.edit.note.erase(0, 1);
+    } else if (tag == "disposition") {
+      io::DispositionEntry d;
+      std::string name;
+      if (!(ls >> d.net >> name >> d.state))
+        return bad("malformed disposition line");
+      d.name = untoken_name(name);
+      resp.edit.dispositions.push_back(std::move(d));
+    } else if (!tag.empty()) {
+      return bad("unknown edit response line '" + tag + "'");
+    }
+  }
+  return resp;
+}
+
+}  // namespace mrtpl::server

@@ -1,0 +1,217 @@
+#pragma once
+/// \file protocol.hpp
+/// Sans-IO wire protocol for routing-as-a-service (README "Routing as a
+/// service"). Everything in this file is a pure byte-in/byte-out state
+/// machine: no sockets, no clocks, no globals — the daemon and the client
+/// both run the same code against real fds, the tests against string
+/// buffers.
+///
+/// Stream layout (each direction, independently):
+///
+///   magic   8 bytes "MRTPLW01"
+///   frame   [u32 payload_len LE][u32 crc32(payload) LE][payload bytes]
+///   ...     frames repeat until close
+///
+/// — the same length+CRC framing io::EditJournal uses, so a torn or
+/// bit-flipped frame is detected, never parsed into garbage. A frame
+/// payload is one whitespace-tokenized text message; requests and
+/// responses pair up strictly in order (pipelining is allowed, reordering
+/// is not).
+///
+/// Requests (client -> server):
+///
+///   hello <client_name>          must be the first request; '-' = anon
+///   ping <token>                 liveness probe, token echoed back
+///   edit <edit line>             one session::Edit (session/edit.hpp)
+///   drain                        graceful daemon shutdown: stop
+///                                accepting, flush, fsync, exit 0
+///   bye                          close this connection only
+///
+/// Responses (server -> client); multi-line payloads use '\n':
+///
+///   ok hello proto 1 seq <n>
+///   ok ping <token>
+///   ok edit <status> seq <n> dirty <n> conflicts <n> failed <n>
+///     [note <free text>]
+///     [disposition <net> <name> <state>]*
+///   ok drain
+///   ok bye
+///   err <code> <free text>       code: frame | malformed | state | shed
+///
+/// Error discipline: message-level problems (unknown verb, bad edit line,
+/// edit before hello) get an `err` response and the stream continues;
+/// frame-level corruption (bad magic, insane length, CRC mismatch) is
+/// unrecoverable — the stream has lost sync — so it gets a final `err
+/// frame` and the connection closes. Malformed input NEVER throws out of
+/// the protocol layer and never crashes (pinned under ASan by the frame
+/// fuzz tests).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "io/json_report.hpp"
+#include "session/edit.hpp"
+#include "session/router_session.hpp"
+
+namespace mrtpl::server {
+
+// ---- frame layer --------------------------------------------------------
+
+inline constexpr std::string_view kWireMagic = "MRTPLW01";
+inline constexpr std::size_t kMagicBytes = 8;
+inline constexpr std::size_t kFrameOverhead = 8;  ///< len + crc framing
+/// Length-field sanity bound; messages are line-sized, 1 MiB is far above
+/// any legitimate frame. A bigger advertised length is corruption, not a
+/// reason to buffer gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+/// Append the 8-byte stream magic to `out` (once per direction).
+void append_magic(std::string* out);
+
+/// Append one framed payload to `out`.
+void append_frame(std::string* out, std::string_view payload);
+
+/// Incremental decoder for one receive direction: feed() bytes as they
+/// arrive, next() pops complete payloads in order. Corruption puts the
+/// decoder into a sticky error state with a structured reason — it never
+/// throws and never reads past its buffer.
+class FrameDecoder {
+ public:
+  enum class State : std::uint8_t {
+    kMagic,   ///< still waiting for the 8-byte preamble
+    kFrames,  ///< magic verified; decoding frames
+    kError,   ///< unrecoverable stream corruption (sticky)
+  };
+
+  void feed(std::string_view bytes);
+  /// Next complete payload, if one is buffered. Returns std::nullopt when
+  /// more bytes are needed or the decoder is in error state.
+  [[nodiscard]] std::optional<std::string> next();
+
+  [[nodiscard]] State state() const { return state_; }
+  [[nodiscard]] bool failed() const { return state_ == State::kError; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  /// Bytes buffered but not yet consumed (tests assert no unbounded
+  /// growth under fuzzing).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  void fail(std::string reason);
+
+  std::string buf_;
+  std::size_t pos_ = 0;
+  State state_ = State::kMagic;
+  std::string error_;
+};
+
+// ---- message layer ------------------------------------------------------
+
+enum class Verb : std::uint8_t { kHello, kPing, kEdit, kDrain, kBye };
+[[nodiscard]] const char* to_string(Verb verb);
+
+/// Parse back an EditStatus keyword ("applied", ...); nullopt on unknown.
+[[nodiscard]] std::optional<session::EditStatus> edit_status_of(
+    std::string_view word);
+
+/// One decoded client request, or a message-level error to answer.
+struct Request {
+  Verb verb = Verb::kPing;
+  std::string name;        ///< hello: client name; ping: token
+  session::Edit edit;      ///< kEdit only
+  std::string edit_line;   ///< kEdit only: the raw line (for re-journaling)
+};
+
+/// The wire image of an EditResponse — what `ok edit` carries. Identical
+/// fields to session::EditResponse minus apply_s (server-local timing is
+/// not part of the contract).
+struct WireEditResult {
+  session::EditStatus status = session::EditStatus::kRejected;
+  std::uint64_t seq = 0;
+  int dirty_nets = 0;
+  int conflicts = 0;
+  int failed = 0;
+  std::string note;
+  std::vector<io::DispositionEntry> dispositions;
+};
+
+/// Format the `ok edit ...` payload for a response.
+[[nodiscard]] std::string format_edit_response(const session::EditResponse& r);
+
+// ---- server-side protocol state machine ---------------------------------
+
+/// Per-connection protocol engine for the daemon. ingest() turns raw
+/// bytes into Events; the respond_*() calls append encoded response
+/// frames to output(). Protocol-level errors are answered automatically
+/// (and fatal ones latch closed()); the caller only handles the
+/// app-level verbs.
+class Protocol {
+ public:
+  struct Event {
+    enum class Kind : std::uint8_t {
+      kHello,
+      kPing,
+      kEdit,
+      kDrain,
+      kBye,
+    };
+    Kind kind = Kind::kPing;
+    std::string text;       ///< hello: client name; ping: token
+    session::Edit edit;     ///< kEdit only
+  };
+
+  /// Feed raw bytes; returns app-level events in arrival order. Message
+  /// errors are answered into output() inline (keeping request/response
+  /// pairing); frame errors additionally latch want_close().
+  std::vector<Event> ingest(std::string_view bytes);
+
+  /// Responses, in the same order the events were returned.
+  void respond_hello(std::uint64_t seq);
+  void respond_ping(const std::string& token);
+  void respond_edit(const session::EditResponse& response);
+  void respond_drain();
+  void respond_bye();
+  /// Admission-control rejection of an edit (code "shed").
+  void respond_shed(const std::string& reason);
+
+  /// Bytes ready to write to the peer; caller consumes via take_output().
+  [[nodiscard]] bool has_output() const { return !out_.empty(); }
+  [[nodiscard]] std::string take_output();
+
+  /// The peer completed `hello` and may submit edits.
+  [[nodiscard]] bool handshaken() const { return handshaken_; }
+  /// The connection should be closed once output() is flushed.
+  [[nodiscard]] bool want_close() const { return want_close_; }
+  [[nodiscard]] const std::string& client_name() const { return client_name_; }
+
+ private:
+  void emit(std::string_view payload);
+  void emit_error(std::string_view code, std::string_view reason);
+
+  FrameDecoder decoder_;
+  std::string out_;
+  bool sent_magic_ = false;
+  bool handshaken_ = false;
+  bool want_close_ = false;
+  std::string client_name_;
+};
+
+// ---- client-side message parsing ----------------------------------------
+
+/// Parse a server response payload. Returns nullopt + *error on anything
+/// that is not a well-formed `ok ...` / `err ...` message.
+struct Response {
+  bool ok = false;
+  std::string code;   ///< err only
+  std::string text;   ///< err: reason; ok ping: token
+  Verb verb = Verb::kPing;
+  std::uint64_t seq = 0;            ///< ok hello
+  WireEditResult edit;              ///< ok edit
+};
+
+[[nodiscard]] std::optional<Response> parse_response(const std::string& payload,
+                                                     std::string* error);
+
+}  // namespace mrtpl::server

@@ -1,7 +1,6 @@
 #include "session/router_session.hpp"
 
 #include <algorithm>
-#include <chrono>
 
 #include "core/conflict.hpp"
 #include "io/design_io.hpp"
@@ -10,11 +9,6 @@
 namespace mrtpl::session {
 
 namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
-}
 
 /// EWMA smoothing of the apply latency; heavy on the past so one slow
 /// apply doesn't flip degrade mode by itself.
@@ -37,6 +31,7 @@ RouterSession::RouterSession(const db::Design& design, SessionConfig config,
                              const global::GuideSet* guides)
     : design_(design),
       config_(config),
+      clock_(config.clock ? config.clock : util::monotonic_seconds),
       guides_(guides != nullptr ? *guides : global::GuideSet{}),
       has_guides_(guides != nullptr) {
   grid_ = std::make_unique<grid::RoutingGrid>(design_);
@@ -54,6 +49,7 @@ RouterSession::RouterSession(const db::Design& design, SessionConfig config,
                              const std::string& solution_text, std::uint64_t seq)
     : design_(design),
       config_(config),
+      clock_(config.clock ? config.clock : util::monotonic_seconds),
       guides_(guides != nullptr ? *guides : global::GuideSet{}),
       has_guides_(guides != nullptr) {
   grid_ = std::make_unique<grid::RoutingGrid>(design_);
@@ -121,7 +117,7 @@ EditResponse RouterSession::replay(const Edit& edit,
 EditResponse RouterSession::apply_edit(const Edit& edit,
                                        std::uint64_t max_relaxations,
                                        double deadline_s) {
-  const auto t0 = std::chrono::steady_clock::now();
+  const double t0 = clock_();
   EditResponse resp;
   const std::string why = validate_edit(edit);
   if (!why.empty()) {
@@ -166,7 +162,7 @@ EditResponse RouterSession::apply_edit(const Edit& edit,
     rebuild_from(std::move(saved_design), saved_solution);
     resp.status = EditStatus::kDeadline;
     resp.note = "deadline tripped; edit rolled back";
-    resp.apply_s = seconds_since(t0);
+    resp.apply_s = clock_() - t0;
     return resp;
   }
 
@@ -184,7 +180,7 @@ EditResponse RouterSession::apply_edit(const Edit& edit,
                        ? static_cast<int>(index_->conflicts().size())
                        : static_cast<int>(core::detect_conflicts(*grid_).size());
   resp.dispositions = io::dispositions_of(solution_, design_);
-  resp.apply_s = seconds_since(t0);
+  resp.apply_s = clock_() - t0;
   if (hook_) hook_(CommittedEdit{seq_, edit, max_relaxations});
   return resp;
 }

@@ -47,11 +47,19 @@
 #include "grid/routing_grid.hpp"
 #include "io/json_report.hpp"
 #include "session/edit.hpp"
+#include "util/monotonic.hpp"
 
 namespace mrtpl::session {
 
 struct SessionConfig {
   core::RouterConfig router;
+
+  /// Time source for the apply-latency EWMA feeding the degrade-mode
+  /// watermark. MUST be monotonic: a wall-clock step (NTP, suspend)
+  /// would spuriously trip or mask degrade mode. Empty = the process
+  /// monotonic clock; tests inject util::ManualClock to drive the
+  /// watermark deterministically.
+  util::ClockFn clock;
 
   /// Per-edit wall-clock deadline; <= 0 disables. A tripped deadline
   /// rolls the edit back (status kDeadline) — nothing is journaled.
@@ -204,6 +212,7 @@ class RouterSession {
 
   db::Design design_;
   SessionConfig config_;
+  util::ClockFn clock_;
   global::GuideSet guides_;
   bool has_guides_ = false;
   std::unique_ptr<grid::RoutingGrid> grid_;

@@ -65,6 +65,10 @@ const char* to_string(FaultSite site) {
     case FaultSite::kJournalTornTail: return "journal_torn_tail";
     case FaultSite::kJournalBitFlip: return "journal_bitflip";
     case FaultSite::kSnapshotStale: return "snapshot_stale";
+    case FaultSite::kDirFsync: return "dir_fsync";
+    case FaultSite::kConnDrop: return "conn_drop";
+    case FaultSite::kPartialWrite: return "partial_write";
+    case FaultSite::kSlowClient: return "slow_client";
   }
   return "unknown";
 }

@@ -40,6 +40,27 @@
 ///                    fsync and the snapshot rename. Contract: recovery
 ///                    replays the longer journal suffix onto the older
 ///                    snapshot and reproduces the same state.
+///   dir_fsync        io::fsync_parent_dir fails — simulating a crash
+///                    after a rename()/create() but before the directory
+///                    entry is durable (the window where a power loss can
+///                    undo the rename itself). Contract: the caller
+///                    surfaces the failure instead of claiming
+///                    durability; the destination is a complete old or
+///                    new file, never a hybrid.
+///   conn_drop        server::Daemon closes a client connection right
+///                    after decoding a request, before responding —
+///                    simulating a flaky network peer. Contract: the
+///                    client sees a clean EOF and can reconnect; the
+///                    store is never corrupted (admitted edits either
+///                    commit fully or were never applied).
+///   partial_write    server::Daemon's response flush writes at most one
+///                    byte per event-loop round — stressing the
+///                    partial-write resume path. Contract: responses
+///                    arrive intact, just slower.
+///   slow_client      server::Daemon's request read takes at most one
+///                    byte per event-loop round — a pathologically slow
+///                    sender. Contract: frames reassemble byte-exactly;
+///                    one slow client never stalls the others' edits.
 ///
 /// Spec syntax (MRTPL_FAULT_SPEC or configure()):
 ///
@@ -48,6 +69,7 @@
 ///   site    := arena_grow | spec_invalidate | search_fail
 ///            | io_truncate | io_bitflip | io_write_abort
 ///            | journal_torn_tail | journal_bitflip | snapshot_stale
+///            | dir_fsync | conn_drop | partial_write | slow_client
 ///
 /// A site entry fires when `index % every == offset` (default offset 0),
 /// where `index` is the site's hit counter for counter sites
@@ -82,8 +104,12 @@ enum class FaultSite : int {
   kJournalTornTail,
   kJournalBitFlip,
   kSnapshotStale,
+  kDirFsync,
+  kConnDrop,
+  kPartialWrite,
+  kSlowClient,
 };
-inline constexpr int kNumFaultSites = 9;
+inline constexpr int kNumFaultSites = 13;
 
 /// Canonical spec name of a site ("arena_grow", ...).
 [[nodiscard]] const char* to_string(FaultSite site);

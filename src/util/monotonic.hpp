@@ -1,0 +1,45 @@
+#pragma once
+/// \file monotonic.hpp
+/// Monotonic time source for latency bookkeeping and timeouts.
+///
+/// Everything that feeds an admission-control decision — the session's
+/// EWMA apply-latency watermark, the daemon's idle timeouts — must read a
+/// *monotonic* clock: a wall-clock step (NTP slew, manual date change, VM
+/// suspend/resume) would otherwise spuriously trip or mask degrade mode.
+/// `monotonic_seconds()` is that source. Code that needs a mockable clock
+/// (so tests can drive the watermark deterministically instead of racing
+/// real time) takes a `ClockFn` and defaults it to `monotonic_seconds`.
+
+#include <chrono>
+#include <functional>
+
+namespace mrtpl::util {
+
+/// Seconds since an arbitrary process-local epoch on the monotonic clock.
+/// Never goes backwards; unaffected by wall-clock steps.
+[[nodiscard]] inline double monotonic_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Injectable time source: returns "now" in seconds on a monotonic scale.
+/// A default-constructed (empty) ClockFn means `monotonic_seconds`.
+using ClockFn = std::function<double()>;
+
+/// Hand-cranked clock for tests: deterministic latency and timeout
+/// scenarios without sleeping.
+class ManualClock {
+ public:
+  explicit ManualClock(double start_s = 0.0) : now_s_(start_s) {}
+  void advance(double seconds) { now_s_ += seconds; }
+  [[nodiscard]] double now() const { return now_s_; }
+  [[nodiscard]] ClockFn fn() {
+    return [this] { return now_s_; };
+  }
+
+ private:
+  double now_s_ = 0.0;
+};
+
+}  // namespace mrtpl::util

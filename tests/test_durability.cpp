@@ -1,0 +1,115 @@
+/// \file test_durability.cpp
+/// Directory-entry durability (io/atomic_file.hpp): rename() makes an
+/// atomic_write_file atomic, but the new directory entry is only durable
+/// once the *parent directory* is fsync'd — a crash between rename and
+/// dir-fsync could resurrect the old file. fsync_parent_dir() closes that
+/// hole for atomic_write_file and EditJournal::create; the dir_fsync
+/// fault site simulates the fsync failing at exactly that kill point and
+/// pins the contract: the destination is always a *complete* old-or-new
+/// image, never a torn one, and higher layers fail cleanly.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/atomic_file.hpp"
+#include "io/edit_journal.hpp"
+#include "session/session_store.hpp"
+#include "support/builders.hpp"
+#include "util/fault_injector.hpp"
+
+namespace mrtpl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Every test leaves the process-wide injector disarmed.
+class DurabilityTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::instance().disarm(); }
+
+  void arm_dir_fsync() {
+    std::string error;
+    ASSERT_TRUE(util::FaultInjector::instance().configure("dir_fsync:1", &error))
+        << error;
+  }
+};
+
+TEST_F(DurabilityTest, FsyncParentDirWorksOnRealPaths) {
+  const std::string path = ::testing::TempDir() + "fsync_probe.txt";
+  io::atomic_write_file(path, "probe");
+  io::fsync_parent_dir(path);                       // absolute path
+  io::fsync_parent_dir("some_bare_name");           // "." parent
+  EXPECT_EQ(slurp(path), "probe");
+}
+
+TEST_F(DurabilityTest, AtomicWriteSurfacesDirFsyncFailureAfterRename) {
+  const std::string path = ::testing::TempDir() + "durable_target.txt";
+  io::atomic_write_file(path, "old content");
+
+  arm_dir_fsync();
+  EXPECT_THROW(io::atomic_write_file(path, "new content"), std::runtime_error);
+  // The kill-point contract: the rename already happened (content is the
+  // complete new image), the *error* is about entry durability — callers
+  // must treat the write as not-yet-committed and retry or fail upward.
+  EXPECT_EQ(slurp(path), "new content");
+
+  util::FaultInjector::instance().disarm();
+  io::atomic_write_file(path, "settled");
+  EXPECT_EQ(slurp(path), "settled");
+}
+
+TEST_F(DurabilityTest, JournalCreateSurfacesDirFsyncFailure) {
+  const std::string path = ::testing::TempDir() + "durable_journal.mrtplj";
+  fs::remove(path);
+
+  arm_dir_fsync();
+  EXPECT_THROW((void)io::EditJournal::create(path), std::runtime_error);
+
+  util::FaultInjector::instance().disarm();
+  auto journal = io::EditJournal::create(path);
+  journal->append("1 0 probe");
+  journal->sync();
+  journal.reset();
+
+  // Whatever the fault left behind, a clean create+append round-trips.
+  io::EditJournal::ScanReport report;
+  std::vector<std::string> records;
+  auto back = io::EditJournal::open(path, &records, &report);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "1 0 probe");
+}
+
+TEST_F(DurabilityTest, SessionStoreCreateFailsCleanlyUnderDirFsyncFault) {
+  const std::string dir = ::testing::TempDir() + "durable_store";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const db::Design design = test::single_pin_design(2, 8, 8);
+  session::SessionConfig config;
+  config.router.rrr_threads = 1;
+
+  arm_dir_fsync();
+  EXPECT_THROW(
+      (void)session::SessionStore::create(dir, design, config, nullptr),
+      std::runtime_error);
+
+  // Recovery discipline: the failed create is not a usable store, and a
+  // clean retry into a fresh directory works.
+  util::FaultInjector::instance().disarm();
+  const std::string retry = ::testing::TempDir() + "durable_store_retry";
+  fs::remove_all(retry);
+  auto store = session::SessionStore::create(retry, design, config, nullptr);
+  EXPECT_EQ(store->session().seq(), 0u);
+}
+
+}  // namespace
+}  // namespace mrtpl

@@ -1,0 +1,290 @@
+/// \file test_server_daemon.cpp
+/// The poll()-based routing daemon (server/daemon.hpp) end to end over
+/// real sockets: handshake/ping/edit/bye round-trips on Unix-domain and
+/// TCP transports, graceful drain (exit 0), idle timeouts, and the three
+/// connection fault sites — conn_drop, partial_write, slow_client — with
+/// their recovery contracts (admitted edits survive a dropped
+/// connection; byte-starved IO changes nothing but latency).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+#include "session/invariant_audit.hpp"
+#include "session/router_session.hpp"
+#include "session/session_store.hpp"
+#include "support/builders.hpp"
+#include "util/fault_injector.hpp"
+
+namespace mrtpl::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+session::SessionConfig quiet_config() {
+  session::SessionConfig config;
+  config.router.rrr_threads = 1;
+  return config;
+}
+
+std::string edit_line(const std::string& name, int y, int x0, int x1) {
+  session::Edit edit;
+  edit.kind = session::EditKind::kAddNet;
+  edit.name = name;
+  db::Pin pin;
+  pin.name = "p0";
+  pin.layer = 0;
+  pin.shapes = {{x0, y, x0, y}};
+  edit.pins.push_back(pin);
+  pin.name = "p1";
+  pin.shapes = {{x1, y, x1, y}};
+  edit.pins.push_back(pin);
+  return session::format_edit(edit);
+}
+
+/// Every test leaves the process-wide injector disarmed.
+class DaemonTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::instance().disarm(); }
+
+  [[nodiscard]] std::string socket_path(const char* tag) const {
+    const std::string path = ::testing::TempDir() + tag + ".sock";
+    fs::remove(path);
+    return path;
+  }
+};
+
+/// Run `daemon` on a background thread until it drains; the destructor
+/// joins and reports the exit code.
+class DaemonRunner {
+ public:
+  explicit DaemonRunner(Daemon& daemon) : daemon_(daemon) {
+    daemon_.listen();
+    thread_ = std::thread([this] { exit_code_ = daemon_.run(); });
+  }
+  ~DaemonRunner() {
+    if (thread_.joinable()) {
+      daemon_.request_drain();
+      thread_.join();
+    }
+  }
+  int join() {
+    thread_.join();
+    return exit_code_;
+  }
+
+ private:
+  Daemon& daemon_;
+  std::thread thread_;
+  int exit_code_ = -1;
+};
+
+TEST_F(DaemonTest, UnixSocketEditRoundTripAndGracefulDrain) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DaemonConfig config;
+  config.unix_path = socket_path("rt");
+  config.tcp_port = -1;
+  Daemon daemon(session, config);
+  DaemonRunner runner(daemon);
+
+  Client client = Client::connect_unix(config.unix_path, 2.0);
+  const Response hello = client.hello("tester");
+  ASSERT_TRUE(hello.ok);
+  EXPECT_EQ(hello.verb, Verb::kHello);
+  EXPECT_EQ(hello.seq, 0u);
+
+  const Response ping = client.ping("tok42");
+  ASSERT_TRUE(ping.ok);
+  EXPECT_EQ(ping.text, "tok42");
+
+  const Response edit = client.submit(edit_line("eco_a", 2, 2, 12));
+  ASSERT_TRUE(edit.ok);
+  EXPECT_EQ(edit.edit.status, session::EditStatus::kApplied);
+  EXPECT_EQ(edit.edit.seq, 1u);
+
+  const Response drain = client.drain();
+  ASSERT_TRUE(drain.ok);
+  EXPECT_EQ(runner.join(), 0);  // graceful drain exits 0
+  EXPECT_EQ(session.seq(), 1u);
+  EXPECT_TRUE(session::audit_session(session).ok);
+}
+
+TEST_F(DaemonTest, TcpTransportAndMultipleClients) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DaemonConfig config;  // no unix path: ephemeral loopback TCP
+  Daemon daemon(session, config);
+  DaemonRunner runner(daemon);
+  ASSERT_GT(daemon.port(), 0);
+
+  Client a = Client::connect_tcp(daemon.port(), 2.0);
+  Client b = Client::connect_tcp(daemon.port(), 2.0);
+  ASSERT_TRUE(a.hello("alice").ok);
+  ASSERT_TRUE(b.hello("bob").ok);
+
+  const Response ra = a.submit(edit_line("a_net", 2, 2, 12));
+  const Response rb = b.submit(edit_line("b_net", 4, 2, 12));
+  ASSERT_TRUE(ra.ok);
+  ASSERT_TRUE(rb.ok);
+  // One shared session: sequence numbers interleave across clients.
+  EXPECT_EQ(ra.edit.seq, 1u);
+  EXPECT_EQ(rb.edit.seq, 2u);
+
+  ASSERT_TRUE(a.bye().ok);
+  ASSERT_TRUE(b.drain().ok);
+  EXPECT_EQ(runner.join(), 0);
+  EXPECT_EQ(session.seq(), 2u);
+}
+
+TEST_F(DaemonTest, MessageErrorsKeepTheConnectionUsable) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DaemonConfig config;
+  config.unix_path = socket_path("err");
+  config.tcp_port = -1;
+  Daemon daemon(session, config);
+  DaemonRunner runner(daemon);
+
+  Client client = Client::connect_unix(config.unix_path, 2.0);
+  // ping before hello is fine; edit before hello is a state error.
+  ASSERT_TRUE(client.ping("x").ok);
+  ASSERT_TRUE(client.hello("tester").ok);
+  const Response dup = client.hello("again");
+  EXPECT_FALSE(dup.ok);
+  EXPECT_EQ(dup.code, "state");
+  // The stream survives the error: a real edit still applies.
+  const Response edit = client.submit(edit_line("ok_net", 2, 2, 12));
+  ASSERT_TRUE(edit.ok);
+  ASSERT_TRUE(client.drain().ok);
+  EXPECT_EQ(runner.join(), 0);
+}
+
+TEST_F(DaemonTest, StoreBackedDaemonJournalsEveryEdit) {
+  const db::Design design = test::parallel_nets_design(2);
+  const std::string dir = ::testing::TempDir() + "daemon_store";
+  fs::remove_all(dir);
+  auto store = session::SessionStore::create(dir, design, quiet_config(), nullptr);
+
+  DaemonConfig config;
+  config.unix_path = socket_path("store");
+  config.tcp_port = -1;
+  {
+    Daemon daemon(*store, config);
+    DaemonRunner runner(daemon);
+    Client client = Client::connect_unix(config.unix_path, 2.0);
+    ASSERT_TRUE(client.hello("writer").ok);
+    ASSERT_TRUE(client.submit(edit_line("wire_a", 2, 2, 12)).ok);
+    ASSERT_TRUE(client.submit(edit_line("wire_b", 4, 2, 12)).ok);
+    ASSERT_TRUE(client.drain().ok);
+    EXPECT_EQ(runner.join(), 0);
+  }
+  store.reset();  // release the store before recovering the directory
+
+  // What went over the wire is recoverable from disk, byte-exact.
+  session::RecoveryReport report;
+  auto back = session::SessionStore::recover(dir, quiet_config(), &report);
+  EXPECT_EQ(back->session().seq(), 2u);
+  EXPECT_FALSE(report.truncated_tail);
+  EXPECT_TRUE(session::audit_session(back->session()).ok);
+}
+
+// ---- fault sites ---------------------------------------------------------
+
+TEST_F(DaemonTest, ConnDropKillsTheSocketButAdmittedEditsApply) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DaemonConfig config;
+  config.unix_path = socket_path("drop");
+  config.tcp_port = -1;
+  Daemon daemon(session, config);
+  DaemonRunner runner(daemon);
+
+  // Index 0 = the hello read, index 1 = the edit read: drop on the edit.
+  std::string error;
+  ASSERT_TRUE(util::FaultInjector::instance().configure("conn_drop:1000:1",
+                                                        &error))
+      << error;
+
+  Client client = Client::connect_unix(config.unix_path, 2.0);
+  ASSERT_TRUE(client.hello("doomed").ok);
+  // The daemon admits the edit, then drops the connection before the
+  // response: the client sees a hangup...
+  EXPECT_THROW((void)client.submit(edit_line("ghost", 2, 2, 12)),
+               std::runtime_error);
+  util::FaultInjector::instance().disarm();
+
+  // ...but the edit itself is committed — a fresh client observes it.
+  Client witness = Client::connect_unix(config.unix_path, 2.0);
+  const Response hello = witness.hello("witness");
+  ASSERT_TRUE(hello.ok);
+  EXPECT_EQ(hello.seq, 1u);
+  ASSERT_TRUE(witness.drain().ok);
+  EXPECT_EQ(runner.join(), 0);
+  EXPECT_EQ(session.seq(), 1u);
+  EXPECT_TRUE(session::audit_session(session).ok);
+}
+
+TEST_F(DaemonTest, PartialWriteAndSlowClientOnlyAddLatency) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DaemonConfig config;
+  config.unix_path = socket_path("slow");
+  config.tcp_port = -1;
+  Daemon daemon(session, config);
+  DaemonRunner runner(daemon);
+
+  // Every daemon read takes 1 byte, every daemon write flushes 1 byte:
+  // the worst legal socket behavior, permanently.
+  std::string error;
+  ASSERT_TRUE(util::FaultInjector::instance().configure(
+      "slow_client:1;partial_write:1", &error))
+      << error;
+
+  Client client = Client::connect_unix(config.unix_path, 2.0);
+  ASSERT_TRUE(client.hello("snail").ok);
+  const Response ping = client.ping("still-here");
+  ASSERT_TRUE(ping.ok);
+  EXPECT_EQ(ping.text, "still-here");
+  const Response edit = client.submit(edit_line("slow_net", 2, 2, 12));
+  ASSERT_TRUE(edit.ok);
+  EXPECT_EQ(edit.edit.status, session::EditStatus::kApplied);
+
+  util::FaultInjector::instance().disarm();
+  ASSERT_TRUE(client.drain().ok);
+  EXPECT_EQ(runner.join(), 0);
+  EXPECT_EQ(session.seq(), 1u);
+  EXPECT_TRUE(session::audit_session(session).ok);
+}
+
+TEST_F(DaemonTest, IdleConnectionsAreReaped) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DaemonConfig config;
+  config.unix_path = socket_path("idle");
+  config.tcp_port = -1;
+  config.idle_timeout_s = 0.15;
+  Daemon daemon(session, config);
+  DaemonRunner runner(daemon);
+
+  Client client = Client::connect_unix(config.unix_path, 2.0);
+  ASSERT_TRUE(client.hello("sleepy").ok);
+  // Outlive the idle timeout by a comfortable margin; the daemon's tick
+  // (50 ms) must reap the connection, so the next request sees a hangup.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_THROW((void)client.ping("anyone"), std::runtime_error);
+
+  // A fresh connection is served normally afterwards.
+  Client fresh = Client::connect_unix(config.unix_path, 2.0);
+  ASSERT_TRUE(fresh.hello("awake").ok);
+  ASSERT_TRUE(fresh.drain().ok);
+  EXPECT_EQ(runner.join(), 0);
+}
+
+}  // namespace
+}  // namespace mrtpl::server

@@ -1,0 +1,178 @@
+/// \file test_server_dispatcher.cpp
+/// Multi-client admission + FIFO serialization (server/dispatcher.hpp):
+/// per-client quotas, global queue-depth shedding, delivery routing, and
+/// the determinism contract — N clients interleaved in a fixed order
+/// produce a session (and on-disk store) byte-identical to the same edit
+/// sequence driven serially through `--script`-style submits.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/dispatcher.hpp"
+#include "session/edit.hpp"
+#include "session/invariant_audit.hpp"
+#include "session/router_session.hpp"
+#include "session/session_store.hpp"
+#include "support/builders.hpp"
+
+namespace mrtpl::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+session::SessionConfig quiet_config() {
+  session::SessionConfig config;
+  config.router.rrr_threads = 1;
+  return config;
+}
+
+session::Edit add_net_edit(const std::string& name, int y, int x0, int x1) {
+  session::Edit edit;
+  edit.kind = session::EditKind::kAddNet;
+  edit.name = name;
+  db::Pin pin;
+  pin.name = "p0";
+  pin.layer = 0;
+  pin.shapes = {{x0, y, x0, y}};
+  edit.pins.push_back(pin);
+  pin.name = "p1";
+  pin.shapes = {{x1, y, x1, y}};
+  edit.pins.push_back(pin);
+  return edit;
+}
+
+/// The canonical interleave: three clients, edits tagged by client in a
+/// fixed arrival order. The *global* order is what determinism is pinned
+/// to, not which client produced an edit.
+struct Arrival {
+  int client;
+  session::Edit edit;
+};
+
+std::vector<Arrival> fixed_interleave() {
+  return {
+      {1, add_net_edit("c1_a", 2, 2, 12)},
+      {2, add_net_edit("c2_a", 4, 2, 12)},
+      {1, add_net_edit("c1_b", 6, 2, 12)},
+      {3, add_net_edit("c3_a", 9, 2, 12)},
+      {2, add_net_edit("c2_b", 11, 2, 12)},
+      {1, session::Edit{}},  // placeholder, replaced below
+  };
+}
+
+std::vector<Arrival> interleave_with_remove() {
+  std::vector<Arrival> arrivals = fixed_interleave();
+  session::Edit rm;
+  rm.kind = session::EditKind::kRemoveNet;
+  rm.net = 1;  // the design's second net
+  arrivals.back() = {3, rm};
+  return arrivals;
+}
+
+TEST(Dispatcher, MultiClientInterleaveMatchesSerialRunByteForByte) {
+  const db::Design design = test::parallel_nets_design(2);
+
+  // Serial reference: the same global order through plain submits.
+  session::RouterSession serial(design, quiet_config(), nullptr);
+  for (const Arrival& a : interleave_with_remove())
+    (void)serial.submit(a.edit);
+
+  // Dispatched run: three "connections" offering in the same order.
+  session::RouterSession served(design, quiet_config(), nullptr);
+  Dispatcher dispatcher(served, DispatchConfig{});
+  std::vector<int> delivered_to;
+  for (const Arrival& a : interleave_with_remove())
+    ASSERT_TRUE(dispatcher.offer(a.client, a.edit).admitted);
+  dispatcher.pump([&delivered_to](int client, const session::EditResponse& r) {
+    delivered_to.push_back(client);
+    EXPECT_NE(r.status, session::EditStatus::kRejected);
+  });
+
+  // Responses route back per arrival order; the state is byte-identical.
+  EXPECT_EQ(delivered_to, (std::vector<int>{1, 2, 1, 3, 2, 3}));
+  EXPECT_EQ(served.seq(), serial.seq());
+  EXPECT_EQ(served.design_text(), serial.design_text());
+  EXPECT_EQ(served.solution_text(), serial.solution_text());
+  EXPECT_TRUE(session::audit_session(served).ok);
+}
+
+TEST(Dispatcher, StoreBackedInterleaveMatchesScriptRunOnDisk) {
+  const db::Design design = test::parallel_nets_design(2);
+  const std::string script_dir = ::testing::TempDir() + "disp_script_store";
+  const std::string served_dir = ::testing::TempDir() + "disp_served_store";
+  fs::remove_all(script_dir);
+  fs::remove_all(served_dir);
+
+  {
+    auto store =
+        session::SessionStore::create(script_dir, design, quiet_config(), nullptr);
+    for (const Arrival& a : interleave_with_remove())
+      (void)store->submit(a.edit);
+    store->snapshot_now();
+  }
+  {
+    auto store =
+        session::SessionStore::create(served_dir, design, quiet_config(), nullptr);
+    Dispatcher dispatcher(*store, DispatchConfig{});
+    for (const Arrival& a : interleave_with_remove())
+      ASSERT_TRUE(dispatcher.offer(a.client, a.edit).admitted);
+    dispatcher.pump([](int, const session::EditResponse&) {});
+    store->snapshot_now();
+  }
+
+  // The durability artifacts — journal and snapshot — are byte-identical:
+  // a recovery of either store replays the exact same committed sequence.
+  EXPECT_EQ(slurp(session::SessionStore::journal_path(served_dir)),
+            slurp(session::SessionStore::journal_path(script_dir)));
+  EXPECT_EQ(slurp(session::SessionStore::snapshot_path(served_dir)),
+            slurp(session::SessionStore::snapshot_path(script_dir)));
+}
+
+TEST(Dispatcher, PerClientQuotaShedsOnlyTheNoisyClient) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DispatchConfig config;
+  config.per_client_pending = 1;
+  Dispatcher dispatcher(session, config);
+
+  EXPECT_TRUE(dispatcher.offer(1, add_net_edit("a", 2, 2, 12)).admitted);
+  const Dispatcher::Offer noisy =
+      dispatcher.offer(1, add_net_edit("b", 4, 2, 12));
+  EXPECT_FALSE(noisy.admitted);
+  EXPECT_EQ(noisy.shed_reason, "client quota exceeded");
+  // A different client is unaffected by client 1's backlog.
+  EXPECT_TRUE(dispatcher.offer(2, add_net_edit("c", 6, 2, 12)).admitted);
+  EXPECT_EQ(dispatcher.pending_total(), 2);
+  EXPECT_EQ(dispatcher.pending_of(1), 1);
+
+  // After the pump the quota resets: the client can submit again.
+  dispatcher.pump([](int, const session::EditResponse&) {});
+  EXPECT_EQ(dispatcher.pending_total(), 0);
+  EXPECT_TRUE(dispatcher.offer(1, add_net_edit("d", 9, 2, 12)).admitted);
+}
+
+TEST(Dispatcher, GlobalQueueDepthShedsWhoeverArrivesLate) {
+  const db::Design design = test::parallel_nets_design(2);
+  session::RouterSession session(design, quiet_config(), nullptr);
+  DispatchConfig config;
+  config.max_pending = 2;
+  Dispatcher dispatcher(session, config);
+
+  EXPECT_TRUE(dispatcher.offer(1, add_net_edit("a", 2, 2, 12)).admitted);
+  EXPECT_TRUE(dispatcher.offer(2, add_net_edit("b", 4, 2, 12)).admitted);
+  const Dispatcher::Offer late = dispatcher.offer(3, add_net_edit("c", 6, 2, 12));
+  EXPECT_FALSE(late.admitted);
+  EXPECT_EQ(late.shed_reason, "queue depth exceeded");
+}
+
+}  // namespace
+}  // namespace mrtpl::server

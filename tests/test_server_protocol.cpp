@@ -1,0 +1,384 @@
+/// \file test_server_protocol.cpp
+/// Sans-IO wire protocol (server/protocol.hpp): frame round-trips under
+/// arbitrary chunking, handshake and message-level error discipline,
+/// pipelining, response parsing, and the corruption contract — truncated
+/// frames wait, bad CRC / insane lengths / foreign magic latch a sticky
+/// structured error, and no input (including random fuzz) ever crashes
+/// or throws out of the protocol layer.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "server/protocol.hpp"
+#include "session/edit.hpp"
+
+namespace mrtpl::server {
+namespace {
+
+/// One framed request stream: magic + each payload framed.
+std::string wire(const std::vector<std::string>& payloads) {
+  std::string bytes;
+  append_magic(&bytes);
+  for (const std::string& p : payloads) append_frame(&bytes, p);
+  return bytes;
+}
+
+/// Drain every decoded payload out of `dec`.
+std::vector<std::string> drain(FrameDecoder& dec) {
+  std::vector<std::string> out;
+  while (auto p = dec.next()) out.push_back(*p);
+  return out;
+}
+
+/// A valid edit line for requests (2-pin net on layer 0).
+std::string edit_line() {
+  session::Edit edit;
+  edit.kind = session::EditKind::kAddNet;
+  edit.name = "eco0";
+  db::Pin pin;
+  pin.name = "p0";
+  pin.layer = 0;
+  pin.shapes = {{1, 1, 1, 1}};
+  edit.pins.push_back(pin);
+  pin.name = "p1";
+  pin.shapes = {{5, 1, 5, 1}};
+  edit.pins.push_back(pin);
+  return session::format_edit(edit);
+}
+
+// ---- frame layer --------------------------------------------------------
+
+TEST(FrameDecoder, RoundTripsPayloadsInOrder) {
+  FrameDecoder dec;
+  dec.feed(wire({"hello -", "ping a", std::string(1000, 'x')}));
+  const auto got = drain(dec);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], "hello -");
+  EXPECT_EQ(got[1], "ping a");
+  EXPECT_EQ(got[2], std::string(1000, 'x'));
+  EXPECT_FALSE(dec.failed());
+}
+
+TEST(FrameDecoder, ReassemblesFromOneByteChunks) {
+  const std::string bytes = wire({"hello bob", "edit " + edit_line()});
+  FrameDecoder dec;
+  std::vector<std::string> got;
+  for (const char c : bytes) {
+    dec.feed(std::string_view(&c, 1));
+    for (auto p = dec.next(); p.has_value(); p = dec.next())
+      got.push_back(*p);
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "hello bob");
+  EXPECT_FALSE(dec.failed());
+}
+
+TEST(FrameDecoder, TruncatedFrameWaitsWithoutError) {
+  const std::string bytes = wire({"ping token"});
+  FrameDecoder dec;
+  dec.feed(bytes.substr(0, bytes.size() - 3));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_FALSE(dec.failed());  // incomplete != corrupt
+  dec.feed(bytes.substr(bytes.size() - 3));
+  const auto p = dec.next();
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, "ping token");
+}
+
+TEST(FrameDecoder, BadCrcIsStickyFatal) {
+  std::string bytes = wire({"ping token"});
+  bytes.back() ^= 0x40;  // flip a payload bit -> CRC mismatch
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_NE(dec.error().find("checksum"), std::string::npos);
+  // Sticky: later (valid) bytes are discarded, not resynced.
+  dec.feed(wire({"ping again"}));
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoder, OversizeLengthIsFatalWithoutBuffering) {
+  std::string bytes;
+  append_magic(&bytes);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i)
+    bytes.push_back(static_cast<char>(huge >> 8 * i & 0xFF));
+  bytes.append(4, '\0');  // crc field
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_NE(dec.error().find("length"), std::string::npos);
+}
+
+TEST(FrameDecoder, ZeroLengthFrameIsFatal) {
+  std::string bytes;
+  append_magic(&bytes);
+  bytes.append(8, '\0');  // len = 0, crc = 0
+  FrameDecoder dec;
+  dec.feed(bytes);
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+}
+
+TEST(FrameDecoder, ForeignMagicIsFatal) {
+  FrameDecoder dec;
+  dec.feed("HTTP/1.1 400 no\r\n");
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  EXPECT_NE(dec.error().find("magic"), std::string::npos);
+}
+
+TEST(FrameDecoder, BufferStaysBoundedAcrossManyFrames) {
+  FrameDecoder dec;
+  dec.feed(std::string(kWireMagic));
+  std::string frame;
+  append_frame(&frame, std::string(512, 'y'));
+  for (int i = 0; i < 200; ++i) {
+    dec.feed(frame);
+    ASSERT_TRUE(dec.next().has_value());
+    // The consumed prefix must be compacted away, not accreted forever.
+    EXPECT_LT(dec.buffered(), 8u * 1024u) << "iteration " << i;
+  }
+}
+
+// ---- server-side state machine ------------------------------------------
+
+TEST(ServerProtocol, HandshakeThenPipelinedRequests) {
+  Protocol proto;
+  const auto events =
+      proto.ingest(wire({"hello alice", "ping tok", "edit " + edit_line()}));
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Protocol::Event::Kind::kHello);
+  EXPECT_EQ(events[0].text, "alice");
+  EXPECT_EQ(events[1].kind, Protocol::Event::Kind::kPing);
+  EXPECT_EQ(events[1].text, "tok");
+  EXPECT_EQ(events[2].kind, Protocol::Event::Kind::kEdit);
+  EXPECT_EQ(events[2].edit.kind, session::EditKind::kAddNet);
+  EXPECT_TRUE(proto.handshaken());
+  EXPECT_EQ(proto.client_name(), "alice");
+  EXPECT_FALSE(proto.want_close());
+}
+
+TEST(ServerProtocol, EditBeforeHelloIsStateErrorAndStreamSurvives) {
+  Protocol proto;
+  auto events = proto.ingest(wire({"edit " + edit_line(), "hello bob"}));
+  ASSERT_EQ(events.size(), 1u);  // only the hello made it through
+  EXPECT_EQ(events[0].kind, Protocol::Event::Kind::kHello);
+  EXPECT_FALSE(proto.want_close());
+
+  std::string error;
+  FrameDecoder dec;
+  dec.feed(proto.take_output());
+  const auto payload = dec.next();
+  ASSERT_TRUE(payload.has_value());
+  const auto resp = parse_response(*payload, &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, "state");
+}
+
+TEST(ServerProtocol, MalformedEditLineAnswersErrNotThrow) {
+  Protocol proto;
+  (void)proto.ingest(wire({"hello -"}));
+  // Continuation of the same stream: the magic is NOT repeated.
+  const auto events = proto.ingest(
+      wire({"edit add_net utter garbage ( ["}).substr(kMagicBytes));
+  EXPECT_TRUE(events.empty());
+  EXPECT_FALSE(proto.want_close());  // message-level: stream continues
+
+  // Only the error is in the output: `ok hello` is the daemon's respond_*.
+  FrameDecoder dec;
+  dec.feed(proto.take_output());
+  const auto payload = dec.next();
+  ASSERT_TRUE(payload.has_value());
+  std::string error;
+  const auto resp = parse_response(*payload, &error);
+  ASSERT_TRUE(resp.has_value()) << error;
+  EXPECT_EQ(resp->code, "malformed");
+}
+
+TEST(ServerProtocol, DuplicateHelloAndUnknownVerbAreMessageErrors) {
+  Protocol proto;
+  (void)proto.ingest(wire({"hello a", "hello b", "frobnicate", "bye"}));
+  EXPECT_EQ(proto.client_name(), "a");
+  FrameDecoder dec;
+  dec.feed(proto.take_output());
+  std::vector<std::string> payloads = drain(dec);
+  // err state (dup hello), err malformed (unknown verb); ok hello / ok bye
+  // are emitted by the daemon via respond_*, not here.
+  ASSERT_EQ(payloads.size(), 2u);
+  EXPECT_EQ(payloads[0].substr(0, 9), "err state");
+  EXPECT_EQ(payloads[1].substr(0, 13), "err malformed");
+  // close latches only once the caller answers the bye (respond_bye).
+  EXPECT_FALSE(proto.want_close());
+  proto.respond_bye();
+  EXPECT_TRUE(proto.want_close());
+}
+
+TEST(ServerProtocol, FrameCorruptionAnswersOnceAndLatchesClose) {
+  Protocol proto;
+  (void)proto.ingest(wire({"hello a"}));
+  std::string bad = wire({"ping x"}).substr(kMagicBytes);
+  bad[bad.size() - 1] ^= 1;
+  const auto events = proto.ingest(bad);
+  EXPECT_TRUE(events.empty());
+  EXPECT_TRUE(proto.want_close());
+  FrameDecoder dec;
+  dec.feed(proto.take_output());
+  const auto payloads = drain(dec);
+  ASSERT_EQ(payloads.size(), 1u);
+  EXPECT_EQ(payloads[0].substr(0, 9), "err frame");
+  // Post-close bytes are ignored entirely.
+  EXPECT_TRUE(proto.ingest(wire({"ping y"}).substr(kMagicBytes)).empty());
+}
+
+// ---- response round-trips -----------------------------------------------
+
+TEST(ServerProtocol, ResponsesRoundTripThroughParseResponse) {
+  Protocol proto;
+  (void)proto.ingest(wire({"hello roundtrip"}));
+  proto.respond_hello(41);
+  proto.respond_ping("tok");
+
+  session::EditResponse er;
+  er.status = session::EditStatus::kDegraded;
+  er.seq = 42;
+  er.dirty_nets = 3;
+  er.conflicts = 1;
+  er.failed = 2;
+  er.note = "relaxation cap reached";
+  io::DispositionEntry d;
+  d.net = 7;
+  d.name = "eco0";
+  d.state = "rerouted";
+  er.dispositions.push_back(d);
+  io::DispositionEntry anon;
+  anon.net = 8;
+  anon.state = "failed";
+  er.dispositions.push_back(anon);  // empty name -> '-' token round-trip
+  proto.respond_edit(er);
+  proto.respond_drain();
+  proto.respond_bye();
+
+  FrameDecoder dec;
+  dec.feed(proto.take_output());
+  const auto payloads = drain(dec);
+  ASSERT_EQ(payloads.size(), 5u);
+
+  std::string error;
+  auto hello = parse_response(payloads[0], &error);
+  ASSERT_TRUE(hello.has_value()) << error;
+  EXPECT_TRUE(hello->ok);
+  EXPECT_EQ(hello->verb, Verb::kHello);
+  EXPECT_EQ(hello->seq, 41u);
+
+  auto ping = parse_response(payloads[1], &error);
+  ASSERT_TRUE(ping.has_value()) << error;
+  EXPECT_EQ(ping->text, "tok");
+
+  auto edit = parse_response(payloads[2], &error);
+  ASSERT_TRUE(edit.has_value()) << error;
+  EXPECT_TRUE(edit->ok);
+  EXPECT_EQ(edit->verb, Verb::kEdit);
+  EXPECT_EQ(edit->edit.status, session::EditStatus::kDegraded);
+  EXPECT_EQ(edit->edit.seq, 42u);
+  EXPECT_EQ(edit->edit.dirty_nets, 3);
+  EXPECT_EQ(edit->edit.conflicts, 1);
+  EXPECT_EQ(edit->edit.failed, 2);
+  EXPECT_EQ(edit->edit.note, "relaxation cap reached");
+  ASSERT_EQ(edit->edit.dispositions.size(), 2u);
+  EXPECT_EQ(edit->edit.dispositions[0].name, "eco0");
+  EXPECT_EQ(edit->edit.dispositions[0].state, "rerouted");
+  EXPECT_EQ(edit->edit.dispositions[1].name, "");
+
+  EXPECT_EQ(parse_response(payloads[3], &error)->verb, Verb::kDrain);
+  EXPECT_EQ(parse_response(payloads[4], &error)->verb, Verb::kBye);
+}
+
+TEST(ServerProtocol, ParseResponseRejectsGarbageWithReasons) {
+  std::string error;
+  EXPECT_FALSE(parse_response("", &error).has_value());
+  EXPECT_FALSE(parse_response("yo", &error).has_value());
+  EXPECT_FALSE(parse_response("ok hello proto 2 seq 1", &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+  EXPECT_FALSE(parse_response("ok edit applied seq x", &error).has_value());
+  EXPECT_FALSE(
+      parse_response("ok edit exploded seq 1 dirty 0 conflicts 0 failed 0",
+                     &error)
+          .has_value());
+  EXPECT_FALSE(parse_response("err", &error).has_value());
+  // err with a code is a *valid* response even with no reason text.
+  EXPECT_TRUE(parse_response("err shed", &error).has_value());
+}
+
+// ---- fuzz: nothing crashes, errors are structured ------------------------
+
+TEST(ServerProtocolFuzz, RandomBytesNeverCrashTheDecoder) {
+  std::mt19937_64 rng(0xDACDAC01u);
+  for (int round = 0; round < 300; ++round) {
+    FrameDecoder dec;
+    std::string bytes(1 + rng() % 400, '\0');
+    for (char& c : bytes) c = static_cast<char>(rng() & 0xFF);
+    if (round % 3 == 0) bytes.insert(0, kWireMagic);  // sometimes valid magic
+    dec.feed(bytes);
+    while (dec.next().has_value()) {
+    }
+    if (dec.failed()) EXPECT_FALSE(dec.error().empty());
+    EXPECT_LE(dec.buffered(), bytes.size() + kMagicBytes);
+  }
+}
+
+TEST(ServerProtocolFuzz, MutatedValidStreamsNeverCrashTheProtocol) {
+  const std::string base =
+      wire({"hello fuzz", "ping a", "edit " + edit_line(), "drain", "bye"});
+  std::mt19937_64 rng(0xDACDAC02u);
+  for (int round = 0; round < 300; ++round) {
+    std::string bytes = base;
+    // Mutate: truncate, bit-flip, duplicate a slice, or splice garbage.
+    switch (rng() % 4) {
+      case 0:
+        bytes.resize(rng() % (bytes.size() + 1));
+        break;
+      case 1:
+        if (!bytes.empty()) bytes[rng() % bytes.size()] ^= 1 << rng() % 8;
+        break;
+      case 2:
+        bytes += bytes.substr(rng() % bytes.size());
+        break;
+      default: {
+        std::string junk(rng() % 32, '\0');
+        for (char& c : junk) c = static_cast<char>(rng() & 0xFF);
+        bytes.insert(rng() % (bytes.size() + 1), junk);
+        break;
+      }
+    }
+    Protocol proto;
+    // Feed in random-size chunks; must never throw or crash.
+    std::size_t at = 0;
+    while (at < bytes.size()) {
+      const std::size_t n = 1 + rng() % 64;
+      const std::size_t take = std::min(n, bytes.size() - at);
+      (void)proto.ingest(std::string_view(bytes).substr(at, take));
+      at += take;
+    }
+    // Whatever it answered must itself be a well-formed response stream.
+    FrameDecoder echo;
+    echo.feed(proto.take_output());
+    std::string error;
+    while (auto payload = echo.next()) {
+      EXPECT_TRUE(parse_response(*payload, &error).has_value())
+          << "round " << round << ": unparseable response: " << *payload;
+    }
+    EXPECT_FALSE(echo.failed()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace mrtpl::server

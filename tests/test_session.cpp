@@ -15,6 +15,7 @@
 #include "session/invariant_audit.hpp"
 #include "session/router_session.hpp"
 #include "support/builders.hpp"
+#include "util/monotonic.hpp"
 
 namespace mrtpl::session {
 namespace {
@@ -304,6 +305,61 @@ TEST(RouterSession, LatencyWatermarkSwitchesToDegradedApplies) {
   EXPECT_TRUE(second.status == EditStatus::kApplied ||
               second.status == EditStatus::kDegraded);
   EXPECT_EQ(session.seq(), 2u);
+  EXPECT_TRUE(audit_session(session).ok);
+}
+
+TEST(RouterSession, InjectedClockDrivesTheWatermarkDeterministically) {
+  // The EWMA must read the injected monotonic source, not wall time: with
+  // a hand-cranked clock the exact trip point is predictable. Each apply
+  // reads the clock twice (start/end), so +0.5 per read = 0.5 s per edit.
+  SessionConfig config = quiet_config();
+  config.latency_watermark_s = 0.4;
+  config.degrade_relax_cap = 1000;
+  double fake_now = 0.0;
+  config.clock = [&fake_now] { return fake_now += 0.5; };
+  RouterSession session(test::parallel_nets_design(2), config);
+  EXPECT_FALSE(session.degrade_mode());
+
+  const EditResponse first = session.submit(add_net_edit("a", 0, 3, 2, 13));
+  EXPECT_EQ(first.status, EditStatus::kApplied);
+  // First sample seeds the EWMA directly: exactly 0.5, over the 0.4 mark.
+  EXPECT_DOUBLE_EQ(first.apply_s, 0.5);
+  EXPECT_DOUBLE_EQ(session.latency_ewma(), 0.5);
+  EXPECT_TRUE(session.degrade_mode());
+}
+
+TEST(RouterSession, ManualClockDecaysTheEwmaBackBelowTheWatermark) {
+  util::ManualClock clock;
+  SessionConfig config = quiet_config();
+  config.latency_watermark_s = 0.4;
+  config.degrade_relax_cap = 1000;
+  int reads = 0;
+  // First edit: 1.0 s apply (clock jumps on the end-read); later edits:
+  // the clock stands still, i.e. instantaneous applies.
+  config.clock = [&clock, &reads] {
+    ++reads;
+    if (reads == 2) clock.advance(1.0);
+    return clock.now();
+  };
+  RouterSession session(test::parallel_nets_design(2), config);
+
+  (void)session.submit(add_net_edit("a", 0, 3, 2, 13));
+  EXPECT_DOUBLE_EQ(session.latency_ewma(), 1.0);
+  EXPECT_TRUE(session.degrade_mode());
+
+  // EWMA with alpha 0.2 and 0-latency samples: 1.0, 0.8, 0.64, ...
+  (void)session.submit(add_net_edit("b", 0, 5, 2, 13));
+  EXPECT_DOUBLE_EQ(session.latency_ewma(), 0.8);
+  EXPECT_TRUE(session.degrade_mode());
+  (void)session.submit(add_net_edit("c", 0, 9, 2, 13));
+  EXPECT_DOUBLE_EQ(session.latency_ewma(), 0.64);
+  (void)session.submit(add_net_edit("d", 0, 11, 2, 13));
+  EXPECT_DOUBLE_EQ(session.latency_ewma(), 0.512);
+  (void)session.submit(add_net_edit("e", 0, 13, 2, 13));
+  // 0.4096: back under the 0.4-ish region next step -> 0.32768.
+  (void)session.submit(add_net_edit("f", 0, 1, 2, 13));
+  EXPECT_DOUBLE_EQ(session.latency_ewma(), 0.32768);
+  EXPECT_FALSE(session.degrade_mode());
   EXPECT_TRUE(audit_session(session).ok);
 }
 

@@ -46,6 +46,21 @@
 ///       design/grid/solution coherence at the end. Exit 4 when any edit
 ///       was degraded/shed/deadlined, 1 when any was rejected (or the
 ///       audit failed).
+///   serve --design <file> [--socket path] [--port N] [--store dir]
+///       [--recover] [--idle-timeout S] [--per-client N] [--max-pending N]
+///       [+ the session config flags]
+///       Routing as a service: route once, then serve the resident
+///       session over a Unix-domain socket and/or loopback TCP with the
+///       MRTPLW01 wire protocol (server/protocol.hpp). Multi-client edits
+///       serialize FIFO onto the one session, so the store stays
+///       byte-identical to a --script run of the same sequence. SIGTERM /
+///       a client `drain` request shut it down gracefully (exit 0).
+///   send (--socket path | --port N) [--wait S] [--name s]
+///       [--script edits.txt] [--edit "<line>"] [--ping token]
+///       [--drain | --bye]
+///       Drive a running daemon: hello, then the script/edit, then the
+///       farewell (default bye). Same response lines and exit-code
+///       discipline as `session --script`; a shed edit exits 4.
 
 #include "cli.hpp"
 
@@ -73,6 +88,8 @@
 #include "layout/recolor.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/scenario.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
 #include "session/edit.hpp"
 #include "session/invariant_audit.hpp"
 #include "session/router_session.hpp"
@@ -472,65 +489,76 @@ std::optional<double> parse_seconds(const std::string& word) {
   }
 }
 
-int cmd_session(const Args& args) {
-  session::SessionConfig config;
+/// Parse the SessionConfig flags shared by `session` and `serve` into
+/// `config`; returns 0 or the usage exit code (2) after a message.
+int parse_session_config(const Args& args, const char* cmd,
+                         session::SessionConfig* config) {
   if (const auto every = args.get("snapshot-every")) {
     const auto n = parse_int(*every);
     if (!n || *n < 0) {
-      std::fprintf(stderr, "session: --snapshot-every wants an integer >= 0\n");
+      std::fprintf(stderr, "%s: --snapshot-every wants an integer >= 0\n", cmd);
       return 2;
     }
-    config.snapshot_every = *n;
+    config->snapshot_every = *n;
   }
   if (const auto deadline = args.get("deadline")) {
     const auto s = parse_seconds(*deadline);
     if (!s) {
-      std::fprintf(stderr, "session: --deadline wants a positive number (seconds)\n");
+      std::fprintf(stderr, "%s: --deadline wants a positive number (seconds)\n",
+                   cmd);
       return 2;
     }
-    config.deadline_s = *s;
+    config->deadline_s = *s;
   }
   if (const auto relax = args.get("degrade-relax")) {
     const auto n = parse_int(*relax);
     if (!n || *n < 1) {
-      std::fprintf(stderr, "session: --degrade-relax wants a positive integer\n");
+      std::fprintf(stderr, "%s: --degrade-relax wants a positive integer\n", cmd);
       return 2;
     }
-    config.degrade_relax_cap = static_cast<std::uint64_t>(*n);
+    config->degrade_relax_cap = static_cast<std::uint64_t>(*n);
   }
   if (const auto watermark = args.get("latency-watermark")) {
     const auto s = parse_seconds(*watermark);
     if (!s) {
-      std::fprintf(stderr,
-                   "session: --latency-watermark wants a positive number (seconds)\n");
+      std::fprintf(
+          stderr, "%s: --latency-watermark wants a positive number (seconds)\n",
+          cmd);
       return 2;
     }
-    config.latency_watermark_s = *s;
+    config->latency_watermark_s = *s;
   }
   if (const auto depth = args.get("max-queue")) {
     const auto n = parse_int(*depth);
     if (!n || *n < 1) {
-      std::fprintf(stderr, "session: --max-queue wants a positive integer\n");
+      std::fprintf(stderr, "%s: --max-queue wants a positive integer\n", cmd);
       return 2;
     }
-    config.max_queue_depth = *n;
+    config->max_queue_depth = *n;
   }
+  return 0;
+}
 
-  std::unique_ptr<session::SessionStore> store;
-  std::unique_ptr<session::RouterSession> bare;
+/// Open the session backend shared by `session` and `serve`: --recover
+/// resumes a store, otherwise route --design from scratch (into --store
+/// when given, else a bare volatile session). Returns 0 or an exit code.
+int open_session_backend(const Args& args, const char* cmd,
+                         const session::SessionConfig& config,
+                         std::unique_ptr<session::SessionStore>* store,
+                         std::unique_ptr<session::RouterSession>* bare) {
   if (args.has("recover")) {
     const auto dir = args.get("store");
     if (!dir) {
-      std::fprintf(stderr, "session: --recover needs --store <dir>\n");
+      std::fprintf(stderr, "%s: --recover needs --store <dir>\n", cmd);
       return 2;
     }
     session::RecoveryReport rep;
-    store = session::SessionStore::recover(*dir, config, &rep);
+    *store = session::SessionStore::recover(*dir, config, &rep);
     std::printf("recovered: snapshot seq=%llu, %d replayed, %d skipped, "
                 "session seq=%llu%s\n",
                 static_cast<unsigned long long>(rep.snapshot_seq), rep.replayed,
                 rep.skipped,
-                static_cast<unsigned long long>(store->session().seq()),
+                static_cast<unsigned long long>((*store)->session().seq()),
                 rep.truncated_tail ? ", torn journal tail truncated" : "");
     if (rep.dropped_bytes > 0)
       std::printf("recovered: %llu uncommitted byte(s) dropped from the journal\n",
@@ -538,7 +566,7 @@ int cmd_session(const Args& args) {
   } else {
     const auto design_path = args.get("design");
     if (!design_path) {
-      std::fprintf(stderr, "session: missing --design <file> (or --recover)\n");
+      std::fprintf(stderr, "%s: missing --design <file> (or --recover)\n", cmd);
       return 2;
     }
     const db::Design design = io::load_design(*design_path);
@@ -550,17 +578,30 @@ int cmd_session(const Args& args) {
       guides_ptr = &guides;
     }
     if (const auto dir = args.get("store")) {
-      store = session::SessionStore::create(*dir, design, config, guides_ptr);
+      *store = session::SessionStore::create(*dir, design, config, guides_ptr);
     } else {
-      bare = std::make_unique<session::RouterSession>(design, config, guides_ptr);
+      *bare = std::make_unique<session::RouterSession>(design, config, guides_ptr);
     }
-    session::RouterSession& s = store ? store->session() : *bare;
-    std::printf("session: %d nets routed, %d conflict(s) initially\n",
+    session::RouterSession& s = *store ? (*store)->session() : **bare;
+    std::printf("%s: %d nets routed, %d conflict(s) initially\n", cmd,
                 s.design().num_nets(),
                 s.conflict_index() != nullptr
                     ? static_cast<int>(s.conflict_index()->conflicts().size())
                     : static_cast<int>(core::detect_conflicts(s.grid()).size()));
   }
+  return 0;
+}
+
+int cmd_session(const Args& args) {
+  session::SessionConfig config;
+  if (const int rc = parse_session_config(args, "session", &config); rc != 0)
+    return rc;
+
+  std::unique_ptr<session::SessionStore> store;
+  std::unique_ptr<session::RouterSession> bare;
+  if (const int rc = open_session_backend(args, "session", config, &store, &bare);
+      rc != 0)
+    return rc;
   session::RouterSession& sess = store ? store->session() : *bare;
 
   // Worst outcome wins the exit code; "rejected" (1) outranks
@@ -614,6 +655,175 @@ int cmd_session(const Args& args) {
   return worst;
 }
 
+int cmd_serve(const Args& args) {
+  session::SessionConfig config;
+  if (const int rc = parse_session_config(args, "serve", &config); rc != 0)
+    return rc;
+
+  server::DaemonConfig dconfig;
+  if (const auto sock = args.get("socket")) dconfig.unix_path = *sock;
+  if (const auto port = args.get("port")) {
+    const auto n = parse_int(*port);
+    if (!n || *n < 0 || *n > 65535) {
+      std::fprintf(stderr, "serve: --port wants 0..65535 (0 = ephemeral)\n");
+      return 2;
+    }
+    dconfig.tcp_port = *n;
+  } else if (!dconfig.unix_path.empty()) {
+    dconfig.tcp_port = -1;  // unix only unless a port was asked for
+  }
+  if (const auto idle = args.get("idle-timeout")) {
+    const auto s = parse_seconds(*idle);
+    if (!s) {
+      std::fprintf(stderr,
+                   "serve: --idle-timeout wants a positive number (seconds)\n");
+      return 2;
+    }
+    dconfig.idle_timeout_s = *s;
+  }
+  if (const auto quota = args.get("per-client")) {
+    const auto n = parse_int(*quota);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "serve: --per-client wants a positive integer\n");
+      return 2;
+    }
+    dconfig.dispatch.per_client_pending = *n;
+  }
+  if (const auto depth = args.get("max-pending")) {
+    const auto n = parse_int(*depth);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "serve: --max-pending wants a positive integer\n");
+      return 2;
+    }
+    dconfig.dispatch.max_pending = *n;
+  }
+
+  std::unique_ptr<session::SessionStore> store;
+  std::unique_ptr<session::RouterSession> bare;
+  if (const int rc = open_session_backend(args, "serve", config, &store, &bare);
+      rc != 0)
+    return rc;
+
+  std::unique_ptr<server::Daemon> daemon;
+  if (store) {
+    daemon = std::make_unique<server::Daemon>(*store, std::move(dconfig));
+  } else {
+    daemon = std::make_unique<server::Daemon>(*bare, std::move(dconfig));
+  }
+  daemon->install_signal_handlers();
+  daemon->listen();
+  if (const auto sock = args.get("socket"))
+    std::printf("serve: listening on unix:%s\n", sock->c_str());
+  if (daemon->port() > 0)
+    std::printf("serve: listening on tcp:127.0.0.1:%d\n", daemon->port());
+  // Scripts background this process and wait for the listening lines.
+  std::fflush(stdout);
+
+  const int rc = daemon->run();
+  std::printf("serve: drained, seq=%llu, %llu edit(s) applied, %llu shed\n",
+              static_cast<unsigned long long>(
+                  store ? store->session().seq() : bare->seq()),
+              static_cast<unsigned long long>(daemon->edits_applied()),
+              static_cast<unsigned long long>(daemon->edits_shed()));
+  return rc;
+}
+
+int cmd_send(const Args& args) {
+  const auto sock = args.get("socket");
+  const auto port_s = args.get("port");
+  if (!sock && !port_s) {
+    std::fprintf(stderr, "send: needs --socket <path> or --port <N>\n");
+    return 2;
+  }
+  double wait_s = 0.0;
+  if (const auto wait = args.get("wait")) {
+    const auto s = parse_seconds(*wait);
+    if (!s) {
+      std::fprintf(stderr, "send: --wait wants a positive number (seconds)\n");
+      return 2;
+    }
+    wait_s = *s;
+  }
+  int port = 0;
+  if (port_s) {
+    const auto n = parse_int(*port_s);
+    if (!n || *n < 1 || *n > 65535) {
+      std::fprintf(stderr, "send: --port wants 1..65535\n");
+      return 2;
+    }
+    port = *n;
+  }
+
+  server::Client client = sock ? server::Client::connect_unix(*sock, wait_s)
+                               : server::Client::connect_tcp(port, wait_s);
+
+  const server::Response hello =
+      client.hello(args.get("name").value_or(""));
+  if (!hello.ok) {
+    std::fprintf(stderr, "send: hello rejected (%s): %s\n", hello.code.c_str(),
+                 hello.text.c_str());
+    return 1;
+  }
+  std::printf("hello: daemon at seq=%llu\n",
+              static_cast<unsigned long long>(hello.seq));
+
+  // Same worst-outcome exit-code fold as `session --script`.
+  int worst = 0;
+  const auto fold = [&worst](session::EditStatus status) {
+    int code = 0;
+    if (status == session::EditStatus::kRejected) code = 1;
+    else if (status != session::EditStatus::kApplied) code = 4;
+    if (code == 1 || worst == 1) worst = 1;
+    else if (code > worst) worst = code;
+  };
+
+  // --script takes the same mrtpl-edits file `session --script` does;
+  // each edit crosses the wire re-serialized through format_edit (the
+  // same text the journal records).
+  std::vector<std::string> lines;
+  if (const auto script = args.get("script")) {
+    for (const session::Edit& edit : session::load_edit_script(*script))
+      lines.push_back(session::format_edit(edit));
+  }
+  if (const auto one = args.get("edit")) lines.push_back(*one);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const server::Response r = client.submit(lines[i]);
+    if (!r.ok) {
+      std::printf("edit %zu: %s (%s)\n", i + 1, r.code.c_str(), r.text.c_str());
+      if (r.code == "shed") {
+        if (worst != 1 && worst < 4) worst = 4;
+      } else {
+        worst = 1;
+      }
+      continue;
+    }
+    std::printf("edit %zu: %s seq=%llu dirty=%d conflicts=%d failed=%d%s%s\n",
+                i + 1, session::to_string(r.edit.status),
+                static_cast<unsigned long long>(r.edit.seq), r.edit.dirty_nets,
+                r.edit.conflicts, r.edit.failed,
+                r.edit.note.empty() ? "" : "  # ", r.edit.note.c_str());
+    for (const auto& d : r.edit.dispositions)
+      std::printf("  net %d (%s): %s\n", d.net, d.name.c_str(), d.state.c_str());
+    fold(r.edit.status);
+  }
+
+  if (const auto token = args.get("ping")) {
+    const server::Response r = client.ping(*token);
+    std::printf("ping: %s\n", r.ok ? r.text.c_str() : "failed");
+    if (!r.ok) worst = 1;
+  }
+
+  if (args.has("drain")) {
+    const server::Response r = client.drain();
+    std::printf("drain: %s\n", r.ok ? "ok" : r.text.c_str());
+    if (!r.ok) worst = 1;
+  } else {
+    (void)client.bye();
+  }
+  return worst;
+}
+
 }  // namespace
 
 int run(const std::vector<std::string>& argv) {
@@ -628,6 +838,8 @@ int run(const std::vector<std::string>& argv) {
     if (args.command == "refine") return cmd_refine(args);
     if (args.command == "report") return cmd_report(args);
     if (args.command == "session") return cmd_session(args);
+    if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "send") return cmd_send(args);
   } catch (const io::ParseError& e) {
     // Malformed input gets its own exit code so scripts (and the fuzzer's
     // parse-robustness oracle) can tell "bad file" from "router broke".
@@ -643,7 +855,7 @@ int run(const std::vector<std::string>& argv) {
   std::fprintf(stderr,
                "usage: mrtpl_cli "
                "<list-cases|suite|generate|route|eval|verify|refine|report"
-               "|session> [options]\n"
+               "|session|serve|send> [options]\n"
                "  suite    [--filter <substr>] [--quick] [--json file]\n"
                "           [--threads N] [--timeout S] [--list]\n"
                "           Run the stress-scenario registry end to end; one\n"
@@ -662,7 +874,19 @@ int run(const std::vector<std::string>& argv) {
                "           [--degrade-relax N] [--latency-watermark S]\n"
                "           [--max-queue N] [--no-guides] [--audit] [--out file]\n"
                "           Resident ECO session; --store makes it\n"
-               "           crash-consistent, --recover resumes it.\n");
+               "           crash-consistent, --recover resumes it.\n"
+               "  serve    --design <file> [--socket path] [--port N]\n"
+               "           [--store dir] [--recover] [--idle-timeout S]\n"
+               "           [--per-client N] [--max-pending N]\n"
+               "           [+ session config flags]\n"
+               "           Serve the resident session over unix/TCP sockets\n"
+               "           (routing as a service); SIGTERM or a client\n"
+               "           `drain` shuts it down gracefully (exit 0).\n"
+               "  send     (--socket path | --port N) [--wait S] [--name s]\n"
+               "           [--script edits.txt] [--edit line] [--ping token]\n"
+               "           [--drain | --bye]\n"
+               "           Drive a running daemon; exit codes match\n"
+               "           `session --script` (a shed edit exits 4).\n");
   return 2;
 }
 
