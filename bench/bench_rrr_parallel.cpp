@@ -7,12 +7,15 @@
 ///
 ///   {"bench":"rrr_parallel","die":112,"nets":330,"threads":8,
 ///    "incremental":true,"total_s":...,"reroute_s":...,"detect_s":...,
-///    "rrr_iterations":..,"route_batches":..,"respeculated":..,
-///    "conflicts":..,"failed":..,"relaxations":..,
-///    "identical_to_serial":true}
+///    "rrr_iterations":..,"route_batches":..,"speculated":..,
+///    "respeculated":..,"respeculation_rate":..,"conflicts":..,
+///    "failed":..,"relaxations":..,"identical_to_serial":true}
 ///
 /// `respeculated` counts speculative routes whose read footprint an
-/// earlier commit invalidated (redone serially); `relaxations` counts
+/// earlier commit invalidated (redone serially) and
+/// `respeculation_rate` = respeculated / speculated — the fraction of
+/// parallel work thrown away, which the per-axis read footprints
+/// (read_near/read_tpl) exist to keep low; `relaxations` counts
 /// only APPLIED work, so it is thread-invariant — the driver aborts if
 /// the per-pass ledger stops summing to it.
 ///
@@ -77,12 +80,16 @@ void emit_json(int die, int nets, int threads, bool incremental,
       "{\"bench\":\"rrr_parallel\",\"die\":%d,\"nets\":%d,\"threads\":%d,"
       "\"incremental\":%s,\"total_s\":%.6f,\"reroute_s\":%.6f,"
       "\"detect_s\":%.6f,\"rrr_iterations\":%d,\"route_batches\":%d,"
-      "\"respeculated\":%d,\"conflicts\":%d,\"failed\":%d,"
+      "\"speculated\":%d,\"respeculated\":%d,\"respeculation_rate\":%.4f,"
+      "\"conflicts\":%d,\"failed\":%d,"
       "\"relaxations\":%llu,\"identical_to_serial\":%s}\n",
       die, nets, threads, incremental ? "true" : "false", r.total_s,
       r.stats.reroute_s, r.stats.detect_s, r.stats.rrr_iterations,
-      r.stats.route_batches, r.stats.respeculated, r.metrics.conflicts,
-      r.metrics.failed_nets,
+      r.stats.route_batches, r.stats.speculated, r.stats.respeculated,
+      r.stats.speculated > 0 ? static_cast<double>(r.stats.respeculated) /
+                                   static_cast<double>(r.stats.speculated)
+                             : 0.0,
+      r.metrics.conflicts, r.metrics.failed_nets,
       static_cast<unsigned long long>(r.stats.relaxations),
       identical ? "true" : "false");
   std::fflush(stdout);

@@ -32,6 +32,23 @@ std::string CaseSpec::validation_error() const {
   if (num_nets < 1) return format("num_nets %d must be >= 1", num_nets);
   if (min_pins < 1 || max_pins < min_pins)
     return format("bad pin-degree range [%d, %d]", min_pins, max_pins);
+  // Fail fast on infeasible pin demand. Every pin excludes a
+  // (pin_keepout+1)² footprint from later placements; when even the
+  // minimum-degree demand exceeds the die's track supply, generation
+  // would spin the rejection sampler through millions of doomed attempts
+  // (40 per pin) and then emit a mostly-empty netlist anyway. This
+  // matters at production scale — 10⁴–10⁵ net specs are easy to
+  // mis-size by an order of magnitude.
+  {
+    const long long demand = static_cast<long long>(num_nets) * min_pins *
+                             (pin_keepout + 1) * (pin_keepout + 1);
+    const long long supply = static_cast<long long>(width) * height;
+    if (demand > supply)
+      return format(
+          "pin demand exceeds die capacity: %d nets x %d pins at keepout %d "
+          "need ~%lld tracks^2, the %dx%d die has %lld",
+          num_nets, min_pins, pin_keepout, demand, width, height, supply);
+  }
   if (local_net_fraction < 0.0 || local_net_fraction > 1.0)
     return format("local_net_fraction %.3f outside [0, 1]", local_net_fraction);
   if (local_span < 2) return format("local_span %d must be >= 2", local_span);

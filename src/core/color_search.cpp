@@ -71,10 +71,10 @@ void ColorSearch::begin_net(db::NetId net, const global::NetGuide* guide,
                             geom::Rect window) {
   net_ = net;
   guide_ = guide;
-  // Clamping to the die keeps semantics (every vertex is in-die) and lets
-  // the expansion loop use the window bounds as the only planar check.
-  window_ = window.intersected(
-      {0, 0, grid_.size_x() - 1, grid_.size_y() - 1});
+  // Clamping to the grid's bounds (the die, or a view's window) keeps
+  // semantics — every expanded vertex exists in the grid — and lets the
+  // expansion loop use the window bounds as the only planar check.
+  window_ = window.intersected(grid_.bounds());
   arena_->ensure(grid_.num_vertices());
   arena_->begin_session();
   relaxations_ = 0;
@@ -115,6 +115,22 @@ bool ColorSearch::guide_covered(int x, int y) const {
 void ColorSearch::touch(grid::VertexId v) {
   const grid::VertexLoc l = grid_.loc(v);
   touch(v, l.x, l.y);
+  // Sources / re-seeded tree vertices on TPL layers join the TPL read
+  // footprint: choose_colors scans their Dcolor neighborhoods later.
+  if (tpl_layer_[static_cast<std::size_t>(l.layer)]) touch_tpl(l.x, l.y);
+}
+
+void ColorSearch::touch_tpl(int x, int y) {
+  SearchArena& a = *arena_;
+  if (!a.any_tpl_touched) {
+    a.any_tpl_touched = true;
+    a.tpl_touched_bbox = {x, y, x, y};
+  } else {
+    a.tpl_touched_bbox.lo.x = std::min(a.tpl_touched_bbox.lo.x, x);
+    a.tpl_touched_bbox.lo.y = std::min(a.tpl_touched_bbox.lo.y, y);
+    a.tpl_touched_bbox.hi.x = std::max(a.tpl_touched_bbox.hi.x, x);
+    a.tpl_touched_bbox.hi.y = std::max(a.tpl_touched_bbox.hi.y, y);
+  }
 }
 
 void ColorSearch::touch(grid::VertexId v, int x, int y) {
@@ -297,6 +313,13 @@ grid::VertexId ColorSearch::search() {
         new_state = universe_.bits();
       } else {
         // ---- per-mask color cost (Algorithm 2 lines 9–16) -------------
+        // This is the one read that reaches BEYOND the labeled vertex —
+        // a Dcolor-window scan (or its precomputed equivalent) — so it is
+        // tracked in its own, usually much smaller, bbox: the speculative
+        // executor validates the TPL footprint against a Dcolor halo and
+        // everything else against a 1-halo instead of inflating the whole
+        // labeled bbox by max(dcolor, 1).
+        touch_tpl(tx, ty);
         int counts[grid::kNumMasks];
         if (use_field) {
           const std::uint16_t* c = grid_.colored_neighbor_counts(u);

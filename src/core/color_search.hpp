@@ -99,11 +99,23 @@ class ColorSearch {
   [[nodiscard]] std::uint64_t relaxations() const { return relaxations_; }
 
   /// Bounding box (x, y; all layers) of every vertex labeled since
-  /// begin_net. Everything this session read from the grid lies within
-  /// this box inflated by dcolor + 1 — the read footprint the speculative
-  /// batch executor validates commits against.
+  /// begin_net. Owner/blocked/history reads stay within this box inflated
+  /// by 1 (and within the window); only the TPL congestion reads — tracked
+  /// separately below — reach a full Dcolor beyond their vertices. The
+  /// speculative batch executor validates commits against the pair.
   [[nodiscard]] bool anything_touched() const { return arena_->any_touched; }
   [[nodiscard]] geom::Rect touched_bbox() const { return arena_->touched_bbox; }
+
+  /// Bounding box of every vertex whose Dcolor-window congestion state the
+  /// session read (TPL-layer candidates and sources). Grid state those
+  /// reads depended on lies within it inflated by dcolor.
+  [[nodiscard]] bool anything_tpl_touched() const { return arena_->any_tpl_touched; }
+  [[nodiscard]] geom::Rect tpl_touched_bbox() const { return arena_->tpl_touched_bbox; }
+
+  /// The effective (grid-clamped) window of the current session; the read
+  /// footprint of everything except the TPL congestion scans is contained
+  /// in it.
+  [[nodiscard]] geom::Rect window() const { return window_; }
 
  private:
   ColorSearch(const grid::RoutingGrid& grid, RouterConfig config,
@@ -111,6 +123,7 @@ class ColorSearch {
 
   void touch(grid::VertexId v);
   void touch(grid::VertexId v, int x, int y);
+  void touch_tpl(int x, int y);
   [[nodiscard]] bool guide_covered(int x, int y) const;
 
   /// Admissible lower bound from `v` to the current target set (0 when A*

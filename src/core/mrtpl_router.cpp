@@ -186,8 +186,13 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
       // Keep the partial tree: choose colors for what exists so the
       // layout stays consistent for other nets once committed.
       choose_colors(grid, pool, net_id, route, outcome.colors);
-      outcome.has_touched = search.anything_touched();
-      outcome.touched = search.touched_bbox();
+      outcome.has_read_near = search.anything_touched();
+      if (outcome.has_read_near)
+        outcome.read_near =
+            search.touched_bbox().inflated(1).intersected(search.window());
+      outcome.has_read_tpl = search.anything_tpl_touched();
+      if (outcome.has_read_tpl)
+        outcome.read_tpl = search.tpl_touched_bbox().inflated(grid.dcolor());
       return outcome;
     }
     const int pin = search.target_pin(dst);
@@ -235,8 +240,13 @@ MrTplRouter::RouteOutcome MrTplRouter::compute_route(const grid::RoutingGrid& gr
   route.routed = true;
   route.disposition = grid::NetDisposition::kRouted;
   choose_colors(grid, pool, net_id, route, outcome.colors);
-  outcome.has_touched = search.anything_touched();
-  outcome.touched = search.touched_bbox();
+  outcome.has_read_near = search.anything_touched();
+  if (outcome.has_read_near)
+    outcome.read_near =
+        search.touched_bbox().inflated(1).intersected(search.window());
+  outcome.has_read_tpl = search.anything_tpl_touched();
+  if (outcome.has_read_tpl)
+    outcome.read_tpl = search.tpl_touched_bbox().inflated(grid.dcolor());
   return outcome;
 }
 
@@ -417,9 +427,18 @@ double iterate_score(int conflicts, int stitches, int failed) {
 
 void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
                              util::ThreadPool* pool,
+                             std::vector<std::unique_ptr<SearchArena>>& worker_arenas,
                              std::vector<std::unique_ptr<ColorSearch>>& worker_searches,
                              const std::vector<db::NetId>& nets,
                              grid::Solution& solution) {
+  // Tile-sharded execution (sharded_router.cpp) replaces the flat
+  // speculative pass when configured; serial and single-net passes below
+  // are already exact and stay here.
+  if (pool != nullptr && nets.size() > 1 && config_.shard_tiles > 1) {
+    route_list_sharded(grid, search, pool, worker_arenas, worker_searches,
+                       nets, solution);
+    return;
+  }
   util::Timer timer;
   const std::uint64_t pass_relax_base = stats_.relaxations;
   // Budget skip: once the budget expires mid-pass, the remaining nets are
@@ -466,16 +485,18 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
   // concurrently against the pass-start grid — one pool dispatch, no
   // inter-batch barriers — then commits strictly in ripped order on this
   // thread. A speculation is *applied* only when no earlier-applied
-  // commit landed inside its read footprint (the labeled bbox inflated
-  // by the dcolor halo: the search reads owner/mask/congestion state no
-  // farther than that from any vertex it labels); a stale net recomputes
+  // commit landed inside its read footprint (the per-class halo pair of
+  // RouteOutcome: window-clipped 1-halo for owner/history reads, dcolor
+  // halo around the TPL congestion reads only); a stale net recomputes
   // serially right here, where the grid holds exactly the serial-prefix
   // state. Every applied outcome is therefore the one the serial loop
   // would have produced, for every thread count — speculation decides
   // how much parallel work is *kept*, never what the result is. The
   // schedule depth prefilter skips the commit-log walk for nets whose
-  // window provably interacts with no earlier net's; test_determinism
-  // pins schedule_batches element-identical to the O(k²) oracle.
+  // window provably interacts with no earlier net's (both footprint rects
+  // lie within window ⊕ halo, so depth 0 implies no overlap);
+  // test_determinism pins schedule_batches element-identical to the
+  // O(k²) oracle.
   const int halo = std::max(grid.dcolor(), 1);
   std::vector<geom::Rect> windows(nets.size());
   for (size_t i = 0; i < nets.size(); ++i)
@@ -502,11 +523,11 @@ void MrTplRouter::route_list(grid::RoutingGrid& grid, ColorSearch& search,
       mark_skipped(nets[k]);
       continue;
     }
+    ++stats_.speculated;
     bool stale = false;
-    if (batch_of[k] > 0 && outcomes[k].has_touched) {
-      const geom::Rect read = outcomes[k].touched.inflated(halo);
+    if (batch_of[k] > 0) {
       for (size_t j = 0; j < k && !stale; ++j)
-        stale = commit_live[j] != 0 && commit_box[j].overlaps(read);
+        stale = commit_live[j] != 0 && outcomes[k].reads_overlap(commit_box[j]);
     }
     // Fault site kSpecInvalidate: pretend validation failed, forcing the
     // serial redo. The redo recomputes against the exact serial-prefix
@@ -676,7 +697,8 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid, const RouteBudget& budg
     capture_boundary(start_iter);
   } else {
     // Fig. 2 middle column: route every net once.
-    route_list(grid, search, pool.get(), worker_searches, order, solution);
+    route_list(grid, search, pool.get(), worker_arenas, worker_searches, order,
+               solution);
     capture_boundary(0);
   }
 
@@ -737,7 +759,8 @@ grid::Solution MrTplRouter::run(grid::RoutingGrid& grid, const RouteBudget& budg
     if (ripped.empty()) break;
     for (const db::NetId id : ripped)
       grid::release_route(grid, solution.routes[static_cast<size_t>(id)]);
-    route_list(grid, search, pool.get(), worker_searches, ripped, solution);
+    route_list(grid, search, pool.get(), worker_arenas, worker_searches, ripped,
+               solution);
     // A success retires the net's widened window: the widening is an
     // escape valve for one failure episode, and letting it stick made
     // every later rip of the net search (and serialize against) a window
@@ -813,6 +836,7 @@ grid::SolutionStatus MrTplRouter::reroute(grid::RoutingGrid& grid,
 
   ColorSearch search(grid, config_);
   if (budget_.active()) search.set_budget(&budget_);
+  std::vector<std::unique_ptr<SearchArena>> no_arenas;
   std::vector<std::unique_ptr<ColorSearch>> no_workers;
 
   // Worklist: the dirty nets in global heuristic order (dedup'd, dead and
@@ -847,7 +871,7 @@ grid::SolutionStatus MrTplRouter::reroute(grid::RoutingGrid& grid,
   };
   LayoutSnapshot best;
 
-  route_list(grid, search, nullptr, no_workers, work, solution);
+  route_list(grid, search, nullptr, no_arenas, no_workers, work, solution);
 
   // The localized RRR loop: same policy as run(), seeded by the edit's
   // delta. Conflicts and failures can only arise where the edit touched
@@ -896,7 +920,7 @@ grid::SolutionStatus MrTplRouter::reroute(grid::RoutingGrid& grid,
     if (ripped.empty()) break;
     for (const db::NetId id : ripped)
       grid::release_route(grid, solution.routes[static_cast<size_t>(id)]);
-    route_list(grid, search, nullptr, no_workers, ripped, solution);
+    route_list(grid, search, nullptr, no_arenas, no_workers, ripped, solution);
     for (const db::NetId id : ripped)
       if (solution.routes[static_cast<size_t>(id)].routed)
         extra_margin_[static_cast<size_t>(id)] = 0;

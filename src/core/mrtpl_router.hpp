@@ -39,6 +39,7 @@ struct RouterStats {
   /// thread count (speculative work that fails validation is *not*
   /// applied; it lands in wasted_relaxations instead).
   std::vector<std::uint64_t> relaxations_per_pass;
+  int speculated = 0;                 ///< speculative outcomes reaching commit
   int respeculated = 0;               ///< speculations redone serially
   std::uint64_t wasted_relaxations = 0;  ///< search effort of those discards
 
@@ -143,11 +144,26 @@ class MrTplRouter {
     grid::NetRoute route;
     std::vector<std::pair<grid::VertexId, grid::Mask>> colors;
     std::uint64_t relaxations = 0;
-    /// x/y bbox of every vertex the search labeled; all grid state this
-    /// outcome depended on lies within it inflated by max(dcolor, 1).
-    /// The speculative executor validates commits against this.
-    geom::Rect touched;
-    bool has_touched = false;
+    /// Read footprint, split by halo class. `read_near` covers the
+    /// owner/blocked/history reads: the labeled bbox inflated by 1 and
+    /// clipped to the (guide-derived) search window — expansion tests the
+    /// window before reading a candidate, so nothing outside the window is
+    /// ever read. `read_tpl` covers the Dcolor congestion scans: the bbox
+    /// of TPL-layer reads inflated by dcolor, usually far smaller than the
+    /// labeled bbox. The speculative executor validates commits against
+    /// the pair — strictly tighter than the old square max(dcolor, 1)
+    /// inflation of the whole labeled bbox, and tightness only changes how
+    /// many speculations are KEPT, never the routing output.
+    geom::Rect read_near;
+    geom::Rect read_tpl;
+    bool has_read_near = false;
+    bool has_read_tpl = false;
+
+    /// True when any earlier-applied commit box intersects the footprint.
+    [[nodiscard]] bool reads_overlap(const geom::Rect& box) const {
+      return (has_read_near && box.overlaps(read_near)) ||
+             (has_read_tpl && box.overlaps(read_tpl));
+    }
   };
 
   /// compute_route with every exception (injected allocation failures,
@@ -203,11 +219,29 @@ class MrTplRouter {
 
   /// Route `nets` in order, serially (pool == nullptr) or via the
   /// deterministic disjoint-window batch executor, storing results in
-  /// `solution`.
+  /// `solution`. With config_.shard_tiles > 1 the speculative pass runs
+  /// tile-sharded (route_list_sharded, defined in sharded_router.cpp).
   void route_list(grid::RoutingGrid& grid, ColorSearch& search,
                   util::ThreadPool* pool,
+                  std::vector<std::unique_ptr<SearchArena>>& worker_arenas,
                   std::vector<std::unique_ptr<ColorSearch>>& worker_searches,
                   const std::vector<db::NetId>& nets, grid::Solution& solution);
+
+  /// The tile-sharded speculative executor (sharded_router.cpp): interior
+  /// nets of each tile compute sequentially against a per-tile GridView —
+  /// intra-tile dependencies are exact, not speculative — boundary-pool
+  /// nets compute flat against the pass snapshot, and one serial commit
+  /// walk in ripped order validates every outcome against the hazards it
+  /// could not have seen. Byte-identical to the serial loop for every
+  /// (tiles, threads) configuration, by the same argument as route_list:
+  /// an outcome is applied only when its read footprint provably matches
+  /// the serial-prefix state, else it is recomputed right there.
+  void route_list_sharded(grid::RoutingGrid& grid, ColorSearch& search,
+                          util::ThreadPool* pool,
+                          std::vector<std::unique_ptr<SearchArena>>& worker_arenas,
+                          std::vector<std::unique_ptr<ColorSearch>>& worker_searches,
+                          const std::vector<db::NetId>& nets,
+                          grid::Solution& solution);
 
   const db::Design& design_;
   const global::GuideSet* guides_;

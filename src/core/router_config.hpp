@@ -31,6 +31,18 @@ struct RouterConfig {
   /// path.
   int rrr_threads = 1;
 
+  /// Die tiling of the sharded speculative executor (core::ShardedRouter /
+  /// route_list_sharded). The die is partitioned into ~sqrt(shard_tiles)²
+  /// tiles; a net whose halo-inflated search window fits inside one tile
+  /// is *interior* to it and computes sequentially against that tile's
+  /// GridView (intra-tile dependencies exact, O(tile) memory), nets
+  /// crossing tile boundaries join the boundary pool and speculate flat.
+  /// Output is byte-identical for every (shard_tiles, rrr_threads)
+  /// configuration — validation at commit decides what is KEPT, never
+  /// what the result is. 1 disables sharding (the flat PR-6 executor);
+  /// takes effect only with rrr_threads >= 2.
+  int shard_tiles = 1;
+
   /// Maintain the violating-pair set incrementally (core::ConflictIndex,
   /// fed by the grid's dirty log) instead of rescanning the whole die
   /// every RRR iteration. Identical conflicts; detection cost scales with

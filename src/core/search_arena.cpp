@@ -110,6 +110,7 @@ void SearchArena::begin_session() {
   seq = 0;
   target_list.clear();
   any_touched = false;
+  any_tpl_touched = false;
 }
 
 }  // namespace mrtpl::core

@@ -160,6 +160,11 @@ struct SearchArena {
   // ---- read-footprint tracking for the speculative batch executor -----
   bool any_touched = false;
   geom::Rect touched_bbox;
+  /// TPL congestion reads only (Dcolor-window scans): usually a much
+  /// smaller box than touched_bbox, which is what lets the executor
+  /// validate with per-class halos instead of one square max(dcolor, 1).
+  bool any_tpl_touched = false;
+  geom::Rect tpl_touched_bbox;
 
   /// Grow the per-vertex arrays to cover `num_vertices`. Values of grown
   /// slots are indifferent: their stamps arrive as 0 != epoch.

@@ -1,0 +1,64 @@
+#pragma once
+/// \file sharded_router.hpp
+/// core::ShardedRouter — the production-scale front door of the tile-
+/// sharded speculative executor.
+///
+/// Execution model (route_list_sharded, defined in sharded_router.cpp):
+///
+///  1. CLASSIFY. The die is partitioned into a K×K shard::TilePlan. A net
+///     whose halo-inflated search window fits one tile is *interior* to
+///     it; everything else joins the boundary pool. The plan depends only
+///     on (die, shard_tiles) — never on thread count.
+///  2. COMPUTE (parallel). One task per non-empty tile + one per boundary
+///     net, on util::ThreadPool. A tile task builds a grid::GridView of
+///     its rect (O(tile) memory, copy of the pass-start state) and routes
+///     its interior nets SEQUENTIALLY in ripped order, committing each
+///     result into the view — intra-tile dependencies are exact, not
+///     speculative, which is what makes speculation stick on dense dies.
+///     Boundary nets speculate flat against the shared pass-start grid,
+///     exactly like the PR-6 executor. Nothing commits to the real grid.
+///  3. RECONCILE (serial). One commit walk in global ripped order. An
+///     interior outcome is stale only if a *hazard* — an applied boundary
+///     commit, or an earlier redo that diverged from its speculation —
+///     landed inside its read footprint (interior nets of other tiles
+///     provably cannot overlap it). A boundary outcome is stale if ANY
+///     earlier applied commit did. Stale nets recompute serially on the
+///     spot, against the exact serial-prefix grid. Hazard/commit boxes
+///     live in geom::SpatialGrid indices, so the walk is O(n · window)
+///     rather than the flat executor's O(n²) scan.
+///
+/// Every applied outcome therefore equals the serial loop's, so the final
+/// solution is byte-identical for any (tiles, threads) configuration —
+/// pinned by test_determinism's tiles × threads sweep the same way PR 2/6
+/// pinned rrr_threads.
+///
+/// The facade below is a thin, explicitly-sharded MrTplRouter: it owns
+/// the tile plan, forces shard_tiles >= 1, and defaults rrr_threads to at
+/// least 2 (sharding is inert without a pool).
+
+#include "core/mrtpl_router.hpp"
+#include "shard/tile_plan.hpp"
+
+namespace mrtpl::core {
+
+class ShardedRouter {
+ public:
+  ShardedRouter(const db::Design& design, const global::GuideSet* guides,
+                RouterConfig config = {});
+
+  /// Same contracts as MrTplRouter::run.
+  grid::Solution run(grid::RoutingGrid& grid);
+  grid::Solution run(grid::RoutingGrid& grid, const RouteBudget& budget,
+                     RouterCheckpoint* checkpoint = nullptr);
+
+  [[nodiscard]] const RouterStats& stats() const { return router_.stats(); }
+  [[nodiscard]] const shard::TilePlan& plan() const { return plan_; }
+  [[nodiscard]] const RouterConfig& config() const { return config_; }
+
+ private:
+  RouterConfig config_;
+  shard::TilePlan plan_;
+  MrTplRouter router_;
+};
+
+}  // namespace mrtpl::core

@@ -53,15 +53,33 @@ std::vector<int> GlobalRouter::connect(const std::vector<int>& sources,
                                        const std::vector<int>& targets) const {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   const size_t n = demand_.size();
-  std::vector<double> dist(n, kInf);
-  std::vector<int> prev(n, -1);
-  std::vector<char> is_target(n, 0);
-  for (const int t : targets) is_target[static_cast<size_t>(t)] = 1;
+  // Reset only what the previous call dirtied (values identical to a
+  // fresh assign — see the scratch members' doc).
+  if (dist_.size() != n) {
+    dist_.assign(n, kInf);
+    prev_.assign(n, -1);
+    is_target_.assign(n, 0);
+  } else {
+    for (const int c : touched_) {
+      dist_[static_cast<size_t>(c)] = kInf;
+      prev_[static_cast<size_t>(c)] = -1;
+      is_target_[static_cast<size_t>(c)] = 0;
+    }
+  }
+  touched_.clear();
+  std::vector<double>& dist = dist_;
+  std::vector<int>& prev = prev_;
+  std::vector<char>& is_target = is_target_;
+  for (const int t : targets) {
+    is_target[static_cast<size_t>(t)] = 1;
+    touched_.push_back(t);
+  }
 
   using Item = std::pair<double, int>;
   std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
   for (const int s : sources) {
     dist[static_cast<size_t>(s)] = 0.0;
+    touched_.push_back(s);
     pq.push({0.0, s});
   }
 
@@ -84,6 +102,7 @@ std::vector<int> GlobalRouter::connect(const std::vector<int>& sources,
           std::max(0, demand_[ui] + obstacle_penalty_[ui] - config_.capacity_per_gcell);
       const double step = 1.0 + config_.congestion_weight * over;
       if (dist[static_cast<size_t>(c)] + step < dist[ui]) {
+        if (dist[ui] == kInf) touched_.push_back(u);
         dist[ui] = dist[static_cast<size_t>(c)] + step;
         prev[ui] = c;
         pq.push({dist[ui], u});
@@ -119,8 +138,12 @@ GuideSet GlobalRouter::route_all() {
     }
 
     // Grow a GCell tree pin by pin (cheap sequential Steiner heuristic).
+    // The membership flags are a reused member: the tree lists exactly
+    // the set cells, so clearing at the end restores an all-zero array
+    // without the per-net O(gcells) allocation.
     std::vector<int> tree = pin_cells.front();
-    std::vector<char> in_tree(demand_.size(), 0);
+    if (in_tree_.size() != demand_.size()) in_tree_.assign(demand_.size(), 0);
+    std::vector<char>& in_tree = in_tree_;
     for (const int c : tree) in_tree[static_cast<size_t>(c)] = 1;
     for (size_t p = 1; p < pin_cells.size(); ++p) {
       bool already = false;
@@ -148,6 +171,7 @@ GuideSet GlobalRouter::route_all() {
       r = r.intersected(design_.die());
       guide.boxes.push_back(r);
     }
+    for (const int c : tree) in_tree[static_cast<size_t>(c)] = 0;
   }
   return guides;
 }

@@ -60,6 +60,19 @@ class GlobalRouter {
   int gx_, gy_;
   std::vector<int> demand_;       ///< per-GCell routed demand
   std::vector<int> obstacle_penalty_;  ///< blocked-track count per GCell
+
+  /// Dijkstra scratch, reused across connect() calls: each call resets
+  /// only the cells the previous one touched, so per-net cost scales with
+  /// the explored region instead of the GCell count. At production scale
+  /// (10⁴–10⁵ nets) the per-call O(gcells) assign() of these three arrays
+  /// dominated route_all(). Purely an allocation optimisation — values
+  /// after reset are identical to freshly-assigned arrays.
+  mutable std::vector<double> dist_;
+  mutable std::vector<int> prev_;
+  mutable std::vector<char> is_target_;
+  mutable std::vector<int> touched_;  ///< cells whose scratch entries are dirty
+  /// route_all's pin-tree membership flags, cleared via the tree list.
+  std::vector<char> in_tree_;
 };
 
 }  // namespace mrtpl::global

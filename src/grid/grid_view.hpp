@@ -1,0 +1,44 @@
+#pragma once
+/// \file grid_view.hpp
+/// A rectangular sub-window of a RoutingGrid, usable anywhere a grid is:
+/// the sharded executor routes each tile's interior nets against one of
+/// these instead of a whole-die copy.
+///
+/// A view IS a RoutingGrid whose dense arrays cover only `tile ∩
+/// base.bounds()` — vertex ids are offset-mapped into the window while all
+/// coordinate-level APIs (vertex(layer, x, y), loc(), pin shapes, search
+/// windows) keep speaking global die coordinates. Construction copies the
+/// base's committed state row-by-row and reuses its rasterization, so K
+/// disjoint tiles cost O(die) memory in total. Mutations stay local to the
+/// view; translating results back to the base is the caller's job (via
+/// to_base / loc round-trips).
+///
+/// Validity contract: a search run on a view must keep its reads inside
+/// the window — the interior-ownership rule of the sharded executor
+/// (window ⊕ dcolor halo ⊆ tile) guarantees exactly that, and the
+/// vertex-id-mapping oracle test pins the state equivalence.
+
+#include "geom/rect.hpp"
+#include "grid/routing_grid.hpp"
+
+namespace mrtpl::grid {
+
+class GridView : public RoutingGrid {
+ public:
+  /// `base` must outlive the view. `tile` is clipped to base.bounds();
+  /// an empty intersection throws std::invalid_argument.
+  GridView(const RoutingGrid& base, const geom::Rect& tile)
+      : RoutingGrid(base, tile), base_(&base) {}
+
+  [[nodiscard]] const RoutingGrid& base() const { return *base_; }
+
+  /// Map a view-local vertex id to the base grid's id of the same
+  /// (layer, x, y) — and back. Both are total on the view's vertices.
+  [[nodiscard]] VertexId to_base(VertexId v) const { return base_->vertex(loc(v)); }
+  [[nodiscard]] VertexId from_base(VertexId v) const { return vertex(base_->loc(v)); }
+
+ private:
+  const RoutingGrid* base_;
+};
+
+}  // namespace mrtpl::grid

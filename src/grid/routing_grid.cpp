@@ -46,15 +46,55 @@ RoutingGrid::RoutingGrid(const db::Design& design)
   }
 }
 
+RoutingGrid::RoutingGrid(const RoutingGrid& base, const geom::Rect& tile)
+    : design_(base.design_), nl_(base.nl_), dcolor_(base.dcolor_) {
+  const geom::Rect r = tile.intersected(base.bounds());
+  if (!r.valid())
+    throw std::invalid_argument("RoutingGrid: view window outside base grid");
+  x0_ = r.lo.x;
+  y0_ = r.lo.y;
+  nx_ = r.width();
+  ny_ = r.height();
+  const auto n = num_vertices();
+  owner_.resize(n);
+  mask_.resize(n);
+  blocked_.resize(n);
+  pin_vertex_.resize(n);
+  pin_owner_.resize(n);
+  history_.resize(n);
+  color_counts_.resize(3 * static_cast<std::size_t>(n));
+  colored_of_ = base.colored_of_;
+  // Row-sliced copy of the base's state. The congestion counts copied at
+  // the window edge still count colored vertices OUTSIDE the window — by
+  // design: a search whose reads stay `dcolor` inside the window (the
+  // sharded executor's interior-ownership rule) sees exactly the whole-die
+  // values, and edge vertices are simply never read by such a search.
+  for (int l = 0; l < nl_; ++l) {
+    for (int y = 0; y < ny_; ++y) {
+      const VertexId src = base.vertex(l, x0_, y0_ + y);
+      const VertexId dst = vertex(l, x0_, y0_ + y);
+      std::copy_n(base.owner_.begin() + src, nx_, owner_.begin() + dst);
+      std::copy_n(base.mask_.begin() + src, nx_, mask_.begin() + dst);
+      std::copy_n(base.blocked_.begin() + src, nx_, blocked_.begin() + dst);
+      std::copy_n(base.pin_vertex_.begin() + src, nx_, pin_vertex_.begin() + dst);
+      std::copy_n(base.pin_owner_.begin() + src, nx_, pin_owner_.begin() + dst);
+      std::copy_n(base.history_.begin() + src, nx_, history_.begin() + dst);
+      std::copy_n(base.color_counts_.begin() + 3 * static_cast<std::size_t>(src),
+                  3 * static_cast<std::size_t>(nx_),
+                  color_counts_.begin() + 3 * static_cast<std::size_t>(dst));
+    }
+  }
+}
+
 VertexId RoutingGrid::neighbor(VertexId v, Dir d) const {
   const VertexLoc l = loc(v);
   switch (d) {
-    case Dir::East: return l.x + 1 < nx_ ? v + 1 : kInvalidVertex;
-    case Dir::West: return l.x > 0 ? v - 1 : kInvalidVertex;
+    case Dir::East: return l.x + 1 < x0_ + nx_ ? v + 1 : kInvalidVertex;
+    case Dir::West: return l.x > x0_ ? v - 1 : kInvalidVertex;
     case Dir::North:
-      return l.y + 1 < ny_ ? v + static_cast<VertexId>(nx_) : kInvalidVertex;
+      return l.y + 1 < y0_ + ny_ ? v + static_cast<VertexId>(nx_) : kInvalidVertex;
     case Dir::South:
-      return l.y > 0 ? v - static_cast<VertexId>(nx_) : kInvalidVertex;
+      return l.y > y0_ ? v - static_cast<VertexId>(nx_) : kInvalidVertex;
     case Dir::Up:
       return l.layer + 1 < nl_
                  ? v + static_cast<VertexId>(nx_) * static_cast<VertexId>(ny_)
@@ -91,11 +131,11 @@ void RoutingGrid::update_color_field(VertexId v, db::NetId old_owner, Mask old_m
   const VertexLoc l = loc(v);
   if (!tech().is_tpl_layer(l.layer)) return;
   // Same window as for_each_colored_neighbor, mirrored: v's mask change
-  // affects the counts AT each neighbor.
-  const int x0 = l.x >= dcolor_ ? l.x - dcolor_ : 0;
-  const int x1 = l.x + dcolor_ < nx_ ? l.x + dcolor_ : nx_ - 1;
-  const int y0 = l.y >= dcolor_ ? l.y - dcolor_ : 0;
-  const int y1 = l.y + dcolor_ < ny_ ? l.y + dcolor_ : ny_ - 1;
+  // affects the counts AT each neighbor (clamped to this grid's window).
+  const int x0 = l.x - dcolor_ > x0_ ? l.x - dcolor_ : x0_;
+  const int x1 = l.x + dcolor_ < x0_ + nx_ ? l.x + dcolor_ : x0_ + nx_ - 1;
+  const int y0 = l.y - dcolor_ > y0_ ? l.y - dcolor_ : y0_;
+  const int y1 = l.y + dcolor_ < y0_ + ny_ ? l.y + dcolor_ : y0_ + ny_ - 1;
   for (int y = y0; y <= y1; ++y) {
     for (int x = x0; x <= x1; ++x) {
       if (x == l.x && y == l.y) continue;
@@ -143,8 +183,7 @@ void RoutingGrid::release(VertexId v) {
 
 void RoutingGrid::rerasterize(int layer, const geom::Rect& region) {
   if (layer < 0 || layer >= nl_) return;
-  const geom::Rect die{{0, 0}, {nx_ - 1, ny_ - 1}};
-  const geom::Rect r = region.intersected(die);
+  const geom::Rect r = region.intersected(bounds());
   if (!r.valid()) return;
   for (int y = r.lo.y; y <= r.hi.y; ++y) {
     for (int x = r.lo.x; x <= r.hi.x; ++x) {
@@ -208,8 +247,12 @@ std::uint8_t RoutingGrid::conflict_mask_bits(VertexId v, db::NetId self) const {
 std::vector<VertexId> RoutingGrid::pin_vertices(const db::Pin& pin) const {
   std::vector<VertexId> out;
   for (const auto& s : pin.shapes) {
-    for (int y = s.lo.y; y <= s.hi.y; ++y) {
-      for (int x = s.lo.x; x <= s.hi.x; ++x) {
+    // Clip to this grid's window: on views, shape portions outside the
+    // window have no vertices here (interior-owned nets never need them).
+    const geom::Rect c = s.intersected(bounds());
+    if (!c.valid()) continue;
+    for (int y = c.lo.y; y <= c.hi.y; ++y) {
+      for (int x = c.lo.x; x <= c.hi.x; ++x) {
         const VertexId v = vertex(pin.layer, x, y);
         if (!blocked_[v]) out.push_back(v);
       }

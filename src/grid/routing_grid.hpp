@@ -57,6 +57,12 @@ struct VertexLoc {
 /// Construction rasterises the design: obstacle shapes block vertices;
 /// every pin's shapes are recorded as owned by its net (pins are metal and
 /// participate in TPL coloring) and are impenetrable to other nets.
+///
+/// A grid may also be a rectangular *view* of another grid (grid_view.hpp):
+/// the dense arrays then cover only the window `bounds()`, vertex ids are
+/// offset-mapped into it, and every coordinate-taking or -returning API
+/// keeps speaking GLOBAL die coordinates — callers cannot tell a view from
+/// a whole-die grid as long as they stay inside its bounds.
 class RoutingGrid {
  public:
   explicit RoutingGrid(const db::Design& design);
@@ -69,18 +75,27 @@ class RoutingGrid {
     return static_cast<std::uint32_t>(nl_) * static_cast<std::uint32_t>(nx_) *
            static_cast<std::uint32_t>(ny_);
   }
+  /// The (x, y) region this grid's arrays cover, in die coordinates.
+  /// Whole-die grids cover {0, 0, size_x-1, size_y-1}; views cover their
+  /// window. Every (x, y) passed to vertex() must lie inside it.
+  [[nodiscard]] geom::Rect bounds() const {
+    return {x0_, y0_, x0_ + nx_ - 1, y0_ + ny_ - 1};
+  }
 
   [[nodiscard]] VertexId vertex(int layer, int x, int y) const {
     return (static_cast<VertexId>(layer) * static_cast<VertexId>(ny_) +
-            static_cast<VertexId>(y)) * static_cast<VertexId>(nx_) +
-           static_cast<VertexId>(x);
+            static_cast<VertexId>(y - y0_)) * static_cast<VertexId>(nx_) +
+           static_cast<VertexId>(x - x0_);
+  }
+  [[nodiscard]] VertexId vertex(const VertexLoc& l) const {
+    return vertex(l.layer, l.x, l.y);
   }
   [[nodiscard]] VertexLoc loc(VertexId v) const {
     const int x = static_cast<int>(v % static_cast<VertexId>(nx_));
     const VertexId rest = v / static_cast<VertexId>(nx_);
     const int y = static_cast<int>(rest % static_cast<VertexId>(ny_));
     const int layer = static_cast<int>(rest / static_cast<VertexId>(ny_));
-    return {layer, x, y};
+    return {layer, x0_ + x, y0_ + y};
   }
 
   /// Neighbor in direction `d`, or kInvalidVertex at the boundary.
@@ -184,9 +199,18 @@ class RoutingGrid {
   }
   [[nodiscard]] bool has_dirty_log() const { return dirty_log_ != nullptr; }
 
+ protected:
+  /// View construction (grid_view.hpp): a grid whose arrays cover only
+  /// `tile ∩ base.bounds()`, seeded with a copy of the base's committed
+  /// state in that window. The base's rasterization is reused — obstacles
+  /// and pins are never re-scanned — so K disjoint tiles of one die cost
+  /// O(die) memory and time in total, not K × O(die).
+  RoutingGrid(const RoutingGrid& base, const geom::Rect& tile);
+
  private:
   const db::Design* design_;
   int nl_, nx_, ny_;
+  int x0_ = 0, y0_ = 0;  ///< window origin in die coordinates (views)
   int dcolor_;
   std::vector<db::NetId> owner_;   ///< committed net or kNoNet
   std::vector<Mask> mask_;         ///< committed mask or kNoMask
@@ -214,10 +238,10 @@ template <typename Fn>
 void RoutingGrid::for_each_colored_neighbor(VertexId v, db::NetId self, Fn&& fn) const {
   const VertexLoc l = loc(v);
   if (!tech().is_tpl_layer(l.layer)) return;
-  const int x0 = l.x >= dcolor_ ? l.x - dcolor_ : 0;
-  const int x1 = l.x + dcolor_ < nx_ ? l.x + dcolor_ : nx_ - 1;
-  const int y0 = l.y >= dcolor_ ? l.y - dcolor_ : 0;
-  const int y1 = l.y + dcolor_ < ny_ ? l.y + dcolor_ : ny_ - 1;
+  const int x0 = l.x - dcolor_ > x0_ ? l.x - dcolor_ : x0_;
+  const int x1 = l.x + dcolor_ < x0_ + nx_ ? l.x + dcolor_ : x0_ + nx_ - 1;
+  const int y0 = l.y - dcolor_ > y0_ ? l.y - dcolor_ : y0_;
+  const int y1 = l.y + dcolor_ < y0_ + ny_ ? l.y + dcolor_ : y0_ + ny_ - 1;
   for (int y = y0; y <= y1; ++y) {
     for (int x = x0; x <= x1; ++x) {
       if (x == l.x && y == l.y) continue;

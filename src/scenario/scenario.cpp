@@ -11,6 +11,7 @@ const char* to_string(Family family) {
     case Family::kMacroMaze: return "macro_maze";
     case Family::kHighFanout: return "high_fanout";
     case Family::kDegenerate: return "degenerate";
+    case Family::kProduction: return "production";
   }
   return "unknown";
 }
@@ -233,6 +234,52 @@ ScenarioRegistry build_builtin() {
                  "single-pin nets dropped at generation: netlist mostly empty",
                  full, quick));
   }
+  // ---- production scale -------------------------------------------------
+  // Order-of-magnitude-larger dies and netlists than every family above —
+  // the regime the sharded executor (core::ShardedRouter, `suite --tiles`)
+  // exists for. Nets are local with moderate spans, as production
+  // netlists are: scale stress comes from volume (grid memory, benchgen
+  // throughput, global-router scratch reuse, per-tile view construction),
+  // not from per-net hardness, and the suite's conflict-free + DRC-clean
+  // bar still applies end to end. The quick variants keep the same shape
+  // at CI-smoke size.
+  {
+    benchgen::CaseSpec full = scenario_base("production_grid_10k", 22);
+    full.width = full.height = 960;
+    full.num_nets = 10000;
+    full.max_pins = 4;
+    full.local_net_fraction = 1.0;
+    full.local_span = 30;
+    full.num_macros = 12;
+    full.macro_min = 6;
+    full.macro_max = 12;
+    benchgen::CaseSpec quick = full;
+    quick.width = quick.height = 100;
+    quick.num_nets = 140;
+    quick.num_macros = 3;
+    reg.add(make("production_grid_10k", Family::kProduction,
+                 "10k local nets on a 960x960 die (sharding regime)",
+                 full, quick));
+  }
+  {
+    benchgen::CaseSpec full = scenario_base("production_clusters", 13);
+    full.width = full.height = 512;
+    full.num_nets = 4000;
+    full.max_pins = 6;
+    full.local_net_fraction = 1.0;
+    full.local_span = 22;
+    full.num_macros = 12;
+    full.macro_min = 6;
+    full.macro_max = 14;
+    benchgen::CaseSpec quick = full;
+    quick.width = quick.height = 80;
+    quick.num_nets = 100;
+    quick.num_macros = 2;
+    reg.add(make("production_clusters", Family::kProduction,
+                 "4k clustered nets on a 512x512 die with macro farms",
+                 full, quick));
+  }
+
   {
     benchgen::CaseSpec full = scenario_base("degenerate_empty", 10);
     full.width = full.height = 16;

@@ -20,6 +20,7 @@ enum class Family {
   kMacroMaze,   ///< blockage labyrinths forcing long detours
   kHighFanout,  ///< fanout >= 16 multi-pin Steiner stress
   kDegenerate,  ///< 1-track rows, two-mask dies, mostly-empty netlists
+  kProduction,  ///< 10⁴-net production-scale dies (sharded-router regime)
 };
 
 /// Stable lowercase name ("congestion", "macro_maze", ...), used for

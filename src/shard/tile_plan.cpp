@@ -1,0 +1,47 @@
+#include "shard/tile_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mrtpl::shard {
+
+TilePlan::TilePlan(const geom::Rect& die, int tiles) : die_(die) {
+  if (!die.valid()) throw std::invalid_argument("TilePlan: invalid die rect");
+  int k = 1;
+  while ((k + 1) * (k + 1) <= std::max(tiles, 1)) ++k;
+  // No empty spans: a k-way split needs at least k tracks per axis.
+  k_ = std::clamp(k, 1, std::max(1, std::min(die.width(), die.height())));
+
+  xs_.resize(static_cast<std::size_t>(k_) + 1);
+  ys_.resize(static_cast<std::size_t>(k_) + 1);
+  for (int i = 0; i <= k_; ++i) {
+    xs_[static_cast<std::size_t>(i)] =
+        die.lo.x + static_cast<int>(static_cast<long long>(die.width()) * i / k_);
+    ys_[static_cast<std::size_t>(i)] =
+        die.lo.y + static_cast<int>(static_cast<long long>(die.height()) * i / k_);
+  }
+  tiles_.reserve(static_cast<std::size_t>(k_) * static_cast<std::size_t>(k_));
+  for (int ty = 0; ty < k_; ++ty)
+    for (int tx = 0; tx < k_; ++tx)
+      tiles_.push_back({xs_[static_cast<std::size_t>(tx)],
+                        ys_[static_cast<std::size_t>(ty)],
+                        xs_[static_cast<std::size_t>(tx) + 1] - 1,
+                        ys_[static_cast<std::size_t>(ty) + 1] - 1});
+}
+
+int TilePlan::owner_of(const geom::Rect& window, int halo) const {
+  const geom::Rect w = window.inflated(halo).intersected(die_);
+  if (!w.valid()) return kBoundary;
+  // Locate the span holding w.lo on each axis: the last split point <= lo.
+  const auto span_of = [](const std::vector<int>& splits, int v) {
+    const auto it = std::upper_bound(splits.begin(), splits.end() - 1, v);
+    return static_cast<int>(it - splits.begin()) - 1;
+  };
+  const int tx = span_of(xs_, w.lo.x);
+  const int ty = span_of(ys_, w.lo.y);
+  if (tx < 0 || ty < 0) return kBoundary;
+  const int t = ty * k_ + tx;
+  return tiles_[static_cast<std::size_t>(t)].contains(w) ? t : kBoundary;
+}
+
+}  // namespace mrtpl::shard

@@ -1,0 +1,34 @@
+#pragma once
+/// \file resource.hpp
+/// Process resource introspection for the bench harness. Peak RSS is the
+/// figure of merit for the sharded router's memory model (K tile views
+/// must cost O(die), not O(K * die)), so benches record it next to wall
+/// time. ru_maxrss is a high-water mark — it only ever grows — so
+/// per-config numbers are honest only when each configuration runs in its
+/// own process (bench_sharded's single-config mode exists for exactly
+/// this reason).
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace mrtpl::util {
+
+/// Peak resident set size of the calling process in MiB, or 0.0 on
+/// platforms without getrusage. Linux reports ru_maxrss in KiB, macOS in
+/// bytes.
+[[nodiscard]] inline double peak_rss_mb() {
+#if defined(__APPLE__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);
+#elif defined(__unix__)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+#else
+  return 0.0;
+#endif
+}
+
+}  // namespace mrtpl::util

@@ -114,6 +114,39 @@ TEST_P(ThreadSweepDeterminism, AnyThreadCountMatchesSerialReference) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadSweepDeterminism,
                          ::testing::Values(10, 20, 30));
 
+/// Same bar for the tile-sharded executor (core/sharded_router.cpp):
+/// every (shard_tiles, rrr_threads) configuration must serialize
+/// byte-identically to the unsharded serial reference. Tile ownership,
+/// per-tile GridView compute and the hazard-indexed reconciliation walk
+/// must all be invisible in the output.
+class ShardSweepDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardSweepDeterminism, AnyTileThreadConfigMatchesSerialReference) {
+  const db::Design design = benchgen::generate(spec_of(GetParam()));
+  global::GlobalRouter gr(design);
+  const global::GuideSet guides = gr.route_all();
+  auto run_with = [&](int tiles, int threads) {
+    grid::RoutingGrid grid(design);
+    core::RouterConfig cfg;
+    cfg.shard_tiles = tiles;
+    cfg.rrr_threads = threads;
+    core::MrTplRouter router(design, &guides, cfg);
+    const grid::Solution sol = router.run(grid);
+    return io::solution_to_string(grid, sol);
+  };
+  const std::string reference = run_with(1, 1);
+  for (const int tiles : {1, 4, 16}) {
+    for (const int threads : {1, 2, 8}) {
+      EXPECT_EQ(run_with(tiles, threads), reference)
+          << "tiles " << tiles << " threads " << threads << " seed "
+          << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardSweepDeterminism,
+                         ::testing::Values(10, 20, 30));
+
 /// The RRR executor's batch assignment moved from O(k²) pairwise
 /// rectangle tests onto a geom::SpatialGrid overlap query (ROADMAP
 /// "Batch-scheduler locality"). The two implementations must stay

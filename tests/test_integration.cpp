@@ -127,7 +127,8 @@ INSTANTIATE_TEST_SUITE_P(Families, StressFamilyFlow,
                          ::testing::Values(scenario::Family::kCongestion,
                                            scenario::Family::kMacroMaze,
                                            scenario::Family::kHighFanout,
-                                           scenario::Family::kDegenerate),
+                                           scenario::Family::kDegenerate,
+                                           scenario::Family::kProduction),
                          [](const auto& info) {
                            return std::string(scenario::to_string(info.param));
                          });

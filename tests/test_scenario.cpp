@@ -19,7 +19,8 @@ TEST(ScenarioRegistry, BuiltinCoversEveryFamilyTwice) {
   const auto& reg = ScenarioRegistry::builtin();
   EXPECT_GE(reg.size(), 8u);
   for (const Family f : {Family::kCongestion, Family::kMacroMaze,
-                         Family::kHighFanout, Family::kDegenerate}) {
+                         Family::kHighFanout, Family::kDegenerate,
+                         Family::kProduction}) {
     EXPECT_GE(reg.in_family(f).size(), 2u) << to_string(f);
   }
 }

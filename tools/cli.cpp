@@ -5,7 +5,7 @@
 ///   list-cases
 ///       Print every named benchmark case of both suites plus the
 ///       registered stress scenarios.
-///   suite [--filter s] [--quick] [--json file] [--threads N]
+///   suite [--filter s] [--quick] [--json file] [--threads N] [--tiles K]
 ///       [--timeout S] [--list]
 ///       Run the stress-scenario registry end to end (generate -> global
 ///       -> route -> evaluate -> DRC-verify), one human line per scenario
@@ -15,10 +15,14 @@
 ///       Generate a synthetic case and save it.
 ///   route --design <file> [--router mrtpl|dac12|decompose]
 ///       [--solution out.sol] [--svg out.svg] [--no-guides] [--rrr N]
-///       [--threads N] [--rescan-conflicts] [--deadline S] [--max-relax N]
+///       [--threads N] [--tiles K] [--rescan-conflicts] [--deadline S]
+///       [--max-relax N]
 ///       Route a saved design, print metrics, optionally dump artifacts.
 ///       --threads N routes RRR batches of disjoint-window nets on N
-///       workers (output is byte-identical to --threads 1);
+///       workers (output is byte-identical to --threads 1); --tiles K
+///       shards the die into ~sqrt(K)² tiles routed via per-tile grid
+///       views (core::ShardedRouter; output is byte-identical for every
+///       tiles/threads combination, and only engages with --threads >= 2);
 ///       --rescan-conflicts swaps the incremental conflict engine for the
 ///       full-rescan debug oracle. --deadline / --max-relax bound the run
 ///       (route_budget.hpp); a degraded result exits 4.
@@ -197,6 +201,14 @@ int cmd_suite(const Args& args) {
     }
     options.config.rrr_threads = *n;
   }
+  if (const auto tiles = args.get("tiles")) {
+    const auto n = parse_int(*tiles);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "suite: --tiles must be >= 1\n");
+      return 2;
+    }
+    options.config.shard_tiles = *n;
+  }
   if (const auto timeout = args.get("timeout")) {
     const auto n = parse_int(*timeout);
     if (!n || *n < 1) {
@@ -318,6 +330,14 @@ int cmd_route(const Args& args) {
       return 2;
     }
     config.rrr_threads = *n;
+  }
+  if (const auto tiles = args.get("tiles")) {
+    const auto n = parse_int(*tiles);
+    if (!n || *n < 1) {
+      std::fprintf(stderr, "route: --tiles must be >= 1\n");
+      return 2;
+    }
+    config.shard_tiles = *n;
   }
   if (args.has("rescan-conflicts")) config.incremental_conflicts = false;
 
@@ -857,13 +877,13 @@ int run(const std::vector<std::string>& argv) {
                "<list-cases|suite|generate|route|eval|verify|refine|report"
                "|session|serve|send> [options]\n"
                "  suite    [--filter <substr>] [--quick] [--json file]\n"
-               "           [--threads N] [--timeout S] [--list]\n"
+               "           [--threads N] [--tiles K] [--timeout S] [--list]\n"
                "           Run the stress-scenario registry end to end; one\n"
                "           JSON metrics line per scenario with --json.\n"
                "  generate --case <name> [--out file]\n"
                "  route    --design <file> [--router mrtpl|dac12|decompose]\n"
                "           [--solution file] [--svg file] [--no-guides] [--rrr N]\n"
-               "           [--threads N] [--rescan-conflicts]\n"
+               "           [--threads N] [--tiles K] [--rescan-conflicts]\n"
                "           [--deadline S] [--max-relax N]  (degraded result: exit 4)\n"
                "  eval     --design <file> --solution <file>\n"
                "  verify   --design <file> --solution <file> [--no-color-check]\n"
